@@ -1,0 +1,53 @@
+// Experiment F3 (paper Fig. 3): the one-character-different fix inverts the
+// guard; sash must find it *unambiguously* incorrect — the guarded rm always
+// targets the root.
+#include "bench_util.h"
+#include "core/analyzer.h"
+
+namespace {
+
+constexpr const char* kFig3 =
+    "#!/bin/sh\n"
+    "STEAMROOT=\"$(cd \"${0%/*}\" && echo $PWD)\"\n"
+    "\n"
+    "if [ \"$(realpath \"$STEAMROOT/\")\" = \"/\" ]; then\n"
+    "rm -fr \"$STEAMROOT\"/*\n"
+    "else\n"
+    "echo \"Bad script path: $0\"; exit 1\n"
+    "fi\n";
+
+void PrintResult() {
+  sash::core::Analyzer analyzer;
+  sash::core::AnalysisReport report = analyzer.AnalyzeSource(kFig3);
+  const sash::Diagnostic* finding = nullptr;
+  for (const sash::Diagnostic& d : report.findings()) {
+    if (d.code == sash::symex::kCodeDeleteRoot) {
+      finding = &d;
+    }
+  }
+  bool always = finding != nullptr && finding->message.find("always") != std::string::npos;
+  sash::bench::PrintTable(
+      "F3: Fig. 3 obviously unsafe fix (one character from Fig. 2)",
+      {{"property", "paper", "sash"},
+       {"incorrectness identified", "yes — unambiguous", finding != nullptr ? "yes" : "NO"},
+       {"strength of verdict", "always wrong on the guarded path",
+        always ? "\"always deletes\" (error)" : "may-delete only"},
+       {"contrast: ShellCheck-style lint", "identical verdict to Fig. 2",
+        "identical verdict to Fig. 2 (see T1)"}});
+  if (finding != nullptr) {
+    std::printf("full finding:\n%s\n", finding->ToString().c_str());
+  }
+}
+
+void BM_AnalyzeFig3(benchmark::State& state) {
+  sash::core::Analyzer analyzer;
+  for (auto _ : state) {
+    sash::core::AnalysisReport report = analyzer.AnalyzeSource(kFig3);
+    benchmark::DoNotOptimize(report.findings().size());
+  }
+}
+BENCHMARK(BM_AnalyzeFig3)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+SASH_BENCH_MAIN(PrintResult)

@@ -1,0 +1,78 @@
+// Experiment F5 (paper Fig. 5): grep '^desc' kills the lsb_release stream —
+// the intersection of the incoming line type and the filter is the empty
+// language, so the case statement's suffix never gets set.
+#include "bench_util.h"
+#include "core/analyzer.h"
+#include "stream/pipeline.h"
+
+namespace {
+
+constexpr const char* kFig5 =
+    "#!/bin/sh\n"
+    "STEAMROOT=\"$(cd \"${0%/*}\" && echo $PWD)\"/\n"
+    "case $(lsb_release -a | grep '^desc' | cut -f 2) in\n"
+    "Debian) SUFFIX=\".config/steam\" ;;\n"
+    "*Linux) SUFFIX=\".steam\" ;;\n"
+    "esac\n"
+    "rm -fr $STEAMROOT$SUFFIX\n";
+
+constexpr const char* kFig5Fixed =
+    "#!/bin/sh\n"
+    "STEAMROOT=\"$(cd \"${0%/*}\" && echo $PWD)\"/\n"
+    "case $(lsb_release -a | grep '^Desc' | cut -f 2) in\n"
+    "Debian) SUFFIX=\".config/steam\" ;;\n"
+    "*Linux) SUFFIX=\".steam\" ;;\n"
+    "esac\n"
+    "rm -fr $STEAMROOT$SUFFIX\n";
+
+void PrintResult() {
+  sash::core::Analyzer analyzer;
+  sash::core::AnalysisReport buggy = analyzer.AnalyzeSource(kFig5);
+  sash::core::AnalysisReport fixed = analyzer.AnalyzeSource(kFig5Fixed);
+
+  sash::bench::PrintTable(
+      "F5: Fig. 5 dead grep filter",
+      {{"script", "dead-stream finding", "dangerous rm finding"},
+       {"grep '^desc' (buggy)", buggy.HasCode(sash::stream::kCodeDeadStream) ? "yes" : "NO",
+        buggy.HasCode(sash::symex::kCodeDeleteRoot) ? "yes" : "NO"},
+       {"grep '^Desc' (fixed filter)",
+        fixed.HasCode(sash::stream::kCodeDeadStream) ? "YES (false alarm)" : "no",
+        fixed.HasCode(sash::symex::kCodeDeleteRoot) ? "yes (STEAMROOT can still be /)" : "no"}});
+
+  // Show the type chain the checker derived.
+  sash::syntax::ParseOutput parsed =
+      sash::syntax::Parse("lsb_release -a | grep '^desc' | cut -f 2");
+  sash::stream::PipelineChecker checker;
+  sash::stream::PipelineReport report = checker.Check(*parsed.program.body);
+  std::printf("type chain (buggy pipeline):\n");
+  for (const sash::stream::StageReport& s : report.stages) {
+    std::printf("  %-20s :: %s\n", s.command.c_str(),
+                s.type_display.value_or("(untyped)").c_str());
+  }
+  std::printf("  => final language %s\n\n",
+              report.final_output->IsEmptyLanguage() ? "EMPTY (stream is dead)" : "non-empty");
+}
+
+void BM_CheckFig5Pipeline(benchmark::State& state) {
+  sash::syntax::ParseOutput parsed =
+      sash::syntax::Parse("lsb_release -a | grep '^desc' | cut -f 2");
+  sash::stream::PipelineChecker checker;
+  for (auto _ : state) {
+    sash::stream::PipelineReport report = checker.Check(*parsed.program.body);
+    benchmark::DoNotOptimize(report.has_dead_stream);
+  }
+}
+BENCHMARK(BM_CheckFig5Pipeline)->Unit(benchmark::kMicrosecond);
+
+void BM_AnalyzeFig5Whole(benchmark::State& state) {
+  sash::core::Analyzer analyzer;
+  for (auto _ : state) {
+    sash::core::AnalysisReport report = analyzer.AnalyzeSource(kFig5);
+    benchmark::DoNotOptimize(report.findings().size());
+  }
+}
+BENCHMARK(BM_AnalyzeFig5Whole)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+SASH_BENCH_MAIN(PrintResult)

@@ -1,0 +1,75 @@
+// Experiment T10 (§4 incorrectness criteria): "the CoLiS project reveals
+// idempotence as an important criterion for software installation scripts."
+// The analyzer's idempotence check re-runs the symbolic engine from each
+// successful final file-system state and reports second-run failures.
+#include "bench_util.h"
+#include "core/analyzer.h"
+
+namespace {
+
+struct Script {
+  const char* name;
+  const char* source;
+  bool idempotent;
+};
+
+const Script kScripts[] = {
+    {"mkdir (no -p)", "mkdir /opt/app\necho done\n", false},
+    {"mkdir -p", "mkdir -p /opt/app\necho done\n", true},
+    {"mv old new", "mv /data/old /data/new\n", false},
+    {"touch stamp", "touch /opt/stamp\n", true},
+    {"rm -f; recreate", "rm -rf /var/app\nmkdir -p /var/app\ntouch /var/app/stamp\n", true},
+    {"install-with-guard",
+     "if [ ! -d /opt/app ]; then mkdir /opt/app; fi\ntouch /opt/app/stamp\n", true},
+};
+
+bool Flagged(const char* source) {
+  sash::core::AnalyzerOptions options;
+  options.enable_idempotence_check = true;
+  options.engine.report_unset_vars = false;
+  sash::core::Analyzer analyzer(std::move(options));
+  return analyzer.AnalyzeSource(source).HasCode(sash::core::kCodeNotIdempotent);
+}
+
+void PrintResult() {
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"script", "idempotent (truth)", "sash verdict", "correct"});
+  int correct = 0;
+  for (const Script& s : kScripts) {
+    bool flagged = Flagged(s.source);
+    bool right = flagged != s.idempotent;
+    correct += right ? 1 : 0;
+    rows.push_back({s.name, s.idempotent ? "yes" : "no",
+                    flagged ? "NOT idempotent" : "idempotent", right ? "✓" : "✗"});
+  }
+  rows.push_back({"correct", "", "",
+                  std::to_string(correct) + "/" + std::to_string(std::size(kScripts))});
+  sash::bench::PrintTable("T10: idempotence criterion (§4, after CoLiS)", rows);
+}
+
+void BM_IdempotenceCheck(benchmark::State& state) {
+  sash::core::AnalyzerOptions options;
+  options.enable_idempotence_check = true;
+  options.engine.report_unset_vars = false;
+  sash::core::Analyzer analyzer(std::move(options));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        analyzer.AnalyzeSource(kScripts[4].source).findings().size());
+  }
+}
+BENCHMARK(BM_IdempotenceCheck)->Unit(benchmark::kMillisecond);
+
+void BM_PlainAnalysisBaseline(benchmark::State& state) {
+  sash::core::AnalyzerOptions options;
+  options.engine.report_unset_vars = false;
+  sash::core::Analyzer analyzer(std::move(options));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        analyzer.AnalyzeSource(kScripts[4].source).findings().size());
+  }
+}
+BENCHMARK(BM_PlainAnalysisBaseline)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+SASH_BENCH_MAIN(PrintResult)

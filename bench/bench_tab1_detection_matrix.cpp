@@ -1,0 +1,111 @@
+// Experiment T1 (the §2 comparison): a detection matrix over the paper's
+// scripts plus safe controls — syntactic lint vs sash vs ground truth. The
+// shape to reproduce: lint warns on Fig. 1 *and* the safe Fig. 2 (noise),
+// treats Fig. 3 like Fig. 2 (blind), and misses the split variant; sash gets
+// all four right.
+#include "bench_util.h"
+#include "core/analyzer.h"
+#include "lint/lint.h"
+
+namespace {
+
+struct Case {
+  const char* name;
+  const char* source;
+  bool truly_buggy;
+};
+
+const Case kCases[] = {
+    {"fig1-steam-bug",
+     "STEAMROOT=\"$(cd \"${0%/*}\" && echo $PWD)\"\nrm -fr \"$STEAMROOT\"/*\n", true},
+    {"fig2-safe-fix",
+     "STEAMROOT=\"$(cd \"${0%/*}\" && echo $PWD)\"\n"
+     "if [ \"$(realpath \"$STEAMROOT/\")\" != \"/\" ]; then\nrm -fr \"$STEAMROOT\"/*\n"
+     "else\necho bad; exit 1\nfi\n",
+     false},
+    {"fig3-unsafe-fix",
+     "STEAMROOT=\"$(cd \"${0%/*}\" && echo $PWD)\"\n"
+     "if [ \"$(realpath \"$STEAMROOT/\")\" = \"/\" ]; then\nrm -fr \"$STEAMROOT\"/*\n"
+     "else\necho bad; exit 1\nfi\n",
+     true},
+    {"split-variable-variant",
+     "STEAMROOT=\"$(cd \"${0%/*}\" && echo $PWD)\"\nc=\"/*\"\nrm -fr $STEAMROOT$c\n", true},
+    {"fig5-dead-grep",
+     "STEAMROOT=\"$(cd \"${0%/*}\" && echo $PWD)\"/\n"
+     "case $(lsb_release -a | grep '^desc' | cut -f 2) in\n"
+     "Debian) SUFFIX=.config ;;\n*Linux) SUFFIX=.steam ;;\nesac\n"
+     "rm -fr $STEAMROOT$SUFFIX\n",
+     true},
+    {"rm-then-cat",
+     "rm -r \"$1\"\ncat \"$1/config\"\n", true},
+    {"safe-tmp-cleanup", "workdir=/tmp/build\nmkdir -p \"$workdir\"\nrm -r \"$workdir\"\n",
+     false},
+    {"safe-guarded-rm",
+     "d=/var/cache/app\nif [ -d \"$d\" ]; then rm -rf \"$d\"; fi\n", false},
+};
+
+bool LintDangerVerdict(const char* source) {
+  sash::syntax::ParseOutput parsed = sash::syntax::Parse(source);
+  for (const sash::Diagnostic& d : sash::lint::Lint(parsed.program)) {
+    if (d.code == sash::lint::kRuleRmVarPath) {
+      return true;  // The linter's substantive "dangerous rm" signal.
+    }
+  }
+  return false;
+}
+
+bool SashDangerVerdict(const char* source) {
+  sash::core::Analyzer analyzer;
+  analyzer.options().engine.report_unset_vars = false;
+  sash::core::AnalysisReport report = analyzer.AnalyzeSource(source);
+  return report.HasCode(sash::symex::kCodeDeleteRoot) ||
+         report.HasCode(sash::symex::kCodeAlwaysFails) ||
+         report.HasCode(sash::stream::kCodeDeadStream);
+}
+
+void PrintResult() {
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"script", "truth", "lint (ShellCheck-style)", "sash"});
+  int lint_correct = 0;
+  int sash_correct = 0;
+  for (const Case& c : kCases) {
+    bool lint_verdict = LintDangerVerdict(c.source);
+    bool sash_verdict = SashDangerVerdict(c.source);
+    lint_correct += lint_verdict == c.truly_buggy ? 1 : 0;
+    sash_correct += sash_verdict == c.truly_buggy ? 1 : 0;
+    auto mark = [&](bool verdict) {
+      return std::string(verdict ? "flag" : "clean") +
+             (verdict == c.truly_buggy ? "  ✓" : "  ✗");
+    };
+    rows.push_back({c.name, c.truly_buggy ? "buggy" : "safe", mark(lint_verdict),
+                    mark(sash_verdict)});
+  }
+  const int n = static_cast<int>(std::size(kCases));
+  rows.push_back({"correct", std::to_string(n) + "/" + std::to_string(n),
+                  std::to_string(lint_correct) + "/" + std::to_string(n),
+                  std::to_string(sash_correct) + "/" + std::to_string(n)});
+  sash::bench::PrintTable("T1: detection matrix — surface lint vs semantics-driven analysis",
+                          rows);
+}
+
+void BM_LintSuite(benchmark::State& state) {
+  for (auto _ : state) {
+    for (const Case& c : kCases) {
+      benchmark::DoNotOptimize(LintDangerVerdict(c.source));
+    }
+  }
+}
+BENCHMARK(BM_LintSuite)->Unit(benchmark::kMillisecond);
+
+void BM_SashSuite(benchmark::State& state) {
+  for (auto _ : state) {
+    for (const Case& c : kCases) {
+      benchmark::DoNotOptimize(SashDangerVerdict(c.source));
+    }
+  }
+}
+BENCHMARK(BM_SashSuite)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+SASH_BENCH_MAIN(PrintResult)

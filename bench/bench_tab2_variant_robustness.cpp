@@ -1,0 +1,70 @@
+// Experiment T2 (§3 robustness claim): the analysis is "robust to
+// semantically-equivalent syntactic variants". We rewrite Fig. 1's rm target
+// through k levels of variable indirection; detection must persist while the
+// syntactic baseline falls off at the first rewrite.
+#include "bench_util.h"
+#include "core/analyzer.h"
+#include "lint/lint.h"
+
+namespace {
+
+// k = 0: rm -fr "$STEAMROOT"/*          (the original spelling)
+// k = 1: c="/*"; rm -fr $STEAMROOT$c    (the paper's variant)
+// k >= 2: the suffix threads through k intermediate variables.
+std::string VariantScript(int k) {
+  std::string s = "STEAMROOT=\"$(cd \"${0%/*}\" && echo $PWD)\"\n";
+  if (k == 0) {
+    s += "rm -fr \"$STEAMROOT\"/*\n";
+    return s;
+  }
+  s += "c0=\"/*\"\n";
+  for (int i = 1; i < k; ++i) {
+    s += "c" + std::to_string(i) + "=\"$c" + std::to_string(i - 1) + "\"\n";
+  }
+  s += "rm -fr $STEAMROOT$c" + std::to_string(k - 1) + "\n";
+  return s;
+}
+
+bool SashDetects(const std::string& src) {
+  sash::core::Analyzer analyzer;
+  analyzer.options().engine.report_unset_vars = false;
+  return analyzer.AnalyzeSource(src).HasCode(sash::symex::kCodeDeleteRoot);
+}
+
+bool LintDetects(const std::string& src) {
+  sash::syntax::ParseOutput parsed = sash::syntax::Parse(src);
+  for (const sash::Diagnostic& d : sash::lint::Lint(parsed.program)) {
+    if (d.code == sash::lint::kRuleRmVarPath) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void PrintResult() {
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"indirection k", "lint detects", "sash detects"});
+  for (int k = 0; k <= 6; ++k) {
+    std::string src = VariantScript(k);
+    rows.push_back({std::to_string(k), LintDetects(src) ? "yes" : "no",
+                    SashDetects(src) ? "yes" : "NO (regression!)"});
+  }
+  sash::bench::PrintTable(
+      "T2: robustness to syntactic variants (expected: lint only at k=0, sash at every k)",
+      rows);
+}
+
+void BM_AnalyzeVariant(benchmark::State& state) {
+  std::string src = VariantScript(static_cast<int>(state.range(0)));
+  sash::core::Analyzer analyzer;
+  analyzer.options().engine.report_unset_vars = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyzer.AnalyzeSource(src).findings().size());
+  }
+  state.SetLabel("k=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_AnalyzeVariant)->Arg(0)->Arg(2)->Arg(4)->Arg(6)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+SASH_BENCH_MAIN(PrintResult)

@@ -1,0 +1,83 @@
+// Experiment T4 (§4 "Richer types"): simple regular types cannot carry the
+// hex shape through sed, polymorphic ones can. Sweep pipeline depth to show
+// inference cost scales with stages.
+#include "bench_util.h"
+#include "rtypes/types.h"
+#include "stream/pipeline.h"
+#include "syntax/parser.h"
+
+namespace {
+
+using sash::rtypes::Apply;
+using sash::rtypes::CommandType;
+using sash::rtypes::TypeExpr;
+
+void PrintResult() {
+  // Simple types, exactly as the paper writes them:
+  //   grep -oE "$hex" :: .* -> [0-9a-f]+      sed 's/^/0x/' :: .* -> 0x.*
+  sash::regex::Regex hex = *sash::regex::Regex::FromPattern("[0-9a-f]+");
+  sash::regex::Regex simple_sed_out = *sash::regex::Regex::FromPattern("0x.*");
+  sash::regex::Regex bound = *sash::regex::Regex::FromPattern("0x[0-9a-f]+.*");
+
+  CommandType sort_g;
+  sort_g.polymorphic = true;
+  sort_g.bound = bound;
+  sort_g.input = TypeExpr::Var();
+  sort_g.output = TypeExpr::Var();
+
+  bool simple_ok = Apply(sort_g, simple_sed_out).ok;
+
+  CommandType poly_sed;
+  poly_sed.polymorphic = true;
+  poly_sed.input = TypeExpr::Var();
+  poly_sed.output = TypeExpr::Concat({TypeExpr::Prefix("0x"), TypeExpr::Var()});
+  sash::rtypes::ApplyResult sed_applied = Apply(poly_sed, hex);
+  bool poly_ok = sed_applied.ok && Apply(sort_g, *sed_applied.output).ok;
+
+  sash::bench::PrintTable(
+      "T4: simple vs polymorphic stream types on grep|sed|sort -g",
+      {{"type discipline", "sed type", "sort -g accepts?", "paper"},
+       {"simple", ".* → 0x.*", simple_ok ? "YES (unexpected)" : "no — 0x.* ⊄ 0x[0-9a-f]+.*",
+        "fails"},
+       {"polymorphic", "∀α. α → 0xα",
+        poly_ok ? "yes — 0x[0-9a-f]+ ⊆ 0x[0-9a-f]+.*" : "NO (regression)", "succeeds"}});
+
+  // The full pipeline through the checker.
+  sash::syntax::ParseOutput parsed =
+      sash::syntax::Parse("grep -oE '[0-9a-f]+' | sed 's/^/0x/' | sort -g");
+  sash::stream::PipelineChecker checker;
+  sash::stream::PipelineReport report = checker.Check(*parsed.program.body);
+  std::printf("pipeline check: %s, final type %s\n\n",
+              report.has_type_error ? "TYPE ERROR" : "well-typed",
+              report.final_output->pattern().c_str());
+}
+
+void BM_PolymorphicChain(benchmark::State& state) {
+  // grep | sed^k | sort -g : k prefix-inserting sed stages.
+  std::string src = "grep -oE '[0-9a-f]+'";
+  for (long i = 0; i < state.range(0); ++i) {
+    src += " | sed 's/^/0x/'";
+  }
+  src += " | sort";
+  sash::syntax::ParseOutput parsed = sash::syntax::Parse(src);
+  sash::stream::PipelineChecker checker;
+  for (auto _ : state) {
+    sash::stream::PipelineReport report = checker.Check(*parsed.program.body);
+    benchmark::DoNotOptimize(report.has_type_error);
+  }
+  state.SetLabel("sed-stages=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_PolymorphicChain)->Arg(1)->Arg(4)->Arg(8)->Unit(benchmark::kMicrosecond);
+
+void BM_InclusionCheck(benchmark::State& state) {
+  sash::regex::Regex concrete = *sash::regex::Regex::FromPattern("0x[0-9a-f]+");
+  sash::regex::Regex bound = *sash::regex::Regex::FromPattern("0x[0-9a-f]+.*");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(concrete.IncludedIn(bound));
+  }
+}
+BENCHMARK(BM_InclusionCheck)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+SASH_BENCH_MAIN(PrintResult)

@@ -1,0 +1,90 @@
+// Experiment T5 (§4 feedback loops): least-fixpoint invariants over cyclic
+// dataflow. Ring size sweep: iterations to convergence stay small for
+// cat/filter rings ("often straightforward"), and widening bounds growing
+// chains.
+#include "bench_util.h"
+#include "stream/dataflow.h"
+
+namespace {
+
+using sash::rtypes::CommandType;
+using sash::rtypes::TypeExpr;
+using sash::stream::DataflowGraph;
+
+CommandType Identity() {
+  CommandType t;
+  t.polymorphic = true;
+  t.input = TypeExpr::Var();
+  t.output = TypeExpr::Var();
+  return t;
+}
+
+// A ring of n identity/filter nodes seeded at node 0 with a URL language.
+DataflowGraph MakeRing(int n, bool growing) {
+  DataflowGraph g;
+  for (int i = 0; i < n; ++i) {
+    if (growing && i == n / 2) {
+      CommandType prefixer;
+      prefixer.polymorphic = true;
+      prefixer.input = TypeExpr::Var();
+      prefixer.output = TypeExpr::Concat({TypeExpr::Prefix(">"), TypeExpr::Var()});
+      g.AddNode(prefixer, "sed 's/^/>/'");
+    } else if (!growing && i == 1) {  // The filter would erase the growth.
+      CommandType filter;
+      filter.intersect_filter = *sash::regex::Regex::FromPattern("https?://.*");
+      g.AddNode(filter, "grep '^http'");
+    } else {
+      g.AddNode(Identity(), i == 0 ? "cat frontier" : "tee stage");
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    g.AddEdge(i, (i + 1) % n);
+  }
+  g.Seed(0, *sash::regex::Regex::FromPattern("https?://[a-z.]+/[a-z]*"));
+  return g;
+}
+
+void PrintResult() {
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"ring size", "transformer mix", "iterations", "converged", "widened nodes"});
+  for (int n : {2, 4, 8, 16, 32}) {
+    DataflowGraph g = MakeRing(n, /*growing=*/false);
+    DataflowGraph::Solution sol = g.SolveLeastFixpoint();
+    rows.push_back({std::to_string(n), "cat/grep ring", std::to_string(sol.iterations),
+                    sol.converged ? "yes" : "NO", std::to_string(sol.widened.size())});
+  }
+  for (int n : {4, 8}) {
+    DataflowGraph g = MakeRing(n, /*growing=*/true);
+    DataflowGraph::Solution sol = g.SolveLeastFixpoint(64, 6);
+    rows.push_back({std::to_string(n), "with a growing sed stage",
+                    std::to_string(sol.iterations), sol.converged ? "yes" : "NO",
+                    std::to_string(sol.widened.size())});
+  }
+  sash::bench::PrintTable(
+      "T5: circular dataflow least fixpoints (expected: few passes; widening only for "
+      "growing chains)",
+      rows);
+}
+
+void BM_FixpointRing(benchmark::State& state) {
+  DataflowGraph g = MakeRing(static_cast<int>(state.range(0)), /*growing=*/false);
+  for (auto _ : state) {
+    DataflowGraph::Solution sol = g.SolveLeastFixpoint();
+    benchmark::DoNotOptimize(sol.iterations);
+  }
+  state.SetLabel("ring=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_FixpointRing)->Arg(2)->Arg(8)->Arg(32)->Unit(benchmark::kMicrosecond);
+
+void BM_FixpointWidening(benchmark::State& state) {
+  DataflowGraph g = MakeRing(8, /*growing=*/true);
+  for (auto _ : state) {
+    DataflowGraph::Solution sol = g.SolveLeastFixpoint(64, 6);
+    benchmark::DoNotOptimize(sol.converged);
+  }
+}
+BENCHMARK(BM_FixpointWidening)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+SASH_BENCH_MAIN(PrintResult)

@@ -1,0 +1,111 @@
+// Experiment T7 (§4): "the central challenge is to track the file system's
+// state with sufficient precision ... while avoiding exponential explosion".
+// Sweep branching constructs and script length; report states explored with
+// and without merging/caps, and analysis time vs LoC.
+#include "bench_util.h"
+#include "core/analyzer.h"
+
+namespace {
+
+// b independent unknown branches — the worst case for path-sensitive
+// analysis: 2^b concrete paths.
+std::string BranchScript(int b) {
+  std::string s;
+  for (int i = 0; i < b; ++i) {
+    s += "if grep -q key /etc/conf" + std::to_string(i) + "; then f" + std::to_string(i) +
+         "=1; fi\n";
+  }
+  s += "echo done\n";
+  return s;
+}
+
+// A straight-line script of n commands (no branching).
+std::string StraightScript(int n) {
+  std::string s;
+  for (int i = 0; i < n; ++i) {
+    switch (i % 4) {
+      case 0:
+        s += "d" + std::to_string(i) + "=/tmp/dir" + std::to_string(i) + "\n";
+        break;
+      case 1:
+        s += "mkdir -p \"$d" + std::to_string(i - 1) + "\"\n";
+        break;
+      case 2:
+        s += "echo data > /tmp/f" + std::to_string(i) + "\n";
+        break;
+      default:
+        s += "cat /tmp/f" + std::to_string(i - 1) + "\n";
+        break;
+    }
+  }
+  return s;
+}
+
+sash::symex::EngineStats RunEngine(const std::string& src, bool merge, int max_states) {
+  sash::syntax::ParseOutput parsed = sash::syntax::Parse(src);
+  sash::DiagnosticSink sink;
+  sash::symex::EngineOptions options;
+  options.merge_identical_states = merge;
+  options.max_states = max_states;
+  options.report_unset_vars = false;
+  sash::symex::Engine engine(options, &sink);
+  engine.Run(parsed.program);
+  return engine.stats();
+}
+
+void PrintResult() {
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"branches b", "naive paths", "peak states (no merge)",
+                  "peak states (merge+cap)", "dropped"});
+  for (int b : {2, 4, 6, 8, 10}) {
+    std::string src = BranchScript(b);
+    sash::symex::EngineStats no_merge = RunEngine(src, false, 1 << 14);
+    sash::symex::EngineStats merged = RunEngine(src, true, 128);
+    rows.push_back({std::to_string(b), std::to_string(1 << b),
+                    std::to_string(no_merge.states_peak), std::to_string(merged.states_peak),
+                    std::to_string(merged.states_dropped)});
+  }
+  sash::bench::PrintTable(
+      "T7a: state explosion control (expected: merge+cap keeps peak states bounded)", rows);
+
+  std::vector<std::vector<std::string>> loc_rows;
+  loc_rows.push_back({"script LoC", "commands executed", "final states"});
+  for (int n : {16, 64, 256, 1024}) {
+    sash::symex::EngineStats stats = RunEngine(StraightScript(n), true, 128);
+    loc_rows.push_back({std::to_string(n), std::to_string(stats.commands_executed),
+                        std::to_string(stats.final_states)});
+  }
+  sash::bench::PrintTable("T7b: straight-line scaling (expected: linear in LoC)", loc_rows);
+}
+
+void BM_AnalyzeStraightLine(benchmark::State& state) {
+  std::string src = StraightScript(static_cast<int>(state.range(0)));
+  sash::core::Analyzer analyzer;
+  analyzer.options().engine.report_unset_vars = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyzer.AnalyzeSource(src).findings().size());
+  }
+  state.SetLabel("loc=" + std::to_string(state.range(0)));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_AnalyzeStraightLine)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256)
+    ->Unit(benchmark::kMillisecond)
+    ->Complexity(benchmark::oN);
+
+void BM_AnalyzeBranchy(benchmark::State& state) {
+  std::string src = BranchScript(static_cast<int>(state.range(0)));
+  sash::core::Analyzer analyzer;
+  analyzer.options().engine.report_unset_vars = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyzer.AnalyzeSource(src).findings().size());
+  }
+  state.SetLabel("branches=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_AnalyzeBranchy)->Arg(2)->Arg(6)->Arg(10)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+SASH_BENCH_MAIN(PrintResult)

@@ -1,0 +1,58 @@
+// Shared helpers for the experiment benchmarks: each bench binary prints the
+// table/figure it regenerates (the paper-facing result), then runs
+// google-benchmark timing loops for the machinery involved.
+#ifndef SASH_BENCH_BENCH_UTIL_H_
+#define SASH_BENCH_BENCH_UTIL_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace sash::bench {
+
+// Prints a fixed-width table; first row is the header.
+inline void PrintTable(const std::string& title,
+                       const std::vector<std::vector<std::string>>& rows) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  if (rows.empty()) {
+    return;
+  }
+  std::vector<size_t> widths(rows[0].size(), 0);
+  for (const auto& row : rows) {
+    for (size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  for (size_t r = 0; r < rows.size(); ++r) {
+    std::string line;
+    for (size_t i = 0; i < rows[r].size(); ++i) {
+      std::string cell = rows[r][i];
+      cell.resize(widths[i], ' ');
+      line += cell + "  ";
+    }
+    std::printf("%s\n", line.c_str());
+    if (r == 0) {
+      std::printf("%s\n", std::string(line.size(), '-').c_str());
+    }
+  }
+  std::printf("\n");
+}
+
+}  // namespace sash::bench
+
+// Standard main: print the experiment's table, then run timing benchmarks.
+#define SASH_BENCH_MAIN(print_fn)                         \
+  int main(int argc, char** argv) {                       \
+    print_fn();                                           \
+    benchmark::Initialize(&argc, argv);                   \
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) { \
+      return 1;                                           \
+    }                                                     \
+    benchmark::RunSpecifiedBenchmarks();                  \
+    benchmark::Shutdown();                                \
+    return 0;                                             \
+  }
+
+#endif  // SASH_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,147 @@
+#include "annot/annotations.h"
+
+#include "util/strings.h"
+
+namespace sash::annot {
+
+namespace {
+
+void ReportBad(DiagnosticSink* sink, int line, const std::string& message) {
+  if (sink != nullptr) {
+    SourcePos pos{0, line, 1};
+    sink->Emit(Severity::kWarning, kCodeBadAnnotation, SourceRange{pos, pos}, message);
+  }
+}
+
+// Parses one directive body ("type hex = /…/", "command c :: a -> b",
+// "var X : t"). Returns false on malformed input.
+bool ParseDirective(std::string_view body, AnnotationSet* out) {
+  body = Trim(body);
+  if (StartsWith(body, "type ")) {
+    body.remove_prefix(5);
+    size_t eq = body.find('=');
+    if (eq == std::string_view::npos) {
+      return false;
+    }
+    TypeDef def;
+    def.name = std::string(Trim(body.substr(0, eq)));
+    def.spelling = std::string(Trim(body.substr(eq + 1)));
+    if (def.name.empty() || def.spelling.empty()) {
+      return false;
+    }
+    out->types.push_back(std::move(def));
+    return true;
+  }
+  if (StartsWith(body, "command ")) {
+    body.remove_prefix(8);
+    size_t sig = body.find("::");
+    if (sig == std::string_view::npos) {
+      return false;
+    }
+    CommandTypeDecl decl;
+    decl.command = std::string(Trim(body.substr(0, sig)));
+    std::string_view rest = Trim(body.substr(sig + 2));
+    size_t arrow = rest.find("->");
+    if (arrow == std::string_view::npos) {
+      return false;
+    }
+    decl.input_spelling = std::string(Trim(rest.substr(0, arrow)));
+    decl.output_spelling = std::string(Trim(rest.substr(arrow + 2)));
+    if (decl.command.empty() || decl.input_spelling.empty() || decl.output_spelling.empty()) {
+      return false;
+    }
+    out->commands.push_back(std::move(decl));
+    return true;
+  }
+  if (StartsWith(body, "var ")) {
+    body.remove_prefix(4);
+    size_t colon = body.find(':');
+    if (colon == std::string_view::npos) {
+      return false;
+    }
+    VarConstraint vc;
+    vc.var = std::string(Trim(body.substr(0, colon)));
+    vc.spelling = std::string(Trim(body.substr(colon + 1)));
+    if (vc.var.empty() || vc.spelling.empty()) {
+      return false;
+    }
+    out->vars.push_back(std::move(vc));
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+AnnotationSet ParseInlineAnnotations(std::string_view source, DiagnosticSink* sink) {
+  AnnotationSet out;
+  int lineno = 0;
+  for (const std::string& line : SplitLines(source)) {
+    ++lineno;
+    size_t marker = line.find("#@");
+    if (marker == std::string::npos) {
+      continue;
+    }
+    std::string_view body = Trim(std::string_view(line).substr(marker + 2));
+    if (!StartsWith(body, "sash:")) {
+      continue;
+    }
+    body.remove_prefix(5);
+    if (!ParseDirective(body, &out)) {
+      ReportBad(sink, lineno, "malformed annotation: " + std::string(Trim(body)));
+    }
+  }
+  return out;
+}
+
+AnnotationSet ParseAnnotationFile(std::string_view text, DiagnosticSink* sink) {
+  AnnotationSet out;
+  int lineno = 0;
+  for (const std::string& line : SplitLines(text)) {
+    ++lineno;
+    std::string_view body = Trim(line);
+    if (body.empty() || body.front() == '#') {
+      continue;
+    }
+    if (!ParseDirective(body, &out)) {
+      ReportBad(sink, lineno, "malformed annotation: " + std::string(body));
+    }
+  }
+  return out;
+}
+
+AnnotationSet::Resolved AnnotationSet::ResolveInto(rtypes::TypeLibrary* lib,
+                                                   DiagnosticSink* sink) const {
+  Resolved resolved;
+  for (const TypeDef& def : types) {
+    std::optional<regex::Regex> lang = lib->Resolve(def.spelling);
+    if (!lang.has_value()) {
+      ReportBad(sink, 0, "type '" + def.name + "': unresolvable spelling " + def.spelling);
+      continue;
+    }
+    lib->Define(def.name, std::move(*lang));
+  }
+  for (const CommandTypeDecl& decl : commands) {
+    std::optional<regex::Regex> in = lib->Resolve(decl.input_spelling);
+    std::optional<regex::Regex> out_lang = lib->Resolve(decl.output_spelling);
+    if (!in.has_value() || !out_lang.has_value()) {
+      ReportBad(sink, 0, "command '" + decl.command + "': unresolvable type");
+      continue;
+    }
+    rtypes::CommandType t;
+    t.input = rtypes::TypeExpr::Lang(std::move(*in));
+    t.output = rtypes::TypeExpr::Lang(std::move(*out_lang));
+    resolved.command_types.emplace_back(decl.command, std::move(t));
+  }
+  for (const VarConstraint& vc : vars) {
+    std::optional<regex::Regex> lang = lib->Resolve(vc.spelling);
+    if (!lang.has_value()) {
+      ReportBad(sink, 0, "var '" + vc.var + "': unresolvable type " + vc.spelling);
+      continue;
+    }
+    resolved.var_langs.emplace_back(vc.var, std::move(*lang));
+  }
+  return resolved;
+}
+
+}  // namespace sash::annot

@@ -1,0 +1,67 @@
+// Ergonomic annotations (§4): constraints join the shell ecosystem through
+// specialized inline comments or external files, keeping full compatibility
+// with existing interpreters. Syntax (one directive per line):
+//
+//   #@ sash: type hex = /[0-9a-f]+/          — define a named line type
+//   #@ sash: type ident = word               — alias a library type
+//   #@ sash: command mytool :: any -> hex    — declare a command's type
+//   #@ sash: var STEAMROOT : abspath         — constrain a variable's contents
+//
+// External annotation files (*.sasht) use the same directives without the
+// "#@ sash:" prefix.
+#ifndef SASH_ANNOT_ANNOTATIONS_H_
+#define SASH_ANNOT_ANNOTATIONS_H_
+
+#include <string>
+#include <vector>
+
+#include "rtypes/types.h"
+#include "util/diagnostics.h"
+
+namespace sash::annot {
+
+inline constexpr char kCodeBadAnnotation[] = "SASH-ANNOT";
+
+struct TypeDef {
+  std::string name;
+  std::string spelling;  // Library name or /pattern/.
+};
+
+struct CommandTypeDecl {
+  std::string command;
+  std::string input_spelling;
+  std::string output_spelling;
+};
+
+struct VarConstraint {
+  std::string var;
+  std::string spelling;
+};
+
+struct AnnotationSet {
+  std::vector<TypeDef> types;
+  std::vector<CommandTypeDecl> commands;
+  std::vector<VarConstraint> vars;
+
+  bool empty() const { return types.empty() && commands.empty() && vars.empty(); }
+
+  // Resolves the directives against (and into) a type library. Type
+  // definitions are registered; resolved command/var languages are returned.
+  // Malformed spellings are reported to `sink` (when non-null) and skipped.
+  struct Resolved {
+    std::vector<std::pair<std::string, rtypes::CommandType>> command_types;
+    std::vector<std::pair<std::string, regex::Regex>> var_langs;
+  };
+  Resolved ResolveInto(rtypes::TypeLibrary* lib, DiagnosticSink* sink) const;
+};
+
+// Extracts "#@ sash:" directives from shell source comments.
+AnnotationSet ParseInlineAnnotations(std::string_view source, DiagnosticSink* sink = nullptr);
+
+// Parses an external annotation file (directives without the prefix;
+// '#' starts a comment).
+AnnotationSet ParseAnnotationFile(std::string_view text, DiagnosticSink* sink = nullptr);
+
+}  // namespace sash::annot
+
+#endif  // SASH_ANNOT_ANNOTATIONS_H_

@@ -1,0 +1,201 @@
+#include "core/analyzer.h"
+
+#include "core/deps.h"
+
+#include <algorithm>
+#include <set>
+
+namespace sash::core {
+
+bool AnalysisReport::HasCode(std::string_view code) const {
+  for (const Diagnostic& d : findings_) {
+    if (d.code == code) {
+      return true;
+    }
+  }
+  return false;
+}
+
+size_t AnalysisReport::CountSeverity(Severity severity) const {
+  size_t n = 0;
+  for (const Diagnostic& d : findings_) {
+    if (d.severity >= severity) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::string AnalysisReport::ToString() const {
+  std::string out;
+  for (const Diagnostic& d : findings_) {
+    out += d.ToString();
+    out += '\n';
+  }
+  if (findings_.empty()) {
+    out = "no findings\n";
+  }
+  return out;
+}
+
+void Analyzer::AddAnnotations(annot::AnnotationSet annotations) {
+  for (annot::TypeDef& t : annotations.types) {
+    external_annotations_.types.push_back(std::move(t));
+  }
+  for (annot::CommandTypeDecl& c : annotations.commands) {
+    external_annotations_.commands.push_back(std::move(c));
+  }
+  for (annot::VarConstraint& v : annotations.vars) {
+    external_annotations_.vars.push_back(std::move(v));
+  }
+}
+
+AnalysisReport Analyzer::AnalyzeSource(std::string_view source) {
+  syntax::ParseOutput parsed = syntax::Parse(source);
+  DiagnosticSink annot_sink;
+  annot::AnnotationSet annotations =
+      options_.apply_annotations ? annot::ParseInlineAnnotations(source, &annot_sink)
+                                 : annot::AnnotationSet{};
+  std::vector<Diagnostic> initial = std::move(parsed.diagnostics);
+  for (Diagnostic& d : annot_sink.TakeAll()) {
+    initial.push_back(std::move(d));
+  }
+  AnalysisReport report = Analyze(parsed.program, annotations, std::move(initial));
+  report.parse_ok_ = true;
+  for (const Diagnostic& d : report.findings_) {
+    if (d.code == "SASH-PARSE" && d.severity == Severity::kError) {
+      report.parse_ok_ = false;
+    }
+  }
+  return report;
+}
+
+AnalysisReport Analyzer::AnalyzeProgram(const syntax::Program& program) {
+  AnalysisReport report = Analyze(program, annot::AnnotationSet{}, {});
+  report.parse_ok_ = true;
+  return report;
+}
+
+AnalysisReport Analyzer::Analyze(const syntax::Program& program,
+                                 const annot::AnnotationSet& annotations,
+                                 std::vector<Diagnostic> initial) {
+  AnalysisReport report;
+  report.findings_ = std::move(initial);
+
+  // Resolve annotations against a working copy of the type library —
+  // external (.sasht) directives first, inline ones on top.
+  rtypes::TypeLibrary types = options_.types;
+  DiagnosticSink sink;
+  annot::AnnotationSet::Resolved resolved = external_annotations_.ResolveInto(&types, &sink);
+  annot::AnnotationSet::Resolved inline_resolved = annotations.ResolveInto(&types, &sink);
+  for (auto& ct : inline_resolved.command_types) {
+    resolved.command_types.push_back(std::move(ct));
+  }
+  for (auto& vl : inline_resolved.var_langs) {
+    resolved.var_langs.push_back(std::move(vl));
+  }
+
+  if (options_.enable_lint) {
+    for (Diagnostic& d : lint::Lint(program, options_.lint)) {
+      report.findings_.push_back(std::move(d));
+    }
+  }
+
+  if (options_.enable_stream_types) {
+    stream::PipelineChecker checker(types);
+    for (auto& [name, type] : resolved.command_types) {
+      checker.AddCommandType(name, type);
+    }
+    report.pipelines_checked_ = checker.CheckProgram(program, &sink);
+  }
+
+  if (options_.enable_symex) {
+    symex::EngineOptions engine_options = options_.engine;
+    for (const auto& [var, lang] : resolved.var_langs) {
+      engine_options.var_patterns.emplace_back(var, lang.pattern());
+    }
+    symex::Engine engine(engine_options, &sink);
+    std::vector<symex::State> finals = engine.Run(program);
+    report.engine_stats_ = engine.stats();
+
+    if (options_.enable_idempotence_check) {
+      // Collect first-run failure locations so only *new* second-run
+      // failures count against idempotence.
+      std::set<size_t> first_run_failures;
+      for (const Diagnostic& d : sink.diagnostics()) {
+        if (d.code == symex::kCodeAlwaysFails) {
+          first_run_failures.insert(d.range.begin.offset);
+        }
+      }
+      int rerun = 0;
+      for (const symex::State& final_state : finals) {
+        // Idempotence is conditioned on a *successful* first run: paths that
+        // already assumed a command failure are out of scope.
+        if (final_state.assumed_failure || final_state.exit.MustFail()) {
+          continue;
+        }
+        if (++rerun > options_.idempotence_state_cap) {
+          break;
+        }
+        // A second run starts with fresh variables but inherits the
+        // file-system facts the first run established.
+        DiagnosticSink second_sink;
+        symex::EngineOptions second_options = engine_options;
+        second_options.report_unset_vars = false;
+        symex::Engine second(second_options, &second_sink);
+        symex::State second_initial = second.MakeInitialState();
+        second_initial.sfs = final_state.sfs;
+        second.RunFrom(std::move(second_initial), program);
+        for (const Diagnostic& d : second_sink.diagnostics()) {
+          if (d.code == symex::kCodeAlwaysFails &&
+              first_run_failures.count(d.range.begin.offset) == 0) {
+            Diagnostic& out = sink.Emit(Severity::kWarning, kCodeNotIdempotent, d.range,
+                                        "script is not idempotent: on a second run, " +
+                                            d.message);
+            out.notes.push_back(DiagnosticNote{
+                {}, "the first run leaves file-system state this command cannot handle"});
+          }
+        }
+      }
+    }
+  }
+
+  if (options_.enable_optimization_coach) {
+    DependencyReport deps = AnalyzeDependencies(program);
+    for (const auto& [i, j] : deps.independent_adjacent) {
+      sink.Emit(Severity::kInfo, kCodeParallelizable,
+                deps.commands[static_cast<size_t>(i)].range,
+                "`" + deps.commands[static_cast<size_t>(i)].display + "` and `" +
+                    deps.commands[static_cast<size_t>(j)].display +
+                    "` share no variables or file-system locations; they can be reordered "
+                    "or run in parallel");
+    }
+  }
+
+  for (Diagnostic& d : sink.TakeAll()) {
+    report.findings_.push_back(std::move(d));
+  }
+
+  // Sort by position, then severity (most severe first), then code; drop
+  // exact duplicates.
+  std::stable_sort(report.findings_.begin(), report.findings_.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     if (a.range.begin.offset != b.range.begin.offset) {
+                       return a.range.begin.offset < b.range.begin.offset;
+                     }
+                     if (a.severity != b.severity) {
+                       return a.severity > b.severity;
+                     }
+                     return a.code < b.code;
+                   });
+  report.findings_.erase(
+      std::unique(report.findings_.begin(), report.findings_.end(),
+                  [](const Diagnostic& a, const Diagnostic& b) {
+                    return a.code == b.code && a.range.begin.offset == b.range.begin.offset &&
+                           a.message == b.message;
+                  }),
+      report.findings_.end());
+  return report;
+}
+
+}  // namespace sash::core

@@ -1,0 +1,103 @@
+// The aggregated analyzer — sash's public API. "Divide and conquer" (§1):
+// static guarantees are disaggregated into tractable subsystems — syntactic
+// lint, Hoare-style file-system reasoning via symbolic execution, and regular
+// stream types — then reaggregated into one report.
+//
+//   sash::core::Analyzer analyzer;
+//   sash::core::AnalysisReport report = analyzer.AnalyzeSource(script_text);
+//   for (const sash::Diagnostic& f : report.findings()) { ... }
+#ifndef SASH_CORE_ANALYZER_H_
+#define SASH_CORE_ANALYZER_H_
+
+#include <string>
+#include <vector>
+
+#include "annot/annotations.h"
+#include "lint/lint.h"
+#include "rtypes/types.h"
+#include "stream/pipeline.h"
+#include "symex/engine.h"
+#include "syntax/parser.h"
+
+namespace sash::core {
+
+// Idempotence criterion (§4, after CoLiS): a script whose second run from
+// the first run's final file-system state provably fails is not idempotent —
+// an important property for installation scripts.
+inline constexpr char kCodeNotIdempotent[] = "SASH-NOT-IDEMPOTENT";
+
+// §5 "Performance": suggestion-based optimization coaching — independent
+// adjacent commands that could be reordered or parallelized.
+inline constexpr char kCodeParallelizable[] = "SASH-OPT-PARALLEL";
+
+struct AnalyzerOptions {
+  bool enable_lint = false;  // The baseline is off by default; sash's own
+                             // analyses subsume its useful findings.
+  bool enable_symex = true;
+  bool enable_stream_types = true;
+  bool apply_annotations = true;
+  // Opt-in: re-run the symbolic engine from each final file-system state and
+  // report commands that fail only on the second run.
+  bool enable_idempotence_check = false;
+  int idempotence_state_cap = 8;  // Final states re-executed at most.
+  // Opt-in: emit kCodeParallelizable suggestions from the read-write
+  // dependency analysis (§5's optimization coach).
+  bool enable_optimization_coach = false;
+
+  symex::EngineOptions engine;
+  lint::LintOptions lint;
+  rtypes::TypeLibrary types = rtypes::TypeLibrary::Default();
+};
+
+class AnalysisReport {
+ public:
+  const std::vector<Diagnostic>& findings() const { return findings_; }
+  bool parse_ok() const { return parse_ok_; }
+  const symex::EngineStats& engine_stats() const { return engine_stats_; }
+  int pipelines_checked() const { return pipelines_checked_; }
+
+  bool HasCode(std::string_view code) const;
+  size_t CountSeverity(Severity severity) const;
+  // Errors or warnings present (parse errors included).
+  bool Clean() const { return CountSeverity(Severity::kWarning) == 0; }
+
+  // Human-readable rendering, one finding per paragraph.
+  std::string ToString() const;
+
+ private:
+  friend class Analyzer;
+  std::vector<Diagnostic> findings_;
+  bool parse_ok_ = false;
+  symex::EngineStats engine_stats_;
+  int pipelines_checked_ = 0;
+};
+
+class Analyzer {
+ public:
+  Analyzer() = default;
+  explicit Analyzer(AnalyzerOptions options) : options_(std::move(options)) {}
+
+  AnalyzerOptions& options() { return options_; }
+
+  // Registers annotations from an external file (the ".sasht" mechanism);
+  // they apply to every subsequent analysis, before inline annotations.
+  void AddAnnotations(annot::AnnotationSet annotations);
+
+  // Full pipeline: parse, apply inline annotations, lint, stream-type
+  // checking, symbolic execution. Findings are sorted by source position.
+  AnalysisReport AnalyzeSource(std::string_view source);
+
+  // Analyzes an already-parsed program (no inline annotations available).
+  AnalysisReport AnalyzeProgram(const syntax::Program& program);
+
+ private:
+  AnalysisReport Analyze(const syntax::Program& program, const annot::AnnotationSet& annotations,
+                         std::vector<Diagnostic> initial);
+
+  AnalyzerOptions options_;
+  annot::AnnotationSet external_annotations_;
+};
+
+}  // namespace sash::core
+
+#endif  // SASH_CORE_ANALYZER_H_

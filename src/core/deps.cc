@@ -1,0 +1,305 @@
+#include "core/deps.h"
+
+#include <functional>
+
+#include "fs/path.h"
+#include "specs/library.h"
+
+namespace sash::core {
+
+namespace {
+
+using syntax::Command;
+using syntax::CommandKind;
+using syntax::Word;
+using syntax::WordPart;
+using syntax::WordPartKind;
+
+// Static text of a word with tildes expanded; false for dynamic words.
+bool StaticishText(const Word& word, std::string* out) {
+  std::string text;
+  for (const WordPart& p : word.parts) {
+    switch (p.kind) {
+      case WordPartKind::kLiteral:
+      case WordPartKind::kSingleQuoted:
+        text += p.text;
+        break;
+      case WordPartKind::kDoubleQuoted:
+        for (const WordPart& c : p.children) {
+          if (c.kind != WordPartKind::kLiteral) {
+            return false;
+          }
+          text += c.text;
+        }
+        break;
+      case WordPartKind::kTilde:
+        text += p.text.empty() ? "/home/user" : "/home/" + p.text;
+        break;
+      default:
+        return false;
+    }
+  }
+  *out = std::move(text);
+  return true;
+}
+
+void CollectVarReads(const Word& word, std::set<std::string>* reads) {
+  std::function<void(const WordPart&)> scan = [&](const WordPart& p) {
+    if (p.kind == WordPartKind::kParam) {
+      reads->insert(p.param_name);
+    }
+    for (const WordPart& c : p.children) {
+      scan(c);
+    }
+    if (p.param_arg != nullptr) {
+      for (const WordPart& c : p.param_arg->parts) {
+        scan(c);
+      }
+    }
+    if (p.kind == WordPartKind::kCommandSub && p.command != nullptr) {
+      syntax::VisitCommands(*p.command, true, [&](const Command& sub) {
+        if (sub.kind != CommandKind::kSimple) {
+          return;
+        }
+        for (const Word& w : sub.simple.words) {
+          for (const WordPart& wp : w.parts) {
+            scan(wp);
+          }
+        }
+      });
+    }
+  };
+  for (const WordPart& p : word.parts) {
+    scan(p);
+  }
+}
+
+// Whether two path-prefix sets can touch the same file.
+bool PathsOverlap(const std::set<std::string>& a, const std::set<std::string>& b) {
+  for (const std::string& pa : a) {
+    for (const std::string& pb : b) {
+      if (pa == pb || fs::IsAbsolute(pa) != fs::IsAbsolute(pb)) {
+        if (pa == pb) {
+          return true;
+        }
+        continue;
+      }
+      const std::string& shorter = pa.size() <= pb.size() ? pa : pb;
+      const std::string& longer = pa.size() <= pb.size() ? pb : pa;
+      if (longer.size() > shorter.size() && longer.compare(0, shorter.size(), shorter) == 0 &&
+          (shorter == "/" || longer[shorter.size()] == '/')) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool Intersects(const std::set<std::string>& a, const std::set<std::string>& b) {
+  for (const std::string& x : a) {
+    if (b.count(x) > 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+CommandDeps AnalyzeOne(const Command& cmd, int index) {
+  CommandDeps deps;
+  deps.index = index;
+  deps.display = syntax::ToShellSyntax(cmd);
+  deps.range = cmd.range;
+
+  if (cmd.kind != CommandKind::kSimple) {
+    // Pipelines of simple commands can still be summarized stage by stage;
+    // other compounds are barriers.
+    if (cmd.kind == CommandKind::kPipeline) {
+      for (const syntax::CommandPtr& stage : cmd.pipeline.commands) {
+        CommandDeps stage_deps = AnalyzeOne(*stage, index);
+        deps.barrier = deps.barrier || stage_deps.barrier;
+        deps.path_reads.insert(stage_deps.path_reads.begin(), stage_deps.path_reads.end());
+        deps.path_writes.insert(stage_deps.path_writes.begin(), stage_deps.path_writes.end());
+        deps.var_reads.insert(stage_deps.var_reads.begin(), stage_deps.var_reads.end());
+        deps.var_writes.insert(stage_deps.var_writes.begin(), stage_deps.var_writes.end());
+      }
+      return deps;
+    }
+    deps.barrier = true;
+    return deps;
+  }
+
+  for (const syntax::Assignment& a : cmd.simple.assignments) {
+    deps.var_writes.insert(a.name);
+    CollectVarReads(a.value, &deps.var_reads);
+  }
+  for (const Word& w : cmd.simple.words) {
+    CollectVarReads(w, &deps.var_reads);
+  }
+  for (const syntax::Redirect& r : cmd.redirects) {
+    std::string target;
+    if (!StaticishText(r.target, &target)) {
+      deps.barrier = true;
+      continue;
+    }
+    switch (r.op) {
+      case syntax::RedirOp::kOut:
+      case syntax::RedirOp::kAppend:
+      case syntax::RedirOp::kClobber:
+        deps.path_writes.insert(fs::NormalizePath(target));
+        break;
+      case syntax::RedirOp::kIn:
+      case syntax::RedirOp::kReadWrite:
+        deps.path_reads.insert(fs::NormalizePath(target));
+        break;
+      default:
+        break;
+    }
+  }
+
+  if (cmd.simple.words.empty()) {
+    return deps;  // Pure assignment.
+  }
+  std::string name;
+  if (!cmd.simple.words[0].IsStatic(&name)) {
+    deps.barrier = true;
+    return deps;
+  }
+  if (name == "echo" || name == "true" || name == "false" || name == ":" || name == "printf") {
+    return deps;  // Pure stream producers.
+  }
+  const specs::CommandSpec* spec = specs::SpecLibrary::BuiltinGroundTruth().Find(name);
+  if (spec == nullptr) {
+    deps.barrier = true;  // Unknown command: assume anything.
+    return deps;
+  }
+  // Static argv -> invocation -> per-operand effect classes.
+  std::vector<std::string> args;
+  for (size_t i = 1; i < cmd.simple.words.size(); ++i) {
+    std::string text;
+    if (!StaticishText(cmd.simple.words[i], &text)) {
+      deps.barrier = true;
+      return deps;
+    }
+    args.push_back(std::move(text));
+  }
+  Result<specs::Invocation> inv = specs::ParseInvocation(spec->syntax, args);
+  if (!inv.ok()) {
+    deps.barrier = true;
+    return deps;
+  }
+  std::vector<const specs::OperandSpec*> slots =
+      specs::AssignOperands(spec->syntax, static_cast<int>(inv->operands.size()));
+  // Union effect classes over flag-matching cases.
+  bool reads = false;
+  bool writes = false;
+  for (const specs::SpecCase& c : spec->cases) {
+    if (!c.FlagsMatch(*inv)) {
+      continue;
+    }
+    for (const specs::Effect& e : c.effects) {
+      if (e.kind == specs::EffectKind::kReadFile) {
+        reads = true;
+      } else if (e.kind != specs::EffectKind::kNone) {
+        writes = true;
+      }
+    }
+  }
+  for (size_t i = 0; i < inv->operands.size(); ++i) {
+    if (slots[i] == nullptr || slots[i]->kind != specs::ValueKind::kPath) {
+      continue;
+    }
+    std::string path = fs::NormalizePath(inv->operands[i]);
+    if (writes) {
+      deps.path_writes.insert(path);
+    }
+    if (reads || !writes) {
+      deps.path_reads.insert(path);  // Conservatively a read when unsure.
+    }
+  }
+  return deps;
+}
+
+}  // namespace
+
+bool DependencyReport::DependsOn(int later, int earlier) const {
+  for (const auto& [i, j] : edges) {
+    if (i == earlier && j == later) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::string> DependencyReport::Suggestions() const {
+  std::vector<std::string> out;
+  for (const auto& [i, j] : independent_adjacent) {
+    out.push_back("commands " + std::to_string(i + 1) + " and " + std::to_string(j + 1) +
+                  " are independent (no shared variables or file-system locations); they can "
+                  "be reordered or run in parallel: `" +
+                  commands[static_cast<size_t>(i)].display + "` / `" +
+                  commands[static_cast<size_t>(j)].display + "`");
+  }
+  return out;
+}
+
+DependencyReport AnalyzeDependencies(const syntax::Program& program) {
+  DependencyReport report;
+  if (program.body == nullptr) {
+    return report;
+  }
+  // The top-level sequence: a kList body's elements, or the single command.
+  std::vector<const Command*> sequence;
+  if (program.body->kind == CommandKind::kList) {
+    bool plain_sequence = true;
+    for (syntax::ListOp op : program.body->list.ops) {
+      if (op == syntax::ListOp::kAnd || op == syntax::ListOp::kOr) {
+        plain_sequence = false;  // && / || chains encode control deps.
+      }
+    }
+    if (plain_sequence) {
+      for (const syntax::CommandPtr& c : program.body->list.commands) {
+        sequence.push_back(c.get());
+      }
+    } else {
+      sequence.push_back(program.body.get());
+    }
+  } else {
+    sequence.push_back(program.body.get());
+  }
+
+  for (size_t i = 0; i < sequence.size(); ++i) {
+    report.commands.push_back(AnalyzeOne(*sequence[i], static_cast<int>(i)));
+  }
+
+  auto conflicts = [&](const CommandDeps& a, const CommandDeps& b) {
+    if (a.barrier || b.barrier) {
+      return true;
+    }
+    // Write-write, write-read, read-write conflicts on paths or variables.
+    if (PathsOverlap(a.path_writes, b.path_writes) || PathsOverlap(a.path_writes, b.path_reads) ||
+        PathsOverlap(a.path_reads, b.path_writes)) {
+      return true;
+    }
+    if (Intersects(a.var_writes, b.var_writes) || Intersects(a.var_writes, b.var_reads) ||
+        Intersects(a.var_reads, b.var_writes)) {
+      return true;
+    }
+    return false;
+  };
+
+  for (size_t i = 0; i < report.commands.size(); ++i) {
+    for (size_t j = i + 1; j < report.commands.size(); ++j) {
+      if (conflicts(report.commands[i], report.commands[j])) {
+        report.edges.emplace_back(static_cast<int>(i), static_cast<int>(j));
+      }
+    }
+  }
+  for (size_t i = 0; i + 1 < report.commands.size(); ++i) {
+    if (!report.DependsOn(static_cast<int>(i + 1), static_cast<int>(i))) {
+      report.independent_adjacent.emplace_back(static_cast<int>(i), static_cast<int>(i + 1));
+    }
+  }
+  return report;
+}
+
+}  // namespace sash::core

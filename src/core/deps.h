@@ -1,0 +1,55 @@
+// §5 "Performance": "shell state and file system reasoning can identify
+// read-write dependencies between commands in a script, which would allow
+// speculative execution systems like hS to reorder commands without needing
+// to guard against misspeculation, and incremental execution systems like
+// Riker to reduce the runtime tracing overhead."
+//
+// This pass computes, for each top-level command, its variable and
+// file-system read/write sets (from the specification library and static
+// expansion), derives the must-precede dependency edges, and reports which
+// adjacent command pairs are independent — i.e., safely reorderable or
+// parallelizable.
+#ifndef SASH_CORE_DEPS_H_
+#define SASH_CORE_DEPS_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "syntax/ast.h"
+
+namespace sash::core {
+
+struct CommandDeps {
+  int index = 0;
+  std::string display;
+  SourceRange range;
+  std::set<std::string> path_reads;    // Absolute path prefixes read.
+  std::set<std::string> path_writes;   // Absolute path prefixes written/deleted.
+  std::set<std::string> var_reads;
+  std::set<std::string> var_writes;
+  // Effects could not be bounded (dynamic paths, unknown command, compound
+  // command): ordered with respect to everything.
+  bool barrier = false;
+};
+
+struct DependencyReport {
+  std::vector<CommandDeps> commands;
+  // (i, j) with i < j: command j must run after command i.
+  std::vector<std::pair<int, int>> edges;
+  // Adjacent pairs with no dependency in either direction: reorderable.
+  std::vector<std::pair<int, int>> independent_adjacent;
+
+  bool DependsOn(int later, int earlier) const;
+
+  // "commands 2 and 3 are independent: they may run in parallel" lines.
+  std::vector<std::string> Suggestions() const;
+};
+
+// Analyzes the top-level command sequence of a program. Commands inside
+// compound statements are treated as part of their statement.
+DependencyReport AnalyzeDependencies(const syntax::Program& program);
+
+}  // namespace sash::core
+
+#endif  // SASH_CORE_DEPS_H_

@@ -1,0 +1,98 @@
+#include "fs/path.h"
+
+#include "util/strings.h"
+
+namespace sash::fs {
+
+bool IsAbsolute(std::string_view path) { return !path.empty() && path.front() == '/'; }
+
+std::vector<std::string> SplitPath(std::string_view path) {
+  std::vector<std::string> parts;
+  size_t i = 0;
+  while (i < path.size()) {
+    while (i < path.size() && path[i] == '/') {
+      ++i;
+    }
+    size_t start = i;
+    while (i < path.size() && path[i] != '/') {
+      ++i;
+    }
+    if (i > start) {
+      parts.emplace_back(path.substr(start, i - start));
+    }
+  }
+  return parts;
+}
+
+std::string JoinPath(std::string_view base, std::string_view rel) {
+  if (IsAbsolute(rel) || base.empty()) {
+    return std::string(rel);
+  }
+  if (rel.empty()) {
+    return std::string(base);
+  }
+  std::string out(base);
+  if (out.back() != '/') {
+    out += '/';
+  }
+  out += rel;
+  return out;
+}
+
+std::string NormalizePath(std::string_view path) {
+  const bool absolute = IsAbsolute(path);
+  std::vector<std::string> stack;
+  for (std::string& part : SplitPath(path)) {
+    if (part == ".") {
+      continue;
+    }
+    if (part == "..") {
+      if (!stack.empty() && stack.back() != "..") {
+        stack.pop_back();
+      } else if (!absolute) {
+        stack.push_back("..");  // Relative paths keep leading "..".
+      }
+      continue;
+    }
+    stack.push_back(std::move(part));
+  }
+  std::string joined = Join(stack, "/");
+  std::string out = absolute ? "/" + joined : joined;
+  if (out.empty()) {
+    out = ".";
+  }
+  return out;
+}
+
+std::string DirName(std::string_view path) {
+  std::string norm = NormalizePath(path);
+  size_t pos = norm.rfind('/');
+  if (pos == std::string::npos) {
+    return ".";
+  }
+  if (pos == 0) {
+    return "/";
+  }
+  return norm.substr(0, pos);
+}
+
+std::string BaseName(std::string_view path) {
+  std::string norm = NormalizePath(path);
+  if (norm == "/") {
+    return "/";
+  }
+  size_t pos = norm.rfind('/');
+  if (pos == std::string::npos) {
+    return norm;
+  }
+  return norm.substr(pos + 1);
+}
+
+std::string Absolutize(std::string_view path, std::string_view cwd) {
+  if (IsAbsolute(path)) {
+    return NormalizePath(path);
+  }
+  return NormalizePath(JoinPath(cwd, path));
+}
+
+}  // namespace sash::fs

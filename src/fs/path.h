@@ -1,0 +1,39 @@
+// Lexical path algebra: splitting, joining, normalization. Purely textual —
+// symlink-aware resolution lives in FileSystem::Resolve (and, symbolically, in
+// sash::symfs). The distinction matters: the paper's Fig. 2 hinges on the gap
+// between a path *string* and the file system *node* it resolves to.
+#ifndef SASH_FS_PATH_H_
+#define SASH_FS_PATH_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sash::fs {
+
+bool IsAbsolute(std::string_view path);
+
+// Components of a path, ignoring empty segments: "/a//b/" -> {"a","b"}.
+std::vector<std::string> SplitPath(std::string_view path);
+
+// Joins with exactly one separator: ("/a","b") -> "/a/b"; absolute `b` wins.
+std::string JoinPath(std::string_view base, std::string_view rel);
+
+// Lexically normalizes: collapses "//" and "/./", resolves ".." against the
+// textual parent ("/a/b/.." -> "/a"; ".." at root stays at root). Does NOT
+// consult the file system, so "dir/.." where dir is a symlink is wrong by
+// design — that is what realpath-style resolution is for.
+std::string NormalizePath(std::string_view path);
+
+// The textual parent: "/a/b" -> "/a", "/a" -> "/", "a" -> ".".
+std::string DirName(std::string_view path);
+
+// The final component: "/a/b" -> "b", "/" -> "/".
+std::string BaseName(std::string_view path);
+
+// Resolves `path` against `cwd` when relative, then normalizes.
+std::string Absolutize(std::string_view path, std::string_view cwd);
+
+}  // namespace sash::fs
+
+#endif  // SASH_FS_PATH_H_

@@ -1,0 +1,283 @@
+#include "lint/lint.h"
+
+#include <set>
+
+namespace sash::lint {
+
+namespace {
+
+using syntax::Command;
+using syntax::CommandKind;
+using syntax::Word;
+using syntax::WordPart;
+using syntax::WordPartKind;
+
+class Linter {
+ public:
+  explicit Linter(const LintOptions& options) : options_(options) {}
+
+  std::vector<Diagnostic> Run(const syntax::Program& program) {
+    syntax::VisitCommands(program, /*into_substitutions=*/true,
+                          [this](const Command& cmd) { CheckCommand(cmd); });
+    return std::move(diagnostics_);
+  }
+
+ private:
+  void Emit(const char* code, SourceRange range, std::string message) {
+    diagnostics_.push_back(
+        Diagnostic{Severity::kWarning, code, range, std::move(message), {}});
+  }
+
+  static bool IsCommandNamed(const Command& cmd, std::string_view name) {
+    if (cmd.kind != CommandKind::kSimple || cmd.simple.words.empty()) {
+      return false;
+    }
+    std::string text;
+    return cmd.simple.words[0].IsStatic(&text) && text == name;
+  }
+
+  // An unquoted parameter expansion anywhere in the word.
+  static const WordPart* UnquotedParam(const Word& word) {
+    for (const WordPart& p : word.parts) {
+      if (p.kind == WordPartKind::kParam) {
+        return &p;
+      }
+    }
+    return nullptr;
+  }
+
+  // A parameter expansion (quoted or not) as the word's first part, followed
+  // by '/' — the SC2115 "rm -rf $var/..." shape.
+  static bool VarThenSlash(const Word& word, std::string* var_name) {
+    if (word.parts.empty()) {
+      return false;
+    }
+    const WordPart& first = word.parts[0];
+    const WordPart* param = nullptr;
+    if (first.kind == WordPartKind::kParam) {
+      param = &first;
+    } else if (first.kind == WordPartKind::kDoubleQuoted && first.children.size() == 1 &&
+               first.children[0].kind == WordPartKind::kParam) {
+      param = &first.children[0];
+    }
+    if (param == nullptr) {
+      return false;
+    }
+    if (word.parts.size() < 2) {
+      return false;
+    }
+    const WordPart& second = word.parts[1];
+    if (second.kind == WordPartKind::kLiteral && !second.text.empty() &&
+        second.text[0] == '/') {
+      *var_name = param->param_name;
+      return true;
+    }
+    return false;
+  }
+
+  void CheckCommand(const Command& cmd) {
+    CheckBackticksAndEchoSubs(cmd);
+    switch (cmd.kind) {
+      case CommandKind::kSimple:
+        CheckSimple(cmd);
+        break;
+      case CommandKind::kPipeline:
+        CheckPipeline(cmd);
+        break;
+      case CommandKind::kList:
+        CheckListForCd(cmd);
+        break;
+      default:
+        break;
+    }
+  }
+
+  void CheckSimple(const Command& cmd) {
+    if (cmd.simple.words.empty()) {
+      return;
+    }
+    std::string name;
+    cmd.simple.words[0].IsStatic(&name);
+
+    // SC2086: unquoted expansions in arguments.
+    if (options_.unquoted_var) {
+      for (size_t i = 1; i < cmd.simple.words.size(); ++i) {
+        const WordPart* param = UnquotedParam(cmd.simple.words[i]);
+        if (param != nullptr) {
+          Emit(kRuleUnquotedVar, cmd.simple.words[i].range,
+               "SC2086-style: double quote $" + param->param_name +
+                   " to prevent word splitting and globbing");
+        }
+      }
+    }
+
+    // SC2115: rm with a $var/ path — use "${var:?}" so an empty value fails.
+    if (options_.rm_var_path && name == "rm") {
+      for (size_t i = 1; i < cmd.simple.words.size(); ++i) {
+        std::string var;
+        if (VarThenSlash(cmd.simple.words[i], &var)) {
+          Emit(kRuleRmVarPath, cmd.simple.words[i].range,
+               "SC2115-style: use \"${" + var +
+                   ":?}\" to abort when the variable is empty or unset");
+        }
+      }
+    }
+
+    // §5 portability: bashisms that break under a POSIX /bin/sh.
+    if (options_.portability) {
+      if (name == "[[") {
+        Emit(kRulePortability, cmd.range,
+             "portability: '[[' is a bash/ksh construct; use '[' under /bin/sh");
+      }
+      if (name == "function") {
+        Emit(kRulePortability, cmd.range,
+             "portability: the 'function' keyword is not POSIX; use name() { ... }");
+      }
+      if (name == "source") {
+        Emit(kRulePortability, cmd.range, "portability: 'source' is not POSIX; use '.'");
+      }
+      if (name == "echo" && cmd.simple.words.size() > 1) {
+        std::string first_arg;
+        if (cmd.simple.words[1].IsStatic(&first_arg) &&
+            (first_arg == "-n" || first_arg == "-e" || first_arg == "-E")) {
+          Emit(kRulePortability, cmd.range,
+               "portability: echo " + first_arg +
+                   " is implementation-defined; use printf instead");
+        }
+      }
+      if (name == "[" || name == "test") {
+        for (size_t i = 1; i < cmd.simple.words.size(); ++i) {
+          std::string arg;
+          if (cmd.simple.words[i].IsStatic(&arg) && arg == "==") {
+            Emit(kRulePortability, cmd.simple.words[i].range,
+                 "portability: '==' in test is not POSIX; use '='");
+          }
+        }
+      }
+      // Bash-only special variables anywhere in the command's words.
+      for (const Word& w : cmd.simple.words) {
+        for (const WordPart& p : w.parts) {
+          CheckBashVar(p, cmd.range);
+        }
+      }
+      for (const syntax::Assignment& a : cmd.simple.assignments) {
+        for (const WordPart& p : a.value.parts) {
+          CheckBashVar(p, cmd.range);
+        }
+      }
+    }
+
+    // SC2162: read without -r mangles backslashes.
+    if (options_.read_no_r && name == "read") {
+      bool has_r = false;
+      for (size_t i = 1; i < cmd.simple.words.size(); ++i) {
+        std::string arg;
+        if (cmd.simple.words[i].IsStatic(&arg) && arg == "-r") {
+          has_r = true;
+        }
+      }
+      if (!has_r) {
+        Emit(kRuleReadNoR, cmd.range, "SC2162-style: read without -r mangles backslashes");
+      }
+    }
+  }
+
+  void CheckBashVar(const WordPart& p, SourceRange range) {
+    static const std::set<std::string> kBashOnly = {
+        "RANDOM", "SECONDS", "BASHPID", "BASH_SOURCE", "FUNCNAME", "EPOCHSECONDS", "UID",
+        "HOSTNAME"};
+    if (p.kind == WordPartKind::kParam && kBashOnly.count(p.param_name) > 0) {
+      Emit(kRulePortability, range,
+           "portability: $" + p.param_name + " is bash-specific and unset under /bin/sh");
+    }
+    for (const WordPart& c : p.children) {
+      CheckBashVar(c, range);
+    }
+  }
+
+  void CheckPipeline(const Command& cmd) {
+    if (!options_.useless_cat || cmd.pipeline.commands.empty()) {
+      return;
+    }
+    const Command& first = *cmd.pipeline.commands[0];
+    if (IsCommandNamed(first, "cat") && first.simple.words.size() == 2 &&
+        cmd.pipeline.commands.size() > 1) {
+      Emit(kRuleUselessCat, first.range,
+           "SC2002-style: useless cat; pass the file directly to the next command");
+    }
+  }
+
+  void CheckListForCd(const Command& cmd) {
+    if (!options_.cd_no_guard) {
+      return;
+    }
+    for (size_t i = 0; i < cmd.list.commands.size(); ++i) {
+      const Command& c = *cmd.list.commands[i];
+      if (!IsCommandNamed(c, "cd")) {
+        continue;
+      }
+      // Guarded when followed by && or || (the linter's crude notion of
+      // "handled"; a real `cd` inside an if-condition is indistinguishable
+      // to a syntactic rule — context-insensitivity on display).
+      syntax::ListOp op = cmd.list.ops[i];
+      if (op != syntax::ListOp::kAnd && op != syntax::ListOp::kOr) {
+        Emit(kRuleCdNoGuard, c.range,
+             "SC2164-style: use 'cd ... || exit' in case cd fails");
+      }
+    }
+  }
+
+  void CheckBackticksAndEchoSubs(const Command& cmd) {
+    if (cmd.kind != CommandKind::kSimple) {
+      return;
+    }
+    auto scan_word = [&](const Word& w) {
+      std::function<void(const WordPart&)> scan = [&](const WordPart& p) {
+        if (p.kind == WordPartKind::kCommandSub) {
+          if (options_.backtick && p.backquoted) {
+            Emit(kRuleBacktick, p.range,
+                 "SC2006-style: use $(...) instead of legacy backticks");
+          }
+          if (options_.echo_sub && p.command != nullptr && p.command->body != nullptr &&
+              p.command->body->kind == CommandKind::kSimple) {
+            std::string sub_name;
+            const Command& sub = *p.command->body;
+            if (!sub.simple.words.empty() && sub.simple.words[0].IsStatic(&sub_name) &&
+                sub_name == "echo") {
+              Emit(kRuleEchoSub, p.range,
+                   "SC2116-style: useless echo in command substitution");
+            }
+          }
+        }
+        for (const WordPart& c : p.children) {
+          scan(c);
+        }
+        if (p.param_arg != nullptr) {
+          for (const WordPart& c : p.param_arg->parts) {
+            scan(c);
+          }
+        }
+      };
+      for (const WordPart& p : w.parts) {
+        scan(p);
+      }
+    };
+    for (const syntax::Assignment& a : cmd.simple.assignments) {
+      scan_word(a.value);
+    }
+    for (const Word& w : cmd.simple.words) {
+      scan_word(w);
+    }
+  }
+
+  const LintOptions& options_;
+  std::vector<Diagnostic> diagnostics_;
+};
+
+}  // namespace
+
+std::vector<Diagnostic> Lint(const syntax::Program& program, const LintOptions& options) {
+  return Linter(options).Run(program);
+}
+
+}  // namespace sash::lint

@@ -1,0 +1,44 @@
+// The baseline: a ShellCheck-style *syntactic* linter — hard-coded patterns,
+// context-insensitive by construction (§2). It exists to reproduce the
+// paper's comparison: the linter warns about Fig. 1 (good), warns identically
+// about the obviously-safe Fig. 2 (noise), fails to see that Fig. 3 is
+// *always* wrong, and misses the split-variable variant entirely.
+#ifndef SASH_LINT_LINT_H_
+#define SASH_LINT_LINT_H_
+
+#include <vector>
+
+#include "syntax/ast.h"
+#include "util/diagnostics.h"
+
+namespace sash::lint {
+
+// Rule codes (SC-style numbering kept in the message for familiarity).
+inline constexpr char kRuleUnquotedVar[] = "SASH-LINT-QUOTE";      // ~SC2086
+inline constexpr char kRuleRmVarPath[] = "SASH-LINT-RM-VAR";       // ~SC2115
+inline constexpr char kRuleCdNoGuard[] = "SASH-LINT-CD";           // ~SC2164
+inline constexpr char kRuleBacktick[] = "SASH-LINT-BACKTICK";      // ~SC2006
+inline constexpr char kRuleUselessCat[] = "SASH-LINT-USELESS-CAT"; // ~SC2002
+inline constexpr char kRuleEchoSub[] = "SASH-LINT-ECHO-SUB";       // ~SC2116
+inline constexpr char kRuleReadNoR[] = "SASH-LINT-READ-R";         // ~SC2162
+// §5: warn "about platform-dependent code" before distribution — bashisms
+// and non-portable constructs in a #!/bin/sh script.
+inline constexpr char kRulePortability[] = "SASH-LINT-PORTABILITY";
+
+struct LintOptions {
+  bool unquoted_var = true;
+  bool rm_var_path = true;
+  bool cd_no_guard = true;
+  bool backtick = true;
+  bool useless_cat = true;
+  bool echo_sub = true;
+  bool read_no_r = true;
+  bool portability = true;
+};
+
+// Runs every enabled rule over the program (including substitutions).
+std::vector<Diagnostic> Lint(const syntax::Program& program, const LintOptions& options = {});
+
+}  // namespace sash::lint
+
+#endif  // SASH_LINT_LINT_H_

@@ -1,0 +1,303 @@
+#include "mining/doc_miner.h"
+
+#include <cctype>
+#include <map>
+#include <set>
+
+#include "util/strings.h"
+
+namespace sash::mining {
+
+namespace {
+
+using specs::FlagSpec;
+using specs::OperandSpec;
+using specs::SyntaxSpec;
+using specs::ValueKind;
+
+// Splits a man page into sections keyed by their ALL-CAPS headers.
+std::map<std::string, std::vector<std::string>> Sections(const std::string& text) {
+  std::map<std::string, std::vector<std::string>> out;
+  std::string current;
+  for (const std::string& line : SplitLines(text)) {
+    std::string_view trimmed = Trim(line);
+    bool is_header = !trimmed.empty() && line[0] != ' ' && line[0] != '\t';
+    if (is_header) {
+      bool caps = true;
+      for (char c : trimmed) {
+        if (std::islower(static_cast<unsigned char>(c))) {
+          caps = false;
+          break;
+        }
+      }
+      if (caps) {
+        current = std::string(trimmed);
+        continue;
+      }
+    }
+    if (!current.empty()) {
+      out[current].push_back(line);
+    }
+  }
+  return out;
+}
+
+ValueKind KindFromWord(std::string_view word) {
+  std::string w = AsciiLower(word);
+  if (Contains(w, "mode")) {
+    return ValueKind::kString;
+  }
+  if (Contains(w, "num") || w == "n" || Contains(w, "count") || Contains(w, "lines")) {
+    return ValueKind::kNumber;
+  }
+  if (Contains(w, "pattern") || Contains(w, "regex") || Contains(w, "expr")) {
+    return ValueKind::kPattern;
+  }
+  if (Contains(w, "file") || Contains(w, "dir") || Contains(w, "path") ||
+      Contains(w, "source") || Contains(w, "target")) {
+    return ValueKind::kPath;
+  }
+  return ValueKind::kString;
+}
+
+// Tokenizes a SYNOPSIS line respecting brackets: "rm [-f] [-m mode] file..."
+// -> {"rm", "[-f]", "[-m mode]", "file..."}.
+std::vector<std::string> SynopsisTokens(std::string_view line) {
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    if (i >= line.size()) {
+      break;
+    }
+    if (line[i] == '[') {
+      size_t close = line.find(']', i);
+      if (close == std::string_view::npos) {
+        out.emplace_back(line.substr(i));
+        break;
+      }
+      out.emplace_back(line.substr(i, close - i + 1));
+      i = close + 1;
+    } else {
+      size_t end = i;
+      while (end < line.size() && !std::isspace(static_cast<unsigned char>(line[end]))) {
+        ++end;
+      }
+      out.emplace_back(line.substr(i, end - i));
+      i = end;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Status ValidateSyntaxSpec(const specs::SyntaxSpec& spec) {
+  if (spec.command.empty()) {
+    return Status::Error(Errc::kInval, "guardrail: empty command name");
+  }
+  for (char c : spec.command) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' && c != '-' && c != '.') {
+      return Status::Error(Errc::kInval, "guardrail: suspicious command name");
+    }
+  }
+  std::set<char> letters;
+  for (const FlagSpec& f : spec.flags) {
+    if (f.letter == '\0' && f.long_name.empty()) {
+      return Status::Error(Errc::kInval, "guardrail: flag with no spelling");
+    }
+    if (f.letter != '\0' && !letters.insert(f.letter).second) {
+      return Status::Error(Errc::kInval,
+                           std::string("guardrail: duplicate flag -") + f.letter);
+    }
+  }
+  for (const OperandSpec& o : spec.operands) {
+    if (o.min_count < 0 || (o.max_count >= 0 && o.max_count < o.min_count)) {
+      return Status::Error(Errc::kInval, "guardrail: inconsistent operand arity");
+    }
+  }
+  // Only the final operand slot may be unbounded-before-last ambiguity-free;
+  // at most one unbounded slot keeps invocation parsing deterministic.
+  int unbounded = 0;
+  for (const OperandSpec& o : spec.operands) {
+    if (o.max_count < 0) {
+      ++unbounded;
+    }
+  }
+  if (unbounded > 1) {
+    return Status::Error(Errc::kInval, "guardrail: multiple unbounded operand slots");
+  }
+  return Status::Ok();
+}
+
+Result<specs::SyntaxSpec> DocMiner::MineSyntax(const std::string& man_text) const {
+  std::map<std::string, std::vector<std::string>> sections = Sections(man_text);
+
+  SyntaxSpec spec;
+
+  // NAME: "cmd - summary".
+  if (auto it = sections.find("NAME"); it != sections.end()) {
+    for (const std::string& line : it->second) {
+      std::string_view t = Trim(line);
+      size_t dash = t.find(" - ");
+      if (dash != std::string_view::npos) {
+        spec.command = std::string(Trim(t.substr(0, dash)));
+        spec.summary = std::string(Trim(t.substr(dash + 3)));
+        break;
+      }
+    }
+  }
+
+  // SYNOPSIS: the first non-blank line.
+  auto syn = sections.find("SYNOPSIS");
+  if (syn == sections.end()) {
+    return Status::Error(Errc::kInval, "no SYNOPSIS section");
+  }
+  std::string synopsis;
+  for (const std::string& line : syn->second) {
+    if (!Trim(line).empty()) {
+      synopsis = std::string(Trim(line));
+      break;
+    }
+  }
+  if (synopsis.empty()) {
+    return Status::Error(Errc::kInval, "empty SYNOPSIS");
+  }
+
+  std::vector<std::string> tokens = SynopsisTokens(synopsis);
+  if (tokens.empty()) {
+    return Status::Error(Errc::kInval, "unparsable SYNOPSIS");
+  }
+  if (spec.command.empty()) {
+    spec.command = tokens[0];
+  } else if (spec.command != tokens[0]) {
+    return Status::Error(Errc::kInval, "NAME/SYNOPSIS command mismatch");
+  }
+
+  for (size_t i = 1; i < tokens.size(); ++i) {
+    std::string tok = tokens[i];
+    bool optional = false;
+    if (tok.size() >= 2 && tok.front() == '[' && tok.back() == ']') {
+      optional = true;
+      tok = tok.substr(1, tok.size() - 2);
+    }
+    tok = std::string(Trim(tok));
+    if (!tok.empty() && tok[0] == '-') {
+      // "[-f]" or "[-m mode]".
+      std::vector<std::string> words = Split(tok, ' ');
+      FlagSpec f;
+      if (words[0].size() >= 2) {
+        f.letter = words[0][1];
+      }
+      if (words.size() > 1) {
+        f.takes_arg = true;
+        f.arg_kind = KindFromWord(words[1]);
+      }
+      spec.flags.push_back(std::move(f));
+      continue;
+    }
+    // Operand: "file...", "dir", "[path...]".
+    OperandSpec o;
+    bool repeated = EndsWith(tok, "...");
+    if (repeated) {
+      tok = tok.substr(0, tok.size() - 3);
+    }
+    o.name = tok;
+    o.kind = KindFromWord(tok);
+    o.min_count = optional ? 0 : 1;
+    o.max_count = repeated ? -1 : 1;
+    spec.operands.push_back(std::move(o));
+  }
+
+  // OPTIONS: long names, descriptions, and arg kinds refine the flags.
+  if (auto opts = sections.find("OPTIONS"); opts != sections.end()) {
+    FlagSpec* current = nullptr;
+    for (const std::string& line : opts->second) {
+      std::string_view t = Trim(line);
+      if (t.empty()) {
+        current = nullptr;
+        continue;
+      }
+      if (t[0] == '-' && t.size() >= 2 && t[1] != '-') {
+        char letter = t[1];
+        // Find or create the flag.
+        current = nullptr;
+        for (FlagSpec& f : spec.flags) {
+          if (f.letter == letter) {
+            current = &f;
+            break;
+          }
+        }
+        if (current == nullptr) {
+          FlagSpec f;
+          f.letter = letter;
+          spec.flags.push_back(std::move(f));
+          current = &spec.flags.back();
+        }
+        // "-x, --long-name" and "-m mode" shapes.
+        std::string rest(t.substr(2));
+        std::vector<std::string> words = Split(std::string(Trim(rest)), ' ');
+        for (const std::string& w : words) {
+          if (StartsWith(w, ",")) {
+            continue;
+          }
+          if (StartsWith(w, "--")) {
+            std::string long_name = w.substr(2);
+            while (!long_name.empty() &&
+                   !std::isalnum(static_cast<unsigned char>(long_name.back())) &&
+                   long_name.back() != '-') {
+              long_name.pop_back();
+            }
+            current->long_name = long_name;
+          } else if (!w.empty() && w != ",") {
+            current->takes_arg = true;
+            current->arg_kind = KindFromWord(w);
+          }
+        }
+      } else if (current != nullptr) {
+        if (!current->description.empty()) {
+          current->description += ' ';
+        }
+        current->description += std::string(t);
+      }
+    }
+  }
+
+  // OPERANDS: refine operand kinds from descriptions mentioning "pathname".
+  if (auto ops = sections.find("OPERANDS"); ops != sections.end()) {
+    std::string current_name;
+    for (const std::string& line : ops->second) {
+      std::string_view t = Trim(line);
+      if (t.empty()) {
+        continue;
+      }
+      std::vector<std::string> words = Split(std::string(t), ' ');
+      bool is_entry = false;
+      for (OperandSpec& o : spec.operands) {
+        if (!words.empty() && words[0] == o.name) {
+          current_name = o.name;
+          is_entry = true;
+          break;
+        }
+      }
+      if (Contains(AsciiLower(std::string(t)), "pathname") && !current_name.empty()) {
+        for (OperandSpec& o : spec.operands) {
+          if (o.name == current_name) {
+            o.kind = ValueKind::kPath;
+          }
+        }
+      }
+      (void)is_entry;
+    }
+  }
+
+  Status guard = ValidateSyntaxSpec(spec);
+  if (!guard.ok()) {
+    return guard;
+  }
+  return spec;
+}
+
+}  // namespace sash::mining

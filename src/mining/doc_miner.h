@@ -1,0 +1,30 @@
+// Documentation mining (Fig. 4, left): derive a command's invocation syntax
+// from its natural-language documentation. The paper uses an LLM guardrailed
+// by a DSL "designed to express only legitimate invocations"; this
+// deterministic miner plays the LLM's role over the bundled corpus and is
+// held to the same guardrail — its output must validate as a well-formed
+// SyntaxSpec or mining fails.
+#ifndef SASH_MINING_DOC_MINER_H_
+#define SASH_MINING_DOC_MINER_H_
+
+#include <string>
+
+#include "specs/syntax_spec.h"
+#include "util/result.h"
+
+namespace sash::mining {
+
+class DocMiner {
+ public:
+  // Extracts the invocation syntax from one man page. Fails (kInval) when
+  // the page has no parsable SYNOPSIS or the extraction violates the
+  // guardrail (duplicate flags, inconsistent arity, empty name).
+  Result<specs::SyntaxSpec> MineSyntax(const std::string& man_text) const;
+};
+
+// The guardrail itself, usable on any SyntaxSpec (mined or hand-written).
+Status ValidateSyntaxSpec(const specs::SyntaxSpec& spec);
+
+}  // namespace sash::mining
+
+#endif  // SASH_MINING_DOC_MINER_H_

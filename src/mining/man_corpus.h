@@ -1,0 +1,23 @@
+// The bundled documentation corpus: synthetic man pages in conventional
+// NAME/SYNOPSIS/DESCRIPTION/OPTIONS/EXIT STATUS layout for the modeled
+// utilities. These substitute for the real man-page collection the paper's
+// LLM reads (the substitution preserves the pipeline: natural-language-ish
+// docs in, guardrailed SyntaxSpec out).
+#ifndef SASH_MINING_MAN_CORPUS_H_
+#define SASH_MINING_MAN_CORPUS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sash::mining {
+
+// Command name -> man-page text.
+const std::map<std::string, std::string>& ManCorpus();
+
+// Names of all documented commands (sorted).
+std::vector<std::string> DocumentedCommands();
+
+}  // namespace sash::mining
+
+#endif  // SASH_MINING_MAN_CORPUS_H_

@@ -1,0 +1,60 @@
+#include "mining/pipeline.h"
+
+#include "mining/man_corpus.h"
+#include "mining/prober.h"
+
+namespace sash::mining {
+
+MiningOutcome MineCommand(const std::string& name) {
+  MiningOutcome out;
+  out.command = name;
+  const auto& corpus = ManCorpus();
+  auto it = corpus.find(name);
+  if (it == corpus.end()) {
+    out.error = "no documentation for '" + name + "'";
+    return out;
+  }
+  DocMiner miner;
+  Result<specs::SyntaxSpec> syntax = miner.MineSyntax(it->second);
+  if (!syntax.ok()) {
+    out.error = syntax.status().ToString();
+    return out;
+  }
+  out.syntax = *syntax;
+
+  ProbePlan plan = EnumerateProbes(*syntax);
+  out.invocations = static_cast<int>(plan.invocations.size());
+  out.environments = static_cast<int>(plan.environments.size());
+  std::vector<ProbeRecord> records = RunProbes(plan);
+  out.probes = static_cast<int>(records.size());
+
+  out.spec = CompileSpec(*syntax, records);
+  out.cases = static_cast<int>(out.spec.cases.size());
+
+  const specs::CommandSpec* truth = specs::SpecLibrary::BuiltinGroundTruth().Find(name);
+  if (truth != nullptr) {
+    out.validation = CompareBehavior(out.spec, *truth);
+  }
+  out.ok = true;
+  return out;
+}
+
+std::vector<MiningOutcome> MineAll() {
+  std::vector<MiningOutcome> out;
+  for (const std::string& name : DocumentedCommands()) {
+    out.push_back(MineCommand(name));
+  }
+  return out;
+}
+
+specs::SpecLibrary MinedLibrary() {
+  specs::SpecLibrary lib;
+  for (MiningOutcome& outcome : MineAll()) {
+    if (outcome.ok) {
+      lib.Register(std::move(outcome.spec));
+    }
+  }
+  return lib;
+}
+
+}  // namespace sash::mining

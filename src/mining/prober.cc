@@ -1,0 +1,155 @@
+#include "mining/prober.h"
+
+#include "exec/commands.h"
+
+namespace sash::mining {
+
+std::string_view OperandShapeName(OperandShape s) {
+  switch (s) {
+    case OperandShape::kFile:
+      return "file";
+    case OperandShape::kDirWithChild:
+      return "dir";
+    case OperandShape::kEmptyDir:
+      return "empty-dir";
+    case OperandShape::kAbsent:
+      return "absent";
+  }
+  return "?";
+}
+
+std::string ProbeEnvironment::Describe() const {
+  std::string out = "{";
+  for (size_t i = 0; i < shapes.size(); ++i) {
+    if (i > 0) {
+      out += ", ";
+    }
+    out += "$p" + std::to_string(i) + "=" + std::string(OperandShapeName(shapes[i]));
+  }
+  out += "}";
+  return out;
+}
+
+std::string ProbeOperandPath(int index) { return "/probe/p" + std::to_string(index); }
+
+ProbePlan EnumerateProbes(const specs::SyntaxSpec& syntax, int max_boolean_flags) {
+  ProbePlan plan;
+  plan.syntax = syntax;
+
+  // Operand values: one per slot (its minimum count, at least one for the
+  // sweep to exercise the operand at all).
+  std::vector<std::string> operand_values;
+  int operand_index = 0;
+  for (const specs::OperandSpec& o : syntax.operands) {
+    int count = std::max(o.min_count, 1);
+    for (int k = 0; k < count; ++k) {
+      if (o.kind == specs::ValueKind::kPath) {
+        plan.path_operand_indices.push_back(operand_index);
+        operand_values.push_back(ProbeOperandPath(operand_index));
+      } else if (o.kind == specs::ValueKind::kNumber) {
+        operand_values.push_back("1");
+      } else {
+        operand_values.push_back("probe");
+      }
+      ++operand_index;
+    }
+  }
+
+  // Boolean flags to sweep.
+  std::vector<char> booleans;
+  for (const specs::FlagSpec& f : syntax.flags) {
+    if (!f.takes_arg && f.letter != '\0' &&
+        static_cast<int>(booleans.size()) < max_boolean_flags) {
+      booleans.push_back(f.letter);
+    }
+  }
+  const size_t subsets = static_cast<size_t>(1) << booleans.size();
+  for (size_t mask = 0; mask < subsets; ++mask) {
+    specs::Invocation inv;
+    inv.command = syntax.command;
+    for (size_t b = 0; b < booleans.size(); ++b) {
+      if ((mask >> b) & 1) {
+        inv.flags.insert(booleans[b]);
+      }
+    }
+    inv.operands = operand_values;
+    plan.invocations.push_back(std::move(inv));
+  }
+
+  // Environment shapes: full product over path operands.
+  const OperandShape kShapes[] = {OperandShape::kFile, OperandShape::kDirWithChild,
+                                  OperandShape::kEmptyDir, OperandShape::kAbsent};
+  size_t combos = 1;
+  for (size_t i = 0; i < plan.path_operand_indices.size(); ++i) {
+    combos *= 4;
+  }
+  if (plan.path_operand_indices.empty()) {
+    plan.environments.push_back(ProbeEnvironment{});
+  } else {
+    for (size_t c = 0; c < combos; ++c) {
+      ProbeEnvironment env;
+      size_t rest = c;
+      for (size_t i = 0; i < plan.path_operand_indices.size(); ++i) {
+        env.shapes.push_back(kShapes[rest % 4]);
+        rest /= 4;
+      }
+      plan.environments.push_back(std::move(env));
+    }
+  }
+  return plan;
+}
+
+namespace {
+
+void InstallShape(fs::FileSystem& fs, const std::string& path, OperandShape shape) {
+  switch (shape) {
+    case OperandShape::kFile:
+      // Content is unique per path so copies between operands are observable.
+      fs.WriteFile(path, "content of " + path + "\n");
+      break;
+    case OperandShape::kDirWithChild:
+      fs.MakeDir(path, /*parents=*/true);
+      fs.WriteFile(path + "/child", "child content of " + path + "\n");
+      break;
+    case OperandShape::kEmptyDir:
+      fs.MakeDir(path, /*parents=*/true);
+      break;
+    case OperandShape::kAbsent:
+      break;
+  }
+}
+
+}  // namespace
+
+std::vector<ProbeRecord> RunProbes(const ProbePlan& plan) {
+  std::vector<ProbeRecord> records;
+  records.reserve(plan.invocations.size() * plan.environments.size());
+  for (const specs::Invocation& inv : plan.invocations) {
+    for (const ProbeEnvironment& env : plan.environments) {
+      ProbeRecord rec;
+      rec.invocation = inv;
+      rec.env = env;
+
+      fs::FileSystem fs;
+      fs.MakeDir("/probe", /*parents=*/false);
+      for (size_t i = 0; i < env.shapes.size(); ++i) {
+        InstallShape(fs, ProbeOperandPath(plan.path_operand_indices[static_cast<size_t>(i)]),
+                     env.shapes[i]);
+      }
+      rec.before = fs.TakeSnapshot();
+      fs.ClearTrace();
+
+      std::vector<std::string> argv = inv.ToArgv();
+      exec::RunResult run = exec::RunCommand(fs, argv, /*stdin_data=*/"");
+      rec.exit_code = run.exit_code;
+      rec.stdout_nonempty = !run.out.empty();
+      rec.stderr_nonempty = !run.err.empty();
+      rec.trace = fs.trace();
+      rec.after = fs.TakeSnapshot();
+      records.push_back(std::move(rec));
+    }
+  }
+  return records;
+}
+
+}  // namespace sash::mining

@@ -1,0 +1,39 @@
+// Specification compilation (Fig. 4, right): examine probe traces and apply
+// transformation rules to produce Hoare-style specifications, then validate
+// mined specs against ground truth by behavioral comparison.
+#ifndef SASH_MINING_SPEC_COMPILER_H_
+#define SASH_MINING_SPEC_COMPILER_H_
+
+#include <string>
+#include <vector>
+
+#include "mining/prober.h"
+#include "specs/hoare.h"
+
+namespace sash::mining {
+
+// Compiles probe observations into a CommandSpec:
+//   1. derive per-operand effects from snapshot diffs and the trace;
+//   2. drop boolean flags that never change observable behavior;
+//   3. emit one guarded case per (relevant flag set, operand-state vector).
+specs::CommandSpec CompileSpec(const specs::SyntaxSpec& syntax,
+                               const std::vector<ProbeRecord>& records);
+
+// Behavioral comparison of two specs for the same command: sweeps flag
+// subsets × operand states and compares (exit class, effect classes, stderr).
+struct ValidationReport {
+  int configurations = 0;
+  int agreements = 0;
+  std::vector<std::string> disagreements;
+
+  double Agreement() const {
+    return configurations == 0 ? 1.0 : static_cast<double>(agreements) / configurations;
+  }
+};
+
+ValidationReport CompareBehavior(const specs::CommandSpec& mined,
+                                 const specs::CommandSpec& truth);
+
+}  // namespace sash::mining
+
+#endif  // SASH_MINING_SPEC_COMPILER_H_

@@ -1,0 +1,65 @@
+// The effect guard and the `verify` tool (§5 security):
+//
+//   curl sw.com/up.sh | verify --no-RW ~/mine | sh
+//
+// Verify checks a script against a user policy: statically where possible,
+// and by generating a runtime guard that halts execution the moment a
+// command is about to violate the policy.
+#ifndef SASH_MONITOR_GUARD_H_
+#define SASH_MONITOR_GUARD_H_
+
+#include <string>
+#include <vector>
+
+#include "monitor/interp.h"
+#include "syntax/ast.h"
+
+namespace sash::monitor {
+
+struct EffectPolicy {
+  // Path prefixes that must be neither written, deleted, nor created under
+  // (the paper's --no-RW ~/mine).
+  std::vector<std::string> no_write;
+  // Path prefixes that must not even be read.
+  std::vector<std::string> no_read;
+  // Refuse deletion at the file-system root regardless of other settings.
+  bool block_root_delete = true;
+};
+
+// A CommandHook enforcing the policy, for use with Interpreter: inspects each
+// external command's argv (after expansion — globs are already resolved),
+// predicts its effects from the specification library, and blocks violators.
+// `cwd_provider` supplies the interpreter's working directory for relative
+// paths. Synthetic "__write__ <path>" argvs guard output redirections.
+Interpreter::CommandHook MakeEffectGuard(const EffectPolicy& policy,
+                                         const fs::FileSystem* fs);
+
+// Static half of `verify`: scans the program for commands whose statically
+// known operand prefixes violate the policy. Findings are definite ("this
+// script writes under ~/mine"); dynamic operands are left to the guard.
+struct StaticPolicyFinding {
+  std::string command;   // Rendered command text.
+  std::string path;      // The offending (static) path.
+  std::string rule;      // "no-write" / "no-read" / "root-delete".
+  SourceRange range;
+};
+
+std::vector<StaticPolicyFinding> CheckPolicyStatically(const syntax::Program& program,
+                                                       const EffectPolicy& policy);
+
+// Full verify: static findings plus a guarded run. When `execute` is false
+// (static-only), the script is not run.
+struct VerifyReport {
+  std::vector<StaticPolicyFinding> static_findings;
+  bool executed = false;
+  bool blocked = false;        // The runtime guard halted the script.
+  std::string block_reason;
+  InterpResult run;
+};
+
+VerifyReport Verify(const syntax::Program& program, const EffectPolicy& policy,
+                    fs::FileSystem* fs, InterpOptions options, bool execute);
+
+}  // namespace sash::monitor
+
+#endif  // SASH_MONITOR_GUARD_H_

@@ -1,0 +1,101 @@
+// A concrete POSIX-sh interpreter over the in-memory FileSystem and the
+// exec command models. This is the execution substrate the runtime monitor
+// (§3 insight 3) instruments: it runs real scripts — pipelines, control flow,
+// expansions, globbing, redirections — entirely in the sandbox.
+#ifndef SASH_MONITOR_INTERP_H_
+#define SASH_MONITOR_INTERP_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "exec/commands.h"
+#include "fs/filesystem.h"
+#include "syntax/ast.h"
+
+namespace sash::monitor {
+
+struct InterpOptions {
+  exec::World world;                       // lsb_release / curl configuration.
+  std::vector<std::string> args;           // $1.., with $0 in `script_name`.
+  std::string script_name = "script.sh";
+  std::string stdin_data;
+  int max_steps = 100000;                  // Command-execution budget.
+};
+
+struct InterpResult {
+  int exit_code = 0;
+  std::string out;
+  std::string err;
+  bool budget_exceeded = false;
+  int steps = 0;
+};
+
+class Interpreter {
+ public:
+  // Hooks for the monitor: called around every external command with its
+  // argv and the data that flowed through. Returning false aborts execution
+  // (the monitor "halting the execution of a script about to perform a
+  // dangerous action").
+  using CommandHook =
+      std::function<bool(const std::vector<std::string>& argv, std::string* abort_reason)>;
+  // Called for each line crossing a pipe boundary: (stage_index, line).
+  // Returning false aborts with a stream-type violation.
+  using LineHook = std::function<bool(int stage, const std::string& line,
+                                      std::string* abort_reason)>;
+
+  Interpreter(fs::FileSystem* fs, InterpOptions options);
+
+  void set_command_hook(CommandHook hook) { command_hook_ = std::move(hook); }
+  void set_pipe_line_hook(LineHook hook) { pipe_line_hook_ = std::move(hook); }
+
+  InterpResult Run(const syntax::Program& program);
+
+  // Variable store access (for tests and the verify tool).
+  const std::map<std::string, std::string>& vars() const { return vars_; }
+
+ private:
+  struct ExecContext {
+    std::string stdin_data;
+    std::string* out = nullptr;  // Capture target (pipes/substitutions).
+  };
+
+  int ExecProgram(const syntax::Program& program, ExecContext ctx);
+  int ExecCommand(const syntax::Command& cmd, ExecContext ctx);
+  int ExecSimple(const syntax::Command& cmd, ExecContext ctx);
+  int ExecPipeline(const syntax::Command& cmd, ExecContext ctx);
+  int ExecList(const syntax::Command& cmd, ExecContext ctx);
+
+  // Expansion: a word yields zero or more fields.
+  std::vector<std::string> ExpandWord(const syntax::Word& word, ExecContext& ctx);
+  std::string ExpandParts(const std::vector<syntax::WordPart>& parts, ExecContext& ctx,
+                          bool in_quotes);
+  std::string ExpandParam(const syntax::WordPart& part, ExecContext& ctx);
+  std::string LookupVar(const std::string& name) const;
+  long EvalArith(const std::string& expr);
+
+  int RunTestBuiltin(const std::vector<std::string>& args);
+  void Emit(ExecContext& ctx, const std::string& text);
+  void EmitErr(const std::string& text);
+
+  fs::FileSystem* fs_;
+  InterpOptions options_;
+  std::map<std::string, std::string> vars_;
+  std::map<std::string, const syntax::Command*> functions_;
+  CommandHook command_hook_;
+  LineHook pipe_line_hook_;
+  std::string out_;
+  std::string err_;
+  int last_exit_ = 0;
+  int steps_ = 0;
+  bool aborted_ = false;
+  bool exited_ = false;
+  std::string abort_reason_;
+
+  friend struct InterpreterPeek;
+};
+
+}  // namespace sash::monitor
+
+#endif  // SASH_MONITOR_INTERP_H_

@@ -1,0 +1,58 @@
+// Specification-aware runtime stream monitoring (§3 insight 3 / §4): when
+// static typing cannot conclude safety — typically around untyped commands —
+// the monitor executes the pipeline and checks every line crossing a guarded
+// pipe boundary against the adjacent stages' regular types, halting on the
+// first violation. The trade-off is exactly gradual typing's: monitoring
+// overhead and delayed error detection.
+#ifndef SASH_MONITOR_STREAM_MONITOR_H_
+#define SASH_MONITOR_STREAM_MONITOR_H_
+
+#include <optional>
+#include <string>
+
+#include "monitor/interp.h"
+#include "stream/pipeline.h"
+
+namespace sash::monitor {
+
+struct MonitorPolicy {
+  // false: guard only boundaries adjacent to untyped stages (the gradual
+  // boundary). true: guard every boundary (full dynamic checking).
+  bool monitor_all_boundaries = false;
+};
+
+struct StreamViolation {
+  int boundary = -1;          // Between stage `boundary` and `boundary + 1`.
+  std::string line;           // The offending line.
+  std::string expected;       // The violated type's pattern.
+  std::string producer;       // Upstream command text.
+  std::string consumer;       // Downstream command text.
+};
+
+struct MonitoredRun {
+  InterpResult result;
+  bool violation = false;
+  StreamViolation event;
+  size_t lines_checked = 0;
+  size_t boundaries_monitored = 0;
+};
+
+class StreamMonitor {
+ public:
+  explicit StreamMonitor(rtypes::TypeLibrary lib = rtypes::TypeLibrary::Default(),
+                         MonitorPolicy policy = {})
+      : checker_(std::move(lib)), policy_(policy) {}
+
+  // Runs a program whose body is a pipeline (or single command) under
+  // monitoring. Non-pipeline programs run unmonitored.
+  MonitoredRun Run(const syntax::Program& program, fs::FileSystem* fs,
+                   InterpOptions options) const;
+
+ private:
+  stream::PipelineChecker checker_;
+  MonitorPolicy policy_;
+};
+
+}  // namespace sash::monitor
+
+#endif  // SASH_MONITOR_STREAM_MONITOR_H_

@@ -1,0 +1,295 @@
+#include "regex/ast.h"
+
+namespace sash::regex {
+
+namespace {
+
+NodePtr MakeNode(NodeKind kind, CharSet chars, std::vector<NodePtr> children) {
+  auto node = std::make_shared<Node>();
+  node->kind = kind;
+  node->chars = chars;
+  node->children = std::move(children);
+  return node;
+}
+
+const NodePtr& EmptySingleton() {
+  static const NodePtr kEmpty = MakeNode(NodeKind::kEmpty, CharSet(), {});
+  return kEmpty;
+}
+
+const NodePtr& EpsilonSingleton() {
+  static const NodePtr kEpsilon = MakeNode(NodeKind::kEpsilon, CharSet(), {});
+  return kEpsilon;
+}
+
+}  // namespace
+
+NodePtr MakeEmpty() { return EmptySingleton(); }
+
+NodePtr MakeEpsilon() { return EpsilonSingleton(); }
+
+NodePtr MakeChars(CharSet cs) {
+  if (cs.Empty()) {
+    return MakeEmpty();
+  }
+  return MakeNode(NodeKind::kChars, cs, {});
+}
+
+NodePtr MakeLiteral(std::string_view text) {
+  if (text.empty()) {
+    return MakeEpsilon();
+  }
+  std::vector<NodePtr> parts;
+  parts.reserve(text.size());
+  for (unsigned char c : text) {
+    parts.push_back(MakeChars(CharSet::Of(c)));
+  }
+  return MakeConcat(std::move(parts));
+}
+
+NodePtr MakeConcat(std::vector<NodePtr> parts) {
+  std::vector<NodePtr> flat;
+  for (NodePtr& p : parts) {
+    if (p->kind == NodeKind::kEmpty) {
+      return MakeEmpty();  // ∅ annihilates concatenation.
+    }
+    if (p->kind == NodeKind::kEpsilon) {
+      continue;  // ε is the identity.
+    }
+    if (p->kind == NodeKind::kConcat) {
+      flat.insert(flat.end(), p->children.begin(), p->children.end());
+    } else {
+      flat.push_back(std::move(p));
+    }
+  }
+  if (flat.empty()) {
+    return MakeEpsilon();
+  }
+  if (flat.size() == 1) {
+    return flat[0];
+  }
+  return MakeNode(NodeKind::kConcat, CharSet(), std::move(flat));
+}
+
+NodePtr MakeConcat2(NodePtr a, NodePtr b) {
+  std::vector<NodePtr> parts;
+  parts.push_back(std::move(a));
+  parts.push_back(std::move(b));
+  return MakeConcat(std::move(parts));
+}
+
+NodePtr MakeAlt(std::vector<NodePtr> parts) {
+  std::vector<NodePtr> flat;
+  bool saw_epsilon = false;
+  for (NodePtr& p : parts) {
+    if (p->kind == NodeKind::kEmpty) {
+      continue;  // ∅ is the identity of alternation.
+    }
+    if (p->kind == NodeKind::kAlt) {
+      flat.insert(flat.end(), p->children.begin(), p->children.end());
+      continue;
+    }
+    if (p->kind == NodeKind::kEpsilon) {
+      if (saw_epsilon) {
+        continue;
+      }
+      saw_epsilon = true;
+    }
+    flat.push_back(std::move(p));
+  }
+  // Deduplicate structurally-identical alternatives (cheap n^2 scan; the
+  // alternative lists the engine builds stay small).
+  std::vector<NodePtr> unique;
+  for (NodePtr& p : flat) {
+    bool dup = false;
+    for (const NodePtr& q : unique) {
+      if (StructurallyEqual(p, q)) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) {
+      unique.push_back(std::move(p));
+    }
+  }
+  if (unique.empty()) {
+    return MakeEmpty();
+  }
+  if (unique.size() == 1) {
+    return unique[0];
+  }
+  return MakeNode(NodeKind::kAlt, CharSet(), std::move(unique));
+}
+
+NodePtr MakeAlt2(NodePtr a, NodePtr b) {
+  std::vector<NodePtr> parts;
+  parts.push_back(std::move(a));
+  parts.push_back(std::move(b));
+  return MakeAlt(std::move(parts));
+}
+
+NodePtr MakeStar(NodePtr inner) {
+  if (inner->kind == NodeKind::kEmpty || inner->kind == NodeKind::kEpsilon) {
+    return MakeEpsilon();
+  }
+  if (inner->kind == NodeKind::kStar) {
+    return inner;  // (r*)* = r*
+  }
+  return MakeNode(NodeKind::kStar, CharSet(), {std::move(inner)});
+}
+
+NodePtr MakePlus(NodePtr inner) {
+  NodePtr star = MakeStar(inner);
+  return MakeConcat2(std::move(inner), std::move(star));
+}
+
+NodePtr MakeOptional(NodePtr inner) { return MakeAlt2(std::move(inner), MakeEpsilon()); }
+
+NodePtr MakeRepeat(NodePtr inner, int min, int max) {
+  std::vector<NodePtr> parts;
+  for (int i = 0; i < min; ++i) {
+    parts.push_back(inner);
+  }
+  if (max < 0) {
+    parts.push_back(MakeStar(inner));
+  } else {
+    for (int i = min; i < max; ++i) {
+      parts.push_back(MakeOptional(inner));
+    }
+  }
+  return MakeConcat(std::move(parts));
+}
+
+bool Nullable(const NodePtr& node) {
+  switch (node->kind) {
+    case NodeKind::kEmpty:
+    case NodeKind::kChars:
+      return false;
+    case NodeKind::kEpsilon:
+    case NodeKind::kStar:
+      return true;
+    case NodeKind::kConcat:
+      for (const NodePtr& c : node->children) {
+        if (!Nullable(c)) {
+          return false;
+        }
+      }
+      return true;
+    case NodeKind::kAlt:
+      for (const NodePtr& c : node->children) {
+        if (Nullable(c)) {
+          return true;
+        }
+      }
+      return false;
+  }
+  return false;
+}
+
+bool StructurallyEqual(const NodePtr& a, const NodePtr& b) {
+  if (a.get() == b.get()) {
+    return true;
+  }
+  if (a->kind != b->kind) {
+    return false;
+  }
+  if (a->kind == NodeKind::kChars) {
+    return a->chars == b->chars;
+  }
+  if (a->children.size() != b->children.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a->children.size(); ++i) {
+    if (!StructurallyEqual(a->children[i], b->children[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+// Precedence levels for printing: alt < concat < repetition.
+enum Prec { kPrecAlt = 0, kPrecConcat = 1, kPrecAtom = 2 };
+
+void Render(const NodePtr& node, int parent_prec, std::string& out) {
+  switch (node->kind) {
+    case NodeKind::kEmpty:
+      out += "[]";  // Conventional spelling of the empty language.
+      return;
+    case NodeKind::kEpsilon:
+      out += "()";
+      return;
+    case NodeKind::kChars: {
+      std::string s = node->chars.ToString();
+      // Escape bare metacharacters when the set is a singleton literal ('.'
+      // as the any-char set must stay unescaped).
+      if (node->chars.Count() == 1 && s.size() == 1) {
+        char c = s[0];
+        if (std::string_view("()[]{}|*+?.\\^$").find(c) != std::string_view::npos) {
+          out += '\\';
+        }
+      }
+      out += s;
+      return;
+    }
+    case NodeKind::kConcat: {
+      const bool paren = parent_prec > kPrecConcat;
+      if (paren) {
+        out += '(';
+      }
+      for (const NodePtr& c : node->children) {
+        Render(c, kPrecConcat, out);
+      }
+      if (paren) {
+        out += ')';
+      }
+      return;
+    }
+    case NodeKind::kAlt: {
+      const bool paren = parent_prec > kPrecAlt;
+      if (paren) {
+        out += '(';
+      }
+      // Render "r|ε" as "r?" for readability.
+      bool has_epsilon = false;
+      std::vector<NodePtr> rest;
+      for (const NodePtr& c : node->children) {
+        if (c->kind == NodeKind::kEpsilon) {
+          has_epsilon = true;
+        } else {
+          rest.push_back(c);
+        }
+      }
+      if (has_epsilon && rest.size() == 1) {
+        Render(rest[0], kPrecAtom, out);
+        out += '?';
+      } else {
+        for (size_t i = 0; i < node->children.size(); ++i) {
+          if (i > 0) {
+            out += '|';
+          }
+          Render(node->children[i], kPrecAlt, out);
+        }
+      }
+      if (paren) {
+        out += ')';
+      }
+      return;
+    }
+    case NodeKind::kStar:
+      Render(node->children[0], kPrecAtom, out);
+      out += '*';
+      return;
+  }
+}
+
+}  // namespace
+
+std::string ToPattern(const NodePtr& node) {
+  std::string out;
+  Render(node, kPrecAlt, out);
+  return out;
+}
+
+}  // namespace sash::regex

@@ -1,0 +1,63 @@
+// Abstract syntax of regular expressions. The engine supports the POSIX-ERE
+// subset the paper's regular types use: literals, '.', bracket classes,
+// grouping, alternation, concatenation, and the *, +, ?, {m,n} quantifiers.
+//
+// Nodes are immutable and shared (shared_ptr) so that language operations can
+// reuse subtrees freely, e.g. when building Brzozowski derivatives.
+#ifndef SASH_REGEX_AST_H_
+#define SASH_REGEX_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "regex/char_set.h"
+
+namespace sash::regex {
+
+enum class NodeKind {
+  kEmpty,    // ∅ — the empty language (matches nothing).
+  kEpsilon,  // ε — the language containing only the empty string.
+  kChars,    // A character class (covers single literals too).
+  kConcat,   // r1 r2 ... rn
+  kAlt,      // r1 | r2 | ... | rn
+  kStar,     // r*
+};
+
+struct Node;
+using NodePtr = std::shared_ptr<const Node>;
+
+struct Node {
+  NodeKind kind;
+  CharSet chars;                  // kChars only.
+  std::vector<NodePtr> children;  // kConcat / kAlt: >=2, kStar: ==1.
+};
+
+// Smart constructors. These apply cheap algebraic simplifications (identity
+// and annihilator laws) so that derivative chains do not blow up:
+//   ∅·r = ∅, ε·r = r, r|∅ = r, (r*)* = r*, ...
+NodePtr MakeEmpty();
+NodePtr MakeEpsilon();
+NodePtr MakeChars(CharSet cs);
+NodePtr MakeLiteral(std::string_view text);  // Concatenation of singletons.
+NodePtr MakeConcat(std::vector<NodePtr> parts);
+NodePtr MakeConcat2(NodePtr a, NodePtr b);
+NodePtr MakeAlt(std::vector<NodePtr> parts);
+NodePtr MakeAlt2(NodePtr a, NodePtr b);
+NodePtr MakeStar(NodePtr inner);
+NodePtr MakePlus(NodePtr inner);      // rr*
+NodePtr MakeOptional(NodePtr inner);  // r|ε
+NodePtr MakeRepeat(NodePtr inner, int min, int max);  // max < 0 means unbounded.
+
+// True when the node's language contains the empty string.
+bool Nullable(const NodePtr& node);
+
+// Structural equality (used to cache derivative states).
+bool StructurallyEqual(const NodePtr& a, const NodePtr& b);
+
+// Renders the AST back into a pattern string (parenthesized as needed).
+std::string ToPattern(const NodePtr& node);
+
+}  // namespace sash::regex
+
+#endif  // SASH_REGEX_AST_H_

@@ -1,0 +1,75 @@
+#include "regex/char_set.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace sash::regex {
+
+unsigned char CharSet::First() const {
+  for (int c = 0; c < kAlphabetSize; ++c) {
+    if (bits_.test(static_cast<size_t>(c))) {
+      return static_cast<unsigned char>(c);
+    }
+  }
+  return 0;
+}
+
+namespace {
+
+void AppendChar(std::string& out, int c) {
+  if (std::isprint(c) && c != '\\' && c != ']' && c != '-' && c != '^') {
+    out += static_cast<char>(c);
+  } else if (c == '\n') {
+    out += "\\n";
+  } else if (c == '\t') {
+    out += "\\t";
+  } else {
+    char buf[8];
+    std::snprintf(buf, sizeof(buf), "\\x%02x", c);
+    out += buf;
+  }
+}
+
+}  // namespace
+
+std::string CharSet::ToString() const {
+  if (*this == AnyExceptNewline()) {
+    return ".";
+  }
+  if (Count() == 1) {
+    std::string out;
+    AppendChar(out, First());
+    return out;
+  }
+  const bool negate = Count() > kAlphabetSize / 2;
+  const CharSet shown = negate ? Complement() : *this;
+  std::string out = "[";
+  if (negate) {
+    out += "^";
+  }
+  int c = 0;
+  while (c < kAlphabetSize) {
+    if (!shown.Contains(static_cast<unsigned char>(c))) {
+      ++c;
+      continue;
+    }
+    int end = c;
+    while (end + 1 < kAlphabetSize && shown.Contains(static_cast<unsigned char>(end + 1))) {
+      ++end;
+    }
+    if (end - c >= 2) {
+      AppendChar(out, c);
+      out += '-';
+      AppendChar(out, end);
+    } else {
+      for (int k = c; k <= end; ++k) {
+        AppendChar(out, k);
+      }
+    }
+    c = end + 1;
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace sash::regex

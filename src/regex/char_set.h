@@ -1,0 +1,96 @@
+// A set of byte values (0..255), the alphabet unit of the regular-language
+// engine. Regular types operate over raw bytes because Unix streams are raw
+// bytes (§1 of the paper: commands communicate "through raw bytes").
+#ifndef SASH_REGEX_CHAR_SET_H_
+#define SASH_REGEX_CHAR_SET_H_
+
+#include <bitset>
+#include <cstdint>
+#include <string>
+
+namespace sash::regex {
+
+class CharSet {
+ public:
+  static constexpr int kAlphabetSize = 256;
+
+  CharSet() = default;
+
+  // Singleton set {c}.
+  static CharSet Of(unsigned char c) {
+    CharSet s;
+    s.bits_.set(c);
+    return s;
+  }
+
+  // Inclusive range [lo, hi].
+  static CharSet Range(unsigned char lo, unsigned char hi) {
+    CharSet s;
+    for (int c = lo; c <= hi; ++c) {
+      s.bits_.set(static_cast<size_t>(c));
+    }
+    return s;
+  }
+
+  // All bytes. Note POSIX '.' excludes newline; see AnyExceptNewline().
+  static CharSet All() {
+    CharSet s;
+    s.bits_.set();
+    return s;
+  }
+
+  // The language of '.' in line-oriented regular types: any byte but '\n'.
+  static CharSet AnyExceptNewline() {
+    CharSet s = All();
+    s.bits_.reset('\n');
+    return s;
+  }
+
+  void Add(unsigned char c) { bits_.set(c); }
+  void AddRange(unsigned char lo, unsigned char hi) {
+    for (int c = lo; c <= hi; ++c) {
+      bits_.set(static_cast<size_t>(c));
+    }
+  }
+
+  bool Contains(unsigned char c) const { return bits_.test(c); }
+  bool Empty() const { return bits_.none(); }
+  size_t Count() const { return bits_.count(); }
+
+  CharSet Complement() const {
+    CharSet s = *this;
+    s.bits_.flip();
+    return s;
+  }
+  CharSet Union(const CharSet& o) const {
+    CharSet s = *this;
+    s.bits_ |= o.bits_;
+    return s;
+  }
+  CharSet Intersect(const CharSet& o) const {
+    CharSet s = *this;
+    s.bits_ &= o.bits_;
+    return s;
+  }
+  CharSet Minus(const CharSet& o) const {
+    CharSet s = *this;
+    s.bits_ &= ~o.bits_;
+    return s;
+  }
+
+  bool operator==(const CharSet& o) const { return bits_ == o.bits_; }
+
+  // Smallest byte in the set; requires !Empty().
+  unsigned char First() const;
+
+  // A printable representation such as "[a-f0-9]" used when synthesizing
+  // pattern strings for derived languages.
+  std::string ToString() const;
+
+ private:
+  std::bitset<kAlphabetSize> bits_;
+};
+
+}  // namespace sash::regex
+
+#endif  // SASH_REGEX_CHAR_SET_H_

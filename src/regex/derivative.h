@@ -1,0 +1,23 @@
+// Brzozowski derivatives: an online matching strategy that never builds an
+// automaton. The runtime monitor uses this for one-shot checks of rarely-seen
+// types, where full determinization would cost more than it saves; long-lived
+// stream checks use the DFA path instead (see Regex::dfa()).
+#ifndef SASH_REGEX_DERIVATIVE_H_
+#define SASH_REGEX_DERIVATIVE_H_
+
+#include <string_view>
+
+#include "regex/ast.h"
+
+namespace sash::regex {
+
+// ∂_c(node): the language of suffixes s such that c·s ∈ L(node).
+NodePtr Derivative(const NodePtr& node, unsigned char c);
+
+// Full-string match by iterated derivatives: s ∈ L(node) iff
+// Nullable(∂_s(node)).
+bool DerivativeMatch(const NodePtr& node, std::string_view input);
+
+}  // namespace sash::regex
+
+#endif  // SASH_REGEX_DERIVATIVE_H_

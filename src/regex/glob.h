@@ -1,0 +1,22 @@
+// Shell glob patterns as regular languages: lets the analyses answer
+// "can/must this symbolic value match this case pattern" by language
+// intersection and inclusion.
+#ifndef SASH_REGEX_GLOB_H_
+#define SASH_REGEX_GLOB_H_
+
+#include <string_view>
+
+#include "regex/regex.h"
+
+namespace sash::regex {
+
+// The language of strings matched by shell glob `pattern` (fnmatch
+// semantics): '*' any run, '?' one char, '[...]' classes (with '!'/'^'
+// negation), '\' escapes. '*' and '?' here may match '/' and dots — glob
+// pathname restrictions are a property of pathname expansion, not of the
+// textual match used by `case`.
+Regex GlobLanguage(std::string_view pattern);
+
+}  // namespace sash::regex
+
+#endif  // SASH_REGEX_GLOB_H_

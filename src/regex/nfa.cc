@@ -1,0 +1,135 @@
+#include "regex/nfa.h"
+
+namespace sash::regex {
+
+namespace {
+
+class Builder {
+ public:
+  Nfa Build(const NodePtr& node) {
+    auto [s, a] = Compile(node);
+    nfa_.start = s;
+    nfa_.accept = a;
+    return std::move(nfa_);
+  }
+
+ private:
+  int NewState() {
+    nfa_.states.emplace_back();
+    return static_cast<int>(nfa_.states.size()) - 1;
+  }
+
+  void AddEpsilon(int from, int to) { nfa_.states[from].epsilon.push_back(to); }
+
+  void AddTransition(int from, CharSet on, int to) {
+    nfa_.states[from].transitions.push_back(NfaTransition{on, to});
+  }
+
+  // Returns {start, accept} for the fragment recognizing `node`.
+  std::pair<int, int> Compile(const NodePtr& node) {
+    switch (node->kind) {
+      case NodeKind::kEmpty: {
+        int s = NewState();
+        int a = NewState();
+        // No transition: the accept state is unreachable.
+        return {s, a};
+      }
+      case NodeKind::kEpsilon: {
+        int s = NewState();
+        int a = NewState();
+        AddEpsilon(s, a);
+        return {s, a};
+      }
+      case NodeKind::kChars: {
+        int s = NewState();
+        int a = NewState();
+        AddTransition(s, node->chars, a);
+        return {s, a};
+      }
+      case NodeKind::kConcat: {
+        std::pair<int, int> first = Compile(node->children[0]);
+        int cur_accept = first.second;
+        for (size_t i = 1; i < node->children.size(); ++i) {
+          std::pair<int, int> next = Compile(node->children[i]);
+          AddEpsilon(cur_accept, next.first);
+          cur_accept = next.second;
+        }
+        return {first.first, cur_accept};
+      }
+      case NodeKind::kAlt: {
+        int s = NewState();
+        int a = NewState();
+        for (const NodePtr& child : node->children) {
+          std::pair<int, int> frag = Compile(child);
+          AddEpsilon(s, frag.first);
+          AddEpsilon(frag.second, a);
+        }
+        return {s, a};
+      }
+      case NodeKind::kStar: {
+        int s = NewState();
+        int a = NewState();
+        std::pair<int, int> frag = Compile(node->children[0]);
+        AddEpsilon(s, frag.first);
+        AddEpsilon(s, a);
+        AddEpsilon(frag.second, frag.first);
+        AddEpsilon(frag.second, a);
+        return {s, a};
+      }
+    }
+    int s = NewState();
+    return {s, s};
+  }
+
+  Nfa nfa_;
+};
+
+}  // namespace
+
+Nfa CompileToNfa(const NodePtr& node) { return Builder().Build(node); }
+
+namespace {
+
+// Appends all states of `src` to `dst`, returning the index offset applied.
+int AppendStates(Nfa* dst, const Nfa& src) {
+  const int offset = static_cast<int>(dst->states.size());
+  for (const NfaState& st : src.states) {
+    NfaState copy = st;
+    for (NfaTransition& tr : copy.transitions) {
+      tr.target += offset;
+    }
+    for (int& e : copy.epsilon) {
+      e += offset;
+    }
+    dst->states.push_back(std::move(copy));
+  }
+  return offset;
+}
+
+}  // namespace
+
+Nfa ConcatNfa(const Nfa& a, const Nfa& b) {
+  Nfa out;
+  const int oa = AppendStates(&out, a);
+  const int ob = AppendStates(&out, b);
+  out.start = a.start + oa;
+  out.accept = b.accept + ob;
+  out.states[static_cast<size_t>(a.accept + oa)].epsilon.push_back(b.start + ob);
+  return out;
+}
+
+Nfa StarNfa(const Nfa& a) {
+  Nfa out;
+  const int oa = AppendStates(&out, a);
+  out.states.emplace_back();  // New start.
+  out.states.emplace_back();  // New accept.
+  out.start = static_cast<int>(out.states.size()) - 2;
+  out.accept = static_cast<int>(out.states.size()) - 1;
+  out.states[static_cast<size_t>(out.start)].epsilon.push_back(a.start + oa);
+  out.states[static_cast<size_t>(out.start)].epsilon.push_back(out.accept);
+  out.states[static_cast<size_t>(a.accept + oa)].epsilon.push_back(a.start + oa);
+  out.states[static_cast<size_t>(a.accept + oa)].epsilon.push_back(out.accept);
+  return out;
+}
+
+}  // namespace sash::regex

@@ -1,0 +1,40 @@
+// Thompson construction: regex AST -> nondeterministic finite automaton.
+// The NFA is an intermediate form; all language algebra happens on the DFA.
+#ifndef SASH_REGEX_NFA_H_
+#define SASH_REGEX_NFA_H_
+
+#include <vector>
+
+#include "regex/ast.h"
+
+namespace sash::regex {
+
+struct NfaTransition {
+  CharSet on;  // Bytes that take this transition.
+  int target = -1;
+};
+
+struct NfaState {
+  std::vector<NfaTransition> transitions;
+  std::vector<int> epsilon;  // ε-moves.
+};
+
+struct Nfa {
+  std::vector<NfaState> states;
+  int start = 0;
+  int accept = 0;  // Thompson construction yields a single accepting state.
+
+  size_t size() const { return states.size(); }
+};
+
+// Builds an NFA recognizing exactly the language of `node`.
+Nfa CompileToNfa(const NodePtr& node);
+
+// NFA-level combinators, used to implement language operations on automata
+// that have no AST (e.g. complements). Inputs are copied.
+Nfa ConcatNfa(const Nfa& a, const Nfa& b);
+Nfa StarNfa(const Nfa& a);
+
+}  // namespace sash::regex
+
+#endif  // SASH_REGEX_NFA_H_

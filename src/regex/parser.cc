@@ -1,0 +1,390 @@
+#include "regex/parser.h"
+
+#include <cctype>
+
+namespace sash::regex {
+
+namespace {
+
+CharSet DigitSet() { return CharSet::Range('0', '9'); }
+
+CharSet WordSet() {
+  CharSet s = CharSet::Range('a', 'z').Union(CharSet::Range('A', 'Z')).Union(DigitSet());
+  s.Add('_');
+  return s;
+}
+
+CharSet SpaceSet() {
+  CharSet s;
+  s.Add(' ');
+  s.Add('\t');
+  s.Add('\n');
+  s.Add('\r');
+  s.Add('\f');
+  s.Add('\v');
+  return s;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view pattern) : pattern_(pattern) {}
+
+  ParseResult Parse() {
+    ParseResult result;
+    // Whole-string anchors at the edges are tolerated and ignored.
+    if (!pattern_.empty() && pattern_.front() == '^') {
+      pos_ = 1;
+    }
+    size_t effective_end = pattern_.size();
+    if (effective_end > pos_ && pattern_[effective_end - 1] == '$' &&
+        (effective_end < 2 || pattern_[effective_end - 2] != '\\')) {
+      --effective_end;
+    }
+    end_ = effective_end;
+
+    NodePtr node = ParseAlt();
+    if (error_) {
+      result.error = error_;
+      return result;
+    }
+    if (pos_ != end_) {
+      result.error = ParseError{pos_, "unexpected character '" + std::string(1, pattern_[pos_]) +
+                                          "' (unbalanced ')'?)"};
+      return result;
+    }
+    result.node = std::move(node);
+    return result;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= end_; }
+  char Peek() const { return pattern_[pos_]; }
+  char Next() { return pattern_[pos_++]; }
+
+  void Fail(std::string message) {
+    if (!error_) {
+      error_ = ParseError{pos_, std::move(message)};
+    }
+  }
+
+  NodePtr ParseAlt() {
+    std::vector<NodePtr> alts;
+    alts.push_back(ParseConcat());
+    while (!AtEnd() && Peek() == '|' && !error_) {
+      Next();
+      alts.push_back(ParseConcat());
+    }
+    if (error_) {
+      return MakeEmpty();
+    }
+    return MakeAlt(std::move(alts));
+  }
+
+  NodePtr ParseConcat() {
+    std::vector<NodePtr> parts;
+    while (!AtEnd() && Peek() != '|' && Peek() != ')' && !error_) {
+      parts.push_back(ParseRepeat());
+    }
+    if (error_) {
+      return MakeEmpty();
+    }
+    return MakeConcat(std::move(parts));
+  }
+
+  NodePtr ParseRepeat() {
+    NodePtr atom = ParseAtom();
+    while (!AtEnd() && !error_) {
+      char c = Peek();
+      if (c == '*') {
+        Next();
+        atom = MakeStar(std::move(atom));
+      } else if (c == '+') {
+        Next();
+        atom = MakePlus(std::move(atom));
+      } else if (c == '?') {
+        Next();
+        atom = MakeOptional(std::move(atom));
+      } else if (c == '{') {
+        size_t save = pos_;
+        int min = 0;
+        int max = -1;
+        if (ParseBound(&min, &max)) {
+          if (max >= 0 && max < min) {
+            Fail("repetition bound {m,n} with n < m");
+            return MakeEmpty();
+          }
+          if (min > 256 || max > 256) {
+            Fail("repetition bound too large (limit 256)");
+            return MakeEmpty();
+          }
+          atom = MakeRepeat(std::move(atom), min, max);
+        } else {
+          pos_ = save;  // Literal '{'.
+          break;
+        }
+      } else {
+        break;
+      }
+    }
+    return atom;
+  }
+
+  // Parses "{m}", "{m,}", or "{m,n}" after the caller saw '{'. Returns false
+  // (without error) when the text is not a valid bound, treating '{' literal.
+  bool ParseBound(int* min, int* max) {
+    size_t p = pos_ + 1;  // Skip '{'.
+    int m = 0;
+    bool any = false;
+    while (p < end_ && std::isdigit(static_cast<unsigned char>(pattern_[p]))) {
+      m = m * 10 + (pattern_[p] - '0');
+      ++p;
+      any = true;
+    }
+    if (!any) {
+      return false;
+    }
+    int n = -1;
+    if (p < end_ && pattern_[p] == ',') {
+      ++p;
+      if (p < end_ && std::isdigit(static_cast<unsigned char>(pattern_[p]))) {
+        n = 0;
+        while (p < end_ && std::isdigit(static_cast<unsigned char>(pattern_[p]))) {
+          n = n * 10 + (pattern_[p] - '0');
+          ++p;
+        }
+      }
+    } else {
+      n = m;
+    }
+    if (p >= end_ || pattern_[p] != '}') {
+      return false;
+    }
+    pos_ = p + 1;
+    *min = m;
+    *max = n;
+    return true;
+  }
+
+  NodePtr ParseAtom() {
+    if (AtEnd()) {
+      Fail("expected an atom");
+      return MakeEmpty();
+    }
+    char c = Next();
+    switch (c) {
+      case '(': {
+        NodePtr inner = ParseAlt();
+        if (AtEnd() || Peek() != ')') {
+          Fail("missing ')'");
+          return MakeEmpty();
+        }
+        Next();
+        return inner;
+      }
+      case '.':
+        return MakeChars(CharSet::AnyExceptNewline());
+      case '[':
+        return ParseBracket();
+      case '\\':
+        return ParseEscape();
+      case '^':
+      case '$':
+        Fail("anchors are only supported at pattern edges");
+        return MakeEmpty();
+      case '*':
+      case '+':
+      case '?':
+        Fail("quantifier with nothing to repeat");
+        return MakeEmpty();
+      default:
+        return MakeChars(CharSet::Of(static_cast<unsigned char>(c)));
+    }
+  }
+
+  NodePtr ParseEscape() {
+    if (AtEnd()) {
+      Fail("trailing backslash");
+      return MakeEmpty();
+    }
+    char c = Next();
+    switch (c) {
+      case 'n':
+        return MakeChars(CharSet::Of('\n'));
+      case 't':
+        return MakeChars(CharSet::Of('\t'));
+      case 'r':
+        return MakeChars(CharSet::Of('\r'));
+      case 'd':
+        return MakeChars(DigitSet());
+      case 'D':
+        return MakeChars(DigitSet().Complement());
+      case 'w':
+        return MakeChars(WordSet());
+      case 'W':
+        return MakeChars(WordSet().Complement());
+      case 's':
+        return MakeChars(SpaceSet());
+      case 'S':
+        return MakeChars(SpaceSet().Complement());
+      default:
+        // Any other escaped byte is that literal byte (covers \. \\ \[ etc.).
+        return MakeChars(CharSet::Of(static_cast<unsigned char>(c)));
+    }
+  }
+
+  // Parses a bracket expression after the caller consumed '['.
+  NodePtr ParseBracket() {
+    CharSet set;
+    bool negate = false;
+    if (!AtEnd() && Peek() == '^') {
+      Next();
+      negate = true;
+    }
+    bool first = true;
+    while (true) {
+      if (AtEnd()) {
+        Fail("missing ']'");
+        return MakeEmpty();
+      }
+      char c = Next();
+      if (c == ']' && !first) {
+        break;
+      }
+      first = false;
+      if (c == '[' && !AtEnd() && Peek() == ':') {
+        if (!ParseNamedClass(&set)) {
+          return MakeEmpty();
+        }
+        continue;
+      }
+      unsigned char lo;
+      if (c == '\\' && !AtEnd()) {
+        char e = Next();
+        CharSet esc = EscapeClassSet(e);
+        if (!esc.Empty() && esc.Count() > 1) {
+          set = set.Union(esc);
+          continue;
+        }
+        lo = EscapeLiteral(e);
+      } else {
+        lo = static_cast<unsigned char>(c);
+      }
+      // Range "a-z"? A '-' at the end of the class is a literal.
+      if (!AtEnd() && Peek() == '-' && pos_ + 1 < end_ && pattern_[pos_ + 1] != ']') {
+        Next();  // '-'
+        char hc = Next();
+        unsigned char hi;
+        if (hc == '\\' && !AtEnd()) {
+          hi = EscapeLiteral(Next());
+        } else {
+          hi = static_cast<unsigned char>(hc);
+        }
+        if (hi < lo) {
+          Fail("invalid character range");
+          return MakeEmpty();
+        }
+        set.AddRange(lo, hi);
+      } else {
+        set.Add(lo);
+      }
+    }
+    if (negate) {
+      set = set.Complement();
+      // A negated class never matches newline in line-oriented types.
+      set = set.Minus(CharSet::Of('\n'));
+    }
+    return MakeChars(set);
+  }
+
+  // Returns a multi-character set for class escapes (\d, \w, \s) or an empty
+  // set when `e` is a plain literal escape.
+  static CharSet EscapeClassSet(char e) {
+    switch (e) {
+      case 'd':
+        return DigitSet();
+      case 'w':
+        return WordSet();
+      case 's':
+        return SpaceSet();
+      default:
+        return CharSet();
+    }
+  }
+
+  static unsigned char EscapeLiteral(char e) {
+    switch (e) {
+      case 'n':
+        return '\n';
+      case 't':
+        return '\t';
+      case 'r':
+        return '\r';
+      default:
+        return static_cast<unsigned char>(e);
+    }
+  }
+
+  // Parses "[:name:]" after the caller consumed '['.
+  bool ParseNamedClass(CharSet* set) {
+    Next();  // ':'
+    std::string name;
+    while (!AtEnd() && Peek() != ':') {
+      name += Next();
+    }
+    if (AtEnd() || pos_ + 1 >= end_ + 1 || Peek() != ':') {
+      Fail("unterminated [:class:]");
+      return false;
+    }
+    Next();  // ':'
+    if (AtEnd() || Peek() != ']') {
+      Fail("unterminated [:class:]");
+      return false;
+    }
+    Next();  // ']'
+    if (name == "digit") {
+      *set = set->Union(DigitSet());
+    } else if (name == "alpha") {
+      *set = set->Union(CharSet::Range('a', 'z').Union(CharSet::Range('A', 'Z')));
+    } else if (name == "alnum") {
+      *set = set->Union(CharSet::Range('a', 'z').Union(CharSet::Range('A', 'Z')).Union(DigitSet()));
+    } else if (name == "upper") {
+      *set = set->Union(CharSet::Range('A', 'Z'));
+    } else if (name == "lower") {
+      *set = set->Union(CharSet::Range('a', 'z'));
+    } else if (name == "space") {
+      *set = set->Union(SpaceSet());
+    } else if (name == "xdigit") {
+      *set = set->Union(DigitSet().Union(CharSet::Range('a', 'f')).Union(CharSet::Range('A', 'F')));
+    } else if (name == "punct") {
+      CharSet punct;
+      for (int c = 0x21; c <= 0x7e; ++c) {
+        if (!std::isalnum(c)) {
+          punct.Add(static_cast<unsigned char>(c));
+        }
+      }
+      *set = set->Union(punct);
+    } else if (name == "print") {
+      *set = set->Union(CharSet::Range(0x20, 0x7e));
+    } else if (name == "blank") {
+      CharSet blank;
+      blank.Add(' ');
+      blank.Add('\t');
+      *set = set->Union(blank);
+    } else {
+      Fail("unknown character class [:" + name + ":]");
+      return false;
+    }
+    return true;
+  }
+
+  std::string_view pattern_;
+  size_t pos_ = 0;
+  size_t end_ = 0;
+  std::optional<ParseError> error_;
+};
+
+}  // namespace
+
+ParseResult ParsePattern(std::string_view pattern) { return Parser(pattern).Parse(); }
+
+}  // namespace sash::regex

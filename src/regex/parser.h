@@ -1,0 +1,37 @@
+// Parser for the POSIX-ERE subset used by regular types:
+//   literals, escapes (\n \t \d \w \s \. etc.), '.', bracket classes
+//   ([a-f0-9], [^/], named classes [[:digit:]], ...), grouping '()',
+//   alternation '|', quantifiers '*' '+' '?' '{m}' '{m,}' '{m,n}'.
+//
+// Anchors: regular types denote whole-string (whole-line) languages, so a
+// leading '^' and trailing '$' are accepted and ignored; an interior anchor is
+// an error. Unanchored *search* semantics (grep patterns) are handled by the
+// caller wrapping the pattern — see Regex::FromSearchPattern.
+#ifndef SASH_REGEX_PARSER_H_
+#define SASH_REGEX_PARSER_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "regex/ast.h"
+
+namespace sash::regex {
+
+struct ParseError {
+  size_t offset = 0;
+  std::string message;
+};
+
+struct ParseResult {
+  NodePtr node;
+  std::optional<ParseError> error;
+  bool ok() const { return !error.has_value(); }
+};
+
+// Parses `pattern` into an AST. On failure, `node` is null and `error` set.
+ParseResult ParsePattern(std::string_view pattern);
+
+}  // namespace sash::regex
+
+#endif  // SASH_REGEX_PARSER_H_

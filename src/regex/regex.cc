@@ -1,0 +1,149 @@
+#include "regex/regex.h"
+
+#include <mutex>
+
+#include "regex/parser.h"
+
+namespace sash::regex {
+
+struct Regex::LazyDfa {
+  std::once_flag once;
+  std::optional<Dfa> dfa;      // Built on demand from the AST.
+  std::optional<Dfa> direct;   // Set when constructed from a DFA.
+};
+
+Regex::Regex(std::string pattern, NodePtr ast)
+    : pattern_(std::move(pattern)), ast_(std::move(ast)), lazy_(std::make_shared<LazyDfa>()) {}
+
+Regex::Regex(std::string pattern, Dfa dfa)
+    : pattern_(std::move(pattern)), lazy_(std::make_shared<LazyDfa>()) {
+  lazy_->direct = std::move(dfa);
+}
+
+std::optional<Regex> Regex::FromPattern(std::string_view pattern, std::string* error_out) {
+  ParseResult result = ParsePattern(pattern);
+  if (!result.ok()) {
+    if (error_out != nullptr) {
+      *error_out = "at offset " + std::to_string(result.error->offset) + ": " +
+                   result.error->message;
+    }
+    return std::nullopt;
+  }
+  return Regex(std::string(pattern), std::move(result.node));
+}
+
+std::optional<Regex> Regex::FromSearchPattern(std::string_view pattern, std::string* error_out) {
+  bool anchor_start = false;
+  bool anchor_end = false;
+  std::string_view body = pattern;
+  if (!body.empty() && body.front() == '^') {
+    anchor_start = true;
+    body.remove_prefix(1);
+  }
+  if (!body.empty() && body.back() == '$' && (body.size() < 2 || body[body.size() - 2] != '\\')) {
+    anchor_end = true;
+    body.remove_suffix(1);
+  }
+  ParseResult result = ParsePattern(body);
+  if (!result.ok()) {
+    if (error_out != nullptr) {
+      *error_out = "at offset " + std::to_string(result.error->offset) + ": " +
+                   result.error->message;
+    }
+    return std::nullopt;
+  }
+  NodePtr any = MakeStar(MakeChars(CharSet::AnyExceptNewline()));
+  NodePtr node = result.node;
+  if (!anchor_start) {
+    node = MakeConcat2(any, std::move(node));
+  }
+  if (!anchor_end) {
+    node = MakeConcat2(std::move(node), any);
+  }
+  std::string display = ToPattern(node);
+  return Regex(std::move(display), std::move(node));
+}
+
+Regex Regex::Literal(std::string_view text) {
+  NodePtr node = MakeLiteral(text);
+  std::string pattern = ToPattern(node);
+  return Regex(std::move(pattern), std::move(node));
+}
+
+Regex Regex::AnyLine() {
+  NodePtr node = MakeStar(MakeChars(CharSet::AnyExceptNewline()));
+  return Regex(".*", std::move(node));
+}
+
+Regex Regex::Nothing() { return Regex("[]", MakeEmpty()); }
+
+Regex Regex::Epsilon() { return Regex("()", MakeEpsilon()); }
+
+Regex Regex::FromAst(NodePtr node) {
+  std::string pattern = ToPattern(node);
+  return Regex(std::move(pattern), std::move(node));
+}
+
+const Dfa& Regex::dfa() const {
+  if (lazy_->direct.has_value()) {
+    return *lazy_->direct;
+  }
+  std::call_once(lazy_->once, [this] { lazy_->dfa = Dfa::FromAst(ast_).Minimize(); });
+  return *lazy_->dfa;
+}
+
+bool Regex::Matches(std::string_view input) const { return dfa().Accepts(input); }
+
+Regex Regex::Intersect(const Regex& other) const {
+  Dfa product = dfa().Intersect(other.dfa()).Minimize();
+  std::string pattern = "(" + pattern_ + ")&(" + other.pattern_ + ")";
+  return Regex(std::move(pattern), std::move(product));
+}
+
+Regex Regex::Union(const Regex& other) const {
+  if (ast_ != nullptr && other.ast_ != nullptr) {
+    NodePtr node = MakeAlt2(ast_, other.ast_);
+    return FromAst(std::move(node));
+  }
+  Dfa product = dfa().Union(other.dfa()).Minimize();
+  std::string pattern = "(" + pattern_ + ")|(" + other.pattern_ + ")";
+  return Regex(std::move(pattern), std::move(product));
+}
+
+Regex Regex::Concat(const Regex& other) const {
+  if (ast_ != nullptr && other.ast_ != nullptr) {
+    return FromAst(MakeConcat2(ast_, other.ast_));
+  }
+  // At least one side exists only as an automaton (e.g. a complement); compose
+  // at the NFA level and re-determinize.
+  Nfa combined = ConcatNfa(dfa().ToNfa(), other.dfa().ToNfa());
+  Dfa result = Dfa::FromNfa(combined).Minimize();
+  return Regex("(" + pattern_ + ")(" + other.pattern_ + ")", std::move(result));
+}
+
+Regex Regex::Complement() const {
+  Dfa complement = dfa().Complement().Minimize();
+  return Regex("!(" + pattern_ + ")", std::move(complement));
+}
+
+Regex Regex::Star() const {
+  if (ast_ != nullptr) {
+    return FromAst(MakeStar(ast_));
+  }
+  Dfa result = Dfa::FromNfa(StarNfa(dfa().ToNfa())).Minimize();
+  return Regex("(" + pattern_ + ")*", std::move(result));
+}
+
+bool Regex::IsEmptyLanguage() const { return dfa().IsEmptyLanguage(); }
+
+bool Regex::IsUniversal() const { return dfa().IsUniversal(); }
+
+bool Regex::IncludedIn(const Regex& other) const { return dfa().IncludedIn(other.dfa()); }
+
+bool Regex::EquivalentTo(const Regex& other) const { return dfa().EquivalentTo(other.dfa()); }
+
+std::optional<std::string> Regex::Witness() const { return dfa().ShortestWitness(); }
+
+std::vector<std::string> Regex::Samples(size_t limit) const { return dfa().SampleStrings(limit); }
+
+}  // namespace sash::regex

@@ -1,0 +1,273 @@
+#include "specs/hoare.h"
+
+namespace sash::specs {
+
+std::string_view PathStateName(PathState s) {
+  switch (s) {
+    case PathState::kAny:
+      return "any";
+    case PathState::kExists:
+      return "path.FD";
+    case PathState::kIsFile:
+      return "path.F";
+    case PathState::kIsDir:
+      return "path.D";
+    case PathState::kAbsent:
+      return "absent";
+  }
+  return "?";
+}
+
+std::string_view EffectKindName(EffectKind k) {
+  switch (k) {
+    case EffectKind::kNone:
+      return "none";
+    case EffectKind::kDeleteTree:
+      return "delete-tree";
+    case EffectKind::kDeleteFile:
+      return "delete-file";
+    case EffectKind::kDeleteEmptyDir:
+      return "delete-empty-dir";
+    case EffectKind::kCreateFile:
+      return "create-file";
+    case EffectKind::kCreateDir:
+      return "create-dir";
+    case EffectKind::kTruncateWrite:
+      return "truncate-write";
+    case EffectKind::kWriteUnder:
+      return "write-under";
+    case EffectKind::kReadFile:
+      return "read-file";
+    case EffectKind::kCopyToLast:
+      return "copy-to-last";
+    case EffectKind::kMoveToLast:
+      return "move-to-last";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string SelName(const OperandSel& sel) {
+  switch (sel.kind) {
+    case OperandSel::Kind::kEach:
+      return "$p";
+    case OperandSel::Kind::kIndex:
+      return "$p" + std::to_string(sel.index);
+    case OperandSel::Kind::kLast:
+      return "$dst";
+    case OperandSel::Kind::kAllButLast:
+      return "$src";
+    case OperandSel::Kind::kAllButFirst:
+      return "$file";
+  }
+  return "$p";
+}
+
+}  // namespace
+
+bool SpecCase::FlagsMatch(const Invocation& inv) const {
+  for (char f : required_flags) {
+    if (!inv.HasFlag(f)) {
+      return false;
+    }
+  }
+  for (char f : forbidden_flags) {
+    if (inv.HasFlag(f)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string SpecCase::ToHoareString(const std::string& command) const {
+  std::string pre_s;
+  bool first = true;
+  for (const PreCond& p : pre) {
+    if (p.state == PathState::kAny) {
+      continue;
+    }
+    if (!first) {
+      pre_s += " ∧ ";
+    }
+    first = false;
+    std::string name = SelName(p.sel);
+    if (p.state == PathState::kAbsent) {
+      pre_s += "(∄ " + name + ")";
+    } else {
+      pre_s += "(∃ " + name + ") ∧ (arg " + name + " " + std::string(PathStateName(p.state)) + ")";
+    }
+  }
+  if (pre_s.empty()) {
+    pre_s = "true";
+  }
+  std::string cmd_s = command;
+  for (char f : required_flags) {
+    cmd_s += std::string(" -") + f;
+  }
+  cmd_s += " $p";
+  std::string post_s;
+  first = true;
+  for (const Effect& e : effects) {
+    if (e.kind == EffectKind::kNone) {
+      continue;
+    }
+    if (!first) {
+      post_s += " ∧ ";
+    }
+    first = false;
+    switch (e.kind) {
+      case EffectKind::kDeleteTree:
+      case EffectKind::kDeleteFile:
+      case EffectKind::kDeleteEmptyDir:
+        post_s += "(∄ " + SelName(e.sel) + ")";
+        break;
+      case EffectKind::kCreateFile:
+      case EffectKind::kCreateDir:
+      case EffectKind::kTruncateWrite:
+      case EffectKind::kWriteUnder:
+        post_s += "(∃ " + SelName(e.sel) + ")";
+        break;
+      case EffectKind::kReadFile:
+        post_s += "(read " + SelName(e.sel) + ")";
+        break;
+      case EffectKind::kCopyToLast:
+        post_s += "(copied " + SelName(e.sel) + " → $dst)";
+        break;
+      case EffectKind::kMoveToLast:
+        post_s += "(∄ " + SelName(e.sel) + ") ∧ (∃ $dst)";
+        break;
+      case EffectKind::kNone:
+        break;
+    }
+  }
+  if (!first) {
+    post_s += " ∧ ";
+  }
+  if (exit_code >= 0) {
+    post_s += "exit " + std::to_string(exit_code);
+  } else {
+    post_s += "exit ≠0";
+  }
+  return "{" + pre_s + "} " + cmd_s + " {" + post_s + "}";
+}
+
+std::vector<int> SelectOperands(const OperandSel& sel, int operand_count) {
+  std::vector<int> out;
+  switch (sel.kind) {
+    case OperandSel::Kind::kEach:
+      for (int i = 0; i < operand_count; ++i) {
+        out.push_back(i);
+      }
+      break;
+    case OperandSel::Kind::kIndex:
+      if (sel.index < operand_count) {
+        out.push_back(sel.index);
+      }
+      break;
+    case OperandSel::Kind::kLast:
+      if (operand_count > 0) {
+        out.push_back(operand_count - 1);
+      }
+      break;
+    case OperandSel::Kind::kAllButLast:
+      for (int i = 0; i + 1 < operand_count; ++i) {
+        out.push_back(i);
+      }
+      break;
+    case OperandSel::Kind::kAllButFirst:
+      for (int i = 1; i < operand_count; ++i) {
+        out.push_back(i);
+      }
+      break;
+  }
+  return out;
+}
+
+bool StateSatisfies(PathState actual, PathState required) {
+  switch (required) {
+    case PathState::kAny:
+      return true;
+    case PathState::kExists:
+      return actual == PathState::kIsFile || actual == PathState::kIsDir ||
+             actual == PathState::kExists;
+    case PathState::kIsFile:
+      return actual == PathState::kIsFile;
+    case PathState::kIsDir:
+      return actual == PathState::kIsDir;
+    case PathState::kAbsent:
+      return actual == PathState::kAbsent;
+  }
+  return false;
+}
+
+std::vector<const OperandSpec*> AssignOperands(const SyntaxSpec& syntax, int count) {
+  std::vector<const OperandSpec*> out(static_cast<size_t>(count), nullptr);
+  if (syntax.operands.empty() || count == 0) {
+    return out;
+  }
+  // First pass: reserve minimum counts left to right.
+  std::vector<int> take(syntax.operands.size(), 0);
+  int used = 0;
+  for (size_t i = 0; i < syntax.operands.size() && used < count; ++i) {
+    int want = std::min(syntax.operands[i].min_count, count - used);
+    take[i] = want;
+    used += want;
+  }
+  // Second pass: distribute leftovers to slots with remaining capacity,
+  // preferring the first unbounded slot.
+  int leftover = count - used;
+  for (size_t i = 0; i < syntax.operands.size() && leftover > 0; ++i) {
+    int capacity = syntax.operands[i].max_count < 0
+                       ? leftover
+                       : syntax.operands[i].max_count - take[i];
+    int extra = std::min(capacity, leftover);
+    if (extra > 0) {
+      take[i] += extra;
+      leftover -= extra;
+    }
+  }
+  int idx = 0;
+  for (size_t i = 0; i < syntax.operands.size(); ++i) {
+    for (int k = 0; k < take[i] && idx < count; ++k) {
+      out[static_cast<size_t>(idx++)] = &syntax.operands[i];
+    }
+  }
+  return out;
+}
+
+const SpecCase* CommandSpec::MatchCase(const Invocation& inv,
+                                       const std::vector<PathState>& states) const {
+  for (const SpecCase& c : cases) {
+    if (!c.FlagsMatch(inv)) {
+      continue;
+    }
+    bool pre_ok = true;
+    for (const PreCond& p : c.pre) {
+      for (int idx : SelectOperands(p.sel, static_cast<int>(states.size()))) {
+        if (!StateSatisfies(states[static_cast<size_t>(idx)], p.state)) {
+          pre_ok = false;
+          break;
+        }
+      }
+      if (!pre_ok) {
+        break;
+      }
+    }
+    if (pre_ok) {
+      return &c;
+    }
+  }
+  return nullptr;
+}
+
+std::string CommandSpec::ToString() const {
+  std::string out;
+  for (const SpecCase& c : cases) {
+    out += c.ToHoareString(syntax.command);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace sash::specs

@@ -1,0 +1,140 @@
+// Hoare-style command specifications: guarded cases of preconditions over
+// operand paths and postconditions describing file-system effects, exit code,
+// and stream shape. This is the artifact the paper's Fig. 4 pipeline compiles
+// ("compile their effects to specifications targeting key classes of
+// constraints"), and the knowledge base the symbolic engine executes against.
+//
+// The representation is deliberately structured (not formula strings): the
+// same SpecCase is interpreted symbolically by sash::symex, executed
+// concretely by the prober and monitor, and rendered as a paper-style
+// Hoare triple for humans.
+#ifndef SASH_SPECS_HOARE_H_
+#define SASH_SPECS_HOARE_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "specs/syntax_spec.h"
+
+namespace sash::specs {
+
+// Which operand(s) a predicate or effect talks about.
+struct OperandSel {
+  enum class Kind {
+    kEach,         // Every path operand independently.
+    kIndex,        // A specific operand.
+    kLast,         // The final operand (cp/mv destination).
+    kAllButLast,   // Sources of cp/mv.
+    kAllButFirst,  // File operands of grep-style pattern-first commands.
+  };
+  Kind kind = Kind::kEach;
+  int index = 0;  // kIndex only.
+
+  static OperandSel Each() { return {Kind::kEach, 0}; }
+  static OperandSel Index(int i) { return {Kind::kIndex, i}; }
+  static OperandSel Last() { return {Kind::kLast, 0}; }
+  static OperandSel AllButLast() { return {Kind::kAllButLast, 0}; }
+  static OperandSel AllButFirst() { return {Kind::kAllButFirst, 0}; }
+
+  bool operator==(const OperandSel&) const = default;
+};
+
+// The file-system state a precondition requires of a path.
+enum class PathState {
+  kAny,     // No requirement.
+  kExists,  // File or directory ("path.FD" in the paper's notation).
+  kIsFile,
+  kIsDir,
+  kAbsent,
+};
+
+std::string_view PathStateName(PathState s);
+
+struct PreCond {
+  OperandSel sel;
+  PathState state = PathState::kAny;
+
+  bool operator==(const PreCond&) const = default;
+};
+
+// Effects a command case has on the file system / streams.
+enum class EffectKind {
+  kNone,
+  kDeleteTree,   // Remove the path recursively (rm -r).
+  kDeleteFile,   // Remove a single non-directory.
+  kDeleteEmptyDir,
+  kCreateFile,   // Create an empty file if absent (touch).
+  kCreateDir,    // mkdir.
+  kTruncateWrite,  // Overwrite file contents (> redirection, cp dst).
+  kWriteUnder,   // Creates or modifies entries at or below the path.
+  kReadFile,     // Reads the path (cat); no mutation.
+  kCopyToLast,   // Copy selected operand(s) to the last operand.
+  kMoveToLast,   // Rename selected operand(s) to the last operand.
+};
+
+std::string_view EffectKindName(EffectKind k);
+
+struct Effect {
+  EffectKind kind = EffectKind::kNone;
+  OperandSel sel;
+
+  bool operator==(const Effect&) const = default;
+};
+
+// One guarded case: "if these flags are present and the operand is in this
+// state, then these effects happen and the command exits this way".
+struct SpecCase {
+  std::set<char> required_flags;
+  std::set<char> forbidden_flags;
+  std::vector<PreCond> pre;
+  std::vector<Effect> effects;
+  int exit_code = 0;  // -1 means "some nonzero value".
+  bool stdout_nonempty = false;
+  bool stderr_nonempty = false;
+
+  bool operator==(const SpecCase&) const = default;
+
+  // Whether this case's flag guard admits the invocation.
+  bool FlagsMatch(const Invocation& inv) const;
+
+  // Paper-style rendering:
+  //   {(∃ $p) ∧ (arg 0 $p path.FD)} rm -f -r $p {(∄ $p) ∧ exit 0}
+  std::string ToHoareString(const std::string& command) const;
+};
+
+struct CommandSpec {
+  SyntaxSpec syntax;
+  std::vector<SpecCase> cases;
+
+  // If the command's stdout is a typed line stream, its regular-type pattern
+  // (e.g. lsb_release -a). Empty when untyped; richer per-invocation typing
+  // lives in sash::stream.
+  std::string stdout_line_type;
+
+  const std::string& command() const { return syntax.command; }
+
+  // First case whose flag guard matches and whose preconditions are satisfied
+  // by `states` (the observed state of each operand). Returns nullptr when no
+  // case applies.
+  const SpecCase* MatchCase(const Invocation& inv, const std::vector<PathState>& states) const;
+
+  std::string ToString() const;  // All cases rendered as Hoare triples.
+};
+
+// Expands an OperandSel to concrete operand indices for an invocation with
+// `operand_count` operands.
+std::vector<int> SelectOperands(const OperandSel& sel, int operand_count);
+
+// Assigns each of `count` operands to its OperandSpec slot: specs first take
+// their minimum counts left to right; leftovers go to the first unbounded
+// (or largest-capacity) slot. Returns one pointer per operand (never null
+// when the count is within spec bounds; nullptr for overflow operands).
+std::vector<const OperandSpec*> AssignOperands(const SyntaxSpec& syntax, int count);
+
+// True when `actual` (observed concrete state) satisfies `required`.
+bool StateSatisfies(PathState actual, PathState required);
+
+}  // namespace sash::specs
+
+#endif  // SASH_SPECS_HOARE_H_

@@ -1,0 +1,37 @@
+// The queryable specification library that accompanies the analysis engine
+// (§3: "build a queryable specification library"). Ships with hand-written
+// ground-truth specs for the core utility set; the mining pipeline
+// (sash::mining) produces specs of the same shape and is validated against
+// these.
+#ifndef SASH_SPECS_LIBRARY_H_
+#define SASH_SPECS_LIBRARY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "specs/hoare.h"
+
+namespace sash::specs {
+
+class SpecLibrary {
+ public:
+  void Register(CommandSpec spec);
+  const CommandSpec* Find(const std::string& command) const;
+  bool Has(const std::string& command) const { return Find(command) != nullptr; }
+  std::vector<std::string> CommandNames() const;
+  size_t size() const { return specs_.size(); }
+
+  // The hand-written ground truth for the built-in command set: rm, rmdir,
+  // mkdir, touch, cat, cp, mv, ls, realpath, echo, grep, sed, cut, sort,
+  // head, tail, tr, uniq, wc, lsb_release, curl, basename, dirname, uname,
+  // sleep, true, false, date, chmod.
+  static const SpecLibrary& BuiltinGroundTruth();
+
+ private:
+  std::map<std::string, CommandSpec> specs_;
+};
+
+}  // namespace sash::specs
+
+#endif  // SASH_SPECS_LIBRARY_H_

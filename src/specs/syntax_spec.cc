@@ -1,0 +1,181 @@
+#include "specs/syntax_spec.h"
+
+#include <algorithm>
+
+namespace sash::specs {
+
+const FlagSpec* SyntaxSpec::FindShort(char letter) const {
+  for (const FlagSpec& f : flags) {
+    if (f.letter == letter) {
+      return &f;
+    }
+  }
+  return nullptr;
+}
+
+const FlagSpec* SyntaxSpec::FindLong(std::string_view name) const {
+  for (const FlagSpec& f : flags) {
+    if (!f.long_name.empty() && f.long_name == name) {
+      return &f;
+    }
+  }
+  return nullptr;
+}
+
+int SyntaxSpec::MinOperands() const {
+  int total = 0;
+  for (const OperandSpec& o : operands) {
+    total += o.min_count;
+  }
+  return total;
+}
+
+int SyntaxSpec::MaxOperands() const {
+  int total = 0;
+  for (const OperandSpec& o : operands) {
+    if (o.max_count < 0) {
+      return -1;
+    }
+    total += o.max_count;
+  }
+  return total;
+}
+
+std::string SyntaxSpec::UsageString() const {
+  std::string out = command;
+  for (const FlagSpec& f : flags) {
+    out += " [-";
+    out += f.letter;
+    if (f.takes_arg) {
+      out += " arg";
+    }
+    out += "]";
+  }
+  for (const OperandSpec& o : operands) {
+    out += ' ';
+    if (o.min_count == 0) {
+      out += "[" + o.name + "]";
+    } else {
+      out += o.name;
+    }
+    if (o.max_count < 0 || o.max_count > 1) {
+      out += "...";
+    }
+  }
+  return out;
+}
+
+std::optional<std::string> Invocation::FlagArg(char letter) const {
+  auto it = flag_args.find(letter);
+  if (it == flag_args.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+std::vector<std::string> Invocation::ToArgv() const {
+  std::vector<std::string> argv{command};
+  for (char f : flags) {
+    if (flag_args.count(f) > 0) {
+      continue;  // Emitted with its argument below.
+    }
+    argv.push_back(std::string("-") + f);
+  }
+  for (const auto& [f, arg] : flag_args) {
+    argv.push_back(std::string("-") + f);
+    argv.push_back(arg);
+  }
+  for (const std::string& op : operands) {
+    argv.push_back(op);
+  }
+  return argv;
+}
+
+Result<Invocation> ParseInvocation(const SyntaxSpec& spec, const std::vector<std::string>& args) {
+  Invocation inv;
+  inv.command = spec.command;
+  bool options_done = false;
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (!options_done && arg == "--") {
+      options_done = true;
+      continue;
+    }
+    if (!options_done && arg.size() >= 2 && arg[0] == '-' && arg[1] == '-') {
+      // Long option, possibly --name=value.
+      std::string name = arg.substr(2);
+      std::string value;
+      bool has_value = false;
+      size_t eq = name.find('=');
+      if (eq != std::string::npos) {
+        value = name.substr(eq + 1);
+        name = name.substr(0, eq);
+        has_value = true;
+      }
+      const FlagSpec* f = spec.FindLong(name);
+      if (f == nullptr) {
+        return Status::Error(Errc::kInval,
+                             spec.command + ": unrecognized option '--" + name + "'");
+      }
+      char key = f->letter != '\0' ? f->letter : name[0];
+      if (f->takes_arg) {
+        if (!has_value) {
+          if (i + 1 >= args.size()) {
+            return Status::Error(Errc::kInval,
+                                 spec.command + ": option '--" + name + "' requires an argument");
+          }
+          value = args[++i];
+        }
+        inv.flags.insert(key);
+        inv.flag_args[key] = value;
+      } else {
+        if (has_value) {
+          return Status::Error(Errc::kInval,
+                               spec.command + ": option '--" + name + "' takes no argument");
+        }
+        inv.flags.insert(key);
+      }
+      continue;
+    }
+    if (!options_done && arg.size() >= 2 && arg[0] == '-' && arg != "-") {
+      // Short option cluster: -rf, -n3, -n 3.
+      for (size_t k = 1; k < arg.size(); ++k) {
+        char letter = arg[k];
+        const FlagSpec* f = spec.FindShort(letter);
+        if (f == nullptr) {
+          return Status::Error(Errc::kInval, spec.command + ": invalid option -- '" +
+                                                 std::string(1, letter) + "'");
+        }
+        inv.flags.insert(letter);
+        if (f->takes_arg) {
+          std::string value;
+          if (k + 1 < arg.size()) {
+            value = arg.substr(k + 1);  // Attached: -n3.
+          } else {
+            if (i + 1 >= args.size()) {
+              return Status::Error(Errc::kInval, spec.command + ": option requires an argument -- '" +
+                                                     std::string(1, letter) + "'");
+            }
+            value = args[++i];
+          }
+          inv.flag_args[letter] = value;
+          break;
+        }
+      }
+      continue;
+    }
+    inv.operands.push_back(arg);
+  }
+  int min_ops = spec.MinOperands();
+  int max_ops = spec.MaxOperands();
+  if (static_cast<int>(inv.operands.size()) < min_ops) {
+    return Status::Error(Errc::kInval, spec.command + ": missing operand");
+  }
+  if (max_ops >= 0 && static_cast<int>(inv.operands.size()) > max_ops) {
+    return Status::Error(Errc::kInval, spec.command + ": extra operand '" +
+                                           inv.operands[static_cast<size_t>(max_ops)] + "'");
+  }
+  return inv;
+}
+
+}  // namespace sash::specs

@@ -1,0 +1,85 @@
+// The invocation-syntax DSL: a machine-checkable description of which
+// command lines are legitimate for a utility, following the XBD Utility
+// Syntax Guidelines (flags, option-arguments, operands).
+//
+// In the paper (§3, Fig. 4) this DSL guardrails an LLM translating man pages;
+// here it plays the same role for the deterministic DocMiner, and doubles as
+// the command-line parser the prober and monitor use to interpret argv.
+#ifndef SASH_SPECS_SYNTAX_SPEC_H_
+#define SASH_SPECS_SYNTAX_SPEC_H_
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace sash::specs {
+
+// What kind of value an operand (or option-argument) denotes. Drives both
+// probe-environment generation and symbolic interpretation.
+enum class ValueKind {
+  kPath,     // A file-system path.
+  kString,   // Free-form text.
+  kNumber,   // Integer.
+  kPattern,  // A regex / glob pattern.
+};
+
+struct FlagSpec {
+  char letter = '\0';        // The -x form ('\0' when only a long form exists).
+  std::string long_name;     // The --xxx form (may be empty).
+  bool takes_arg = false;
+  ValueKind arg_kind = ValueKind::kString;
+  std::string description;
+};
+
+struct OperandSpec {
+  std::string name;  // For display: "file", "source", "target".
+  ValueKind kind = ValueKind::kPath;
+  int min_count = 1;
+  int max_count = 1;  // -1: unbounded.
+};
+
+struct SyntaxSpec {
+  std::string command;
+  std::string summary;  // One-line description from the docs.
+  std::vector<FlagSpec> flags;
+  std::vector<OperandSpec> operands;
+
+  const FlagSpec* FindShort(char letter) const;
+  const FlagSpec* FindLong(std::string_view name) const;
+
+  // Total operand arity bounds implied by `operands`.
+  int MinOperands() const;
+  int MaxOperands() const;  // -1: unbounded.
+
+  // A usage line, e.g. "rm [-f] [-r] file...".
+  std::string UsageString() const;
+};
+
+// A parsed, validated command line.
+struct Invocation {
+  std::string command;
+  std::set<char> flags;                    // Present boolean flags (by letter).
+  std::map<char, std::string> flag_args;   // Option-arguments (by letter).
+  std::vector<std::string> operands;
+
+  bool HasFlag(char letter) const { return flags.count(letter) > 0; }
+  std::optional<std::string> FlagArg(char letter) const;
+
+  // Reconstructs a canonical argv (command, flags sorted, then operands).
+  std::vector<std::string> ToArgv() const;
+};
+
+// Parses argv (excluding the command name) against the syntax spec.
+// Implements POSIX conventions: combined flags (-rf), option-arguments either
+// attached (-n3) or separate (-n 3), "--" end-of-options, long options.
+// Fails (kInval) on unknown flags or arity violations — this is the
+// "expresses only legitimate invocations" guardrail property.
+Result<Invocation> ParseInvocation(const SyntaxSpec& spec, const std::vector<std::string>& args);
+
+}  // namespace sash::specs
+
+#endif  // SASH_SPECS_SYNTAX_SPEC_H_

@@ -1,0 +1,67 @@
+#include "stream/dataflow.h"
+
+#include <algorithm>
+
+namespace sash::stream {
+
+int DataflowGraph::AddNode(rtypes::CommandType type, std::string label) {
+  Node n;
+  n.type = std::move(type);
+  n.label = std::move(label);
+  nodes_.push_back(std::move(n));
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+void DataflowGraph::AddEdge(int from, int to) {
+  nodes_[static_cast<size_t>(to)].preds.push_back(from);
+}
+
+void DataflowGraph::Seed(int node, regex::Regex lang) {
+  nodes_[static_cast<size_t>(node)].seed = std::move(lang);
+}
+
+DataflowGraph::Solution DataflowGraph::SolveLeastFixpoint(int max_iterations,
+                                                          int widen_after) const {
+  Solution sol;
+  sol.node_output.assign(nodes_.size(), regex::Regex::Nothing());
+  std::vector<bool> widened(nodes_.size(), false);
+
+  for (int pass = 0; pass < max_iterations; ++pass) {
+    bool changed = false;
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      const Node& n = nodes_[i];
+      // Input: union of the seed and every predecessor's output.
+      regex::Regex input = n.seed.has_value() ? *n.seed : regex::Regex::Nothing();
+      for (int p : n.preds) {
+        input = input.Union(sol.node_output[static_cast<size_t>(p)]);
+      }
+      regex::Regex output = regex::Regex::Nothing();
+      if (!input.IsEmptyLanguage()) {
+        rtypes::ApplyResult applied = rtypes::Apply(n.type, input);
+        output = applied.ok && applied.output.has_value() ? *applied.output
+                                                          : regex::Regex::AnyLine();
+      }
+      // Monotone ascent: never shrink (Kleene iteration over the union
+      // lattice).
+      output = output.Union(sol.node_output[i]);
+      if (!output.EquivalentTo(sol.node_output[i])) {
+        changed = true;
+        if (pass >= widen_after && !widened[i]) {
+          // The chain keeps ascending: widen this node to `any`.
+          output = regex::Regex::AnyLine();
+          widened[i] = true;
+          sol.widened.push_back(static_cast<int>(i));
+        }
+        sol.node_output[i] = std::move(output);
+      }
+    }
+    ++sol.iterations;
+    if (!changed) {
+      sol.converged = true;
+      break;
+    }
+  }
+  return sol;
+}
+
+}  // namespace sash::stream

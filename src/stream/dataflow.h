@@ -1,0 +1,55 @@
+// Feedback loops and circular dataflow (§4): dataflow graphs whose nodes are
+// typed stream transformers and whose edges may form cycles (crawlers,
+// indexers, ML feedback loops). Stream invariants are computed with the
+// paper's iterative least-fixpoint approach: start from the empty invariant,
+// expand until nothing changes, widening to `any` when a chain keeps growing.
+#ifndef SASH_STREAM_DATAFLOW_H_
+#define SASH_STREAM_DATAFLOW_H_
+
+#include <string>
+#include <vector>
+
+#include "rtypes/types.h"
+
+namespace sash::stream {
+
+class DataflowGraph {
+ public:
+  // Adds a transformer node; returns its id.
+  int AddNode(rtypes::CommandType type, std::string label);
+
+  // Data flows from `from`'s output into `to`'s input.
+  void AddEdge(int from, int to);
+
+  // Seeds a node's input with an external source language (e.g. the initial
+  // file a `cat` at the cycle head reads).
+  void Seed(int node, regex::Regex lang);
+
+  int NodeCount() const { return static_cast<int>(nodes_.size()); }
+  const std::string& Label(int node) const { return nodes_[static_cast<size_t>(node)].label; }
+
+  struct Solution {
+    std::vector<regex::Regex> node_output;  // Least-fixpoint output language.
+    int iterations = 0;                     // Passes until stabilization.
+    bool converged = false;
+    std::vector<int> widened;               // Nodes that required widening.
+  };
+
+  // Kleene iteration from ⊥ (the empty language) with equivalence-checked
+  // convergence; nodes still changing after `widen_after` passes are widened
+  // to the `any` line type so the ascent terminates.
+  Solution SolveLeastFixpoint(int max_iterations = 64, int widen_after = 8) const;
+
+ private:
+  struct Node {
+    rtypes::CommandType type;
+    std::string label;
+    std::optional<regex::Regex> seed;
+    std::vector<int> preds;
+  };
+  std::vector<Node> nodes_;
+};
+
+}  // namespace sash::stream
+
+#endif  // SASH_STREAM_DATAFLOW_H_

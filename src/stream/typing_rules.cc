@@ -1,0 +1,260 @@
+#include "stream/typing_rules.h"
+
+#include <map>
+#include <set>
+
+#include "util/strings.h"
+
+namespace sash::stream {
+
+namespace {
+
+using rtypes::CommandType;
+using rtypes::TypeExpr;
+
+// Minimal flag scan good enough for typing: collects single-letter flags and
+// returns positional (non-flag) arguments. Flags with attached values like
+// -f2 keep the value in `flag_values`.
+struct ScannedArgs {
+  std::set<char> flags;
+  std::map<char, std::string> flag_values;
+  std::vector<std::string> positional;
+};
+
+ScannedArgs ScanArgs(const std::vector<std::string>& argv) {
+  ScannedArgs out;
+  for (size_t i = 1; i < argv.size(); ++i) {
+    const std::string& a = argv[i];
+    if (a.size() >= 2 && a[0] == '-' && a != "--") {
+      for (size_t k = 1; k < a.size(); ++k) {
+        out.flags.insert(a[k]);
+        // Attached numeric/value payloads (-f2, -n3, -dX).
+        if (k + 1 < a.size() && (a[k] == 'f' || a[k] == 'n' || a[k] == 'c' || a[k] == 'd' ||
+                                 a[k] == 'k')) {
+          out.flag_values[a[k]] = a.substr(k + 1);
+          break;
+        }
+      }
+    } else {
+      out.positional.push_back(a);
+    }
+  }
+  return out;
+}
+
+CommandType Identity() {
+  CommandType t;
+  t.polymorphic = true;
+  t.input = TypeExpr::Var();
+  t.output = TypeExpr::Var();
+  return t;
+}
+
+CommandType FixedOutput(regex::Regex out) {
+  CommandType t;
+  t.input = TypeExpr::Lang(regex::Regex::AnyLine());
+  t.output = TypeExpr::Lang(std::move(out));
+  return t;
+}
+
+std::optional<CommandType> TypeGrep(const ScannedArgs& args) {
+  // The pattern is -e's value or the first positional.
+  std::string pattern;
+  if (auto it = args.flag_values.find('e'); it != args.flag_values.end()) {
+    pattern = it->second;
+  } else if (!args.positional.empty()) {
+    pattern = args.positional[0];
+  } else {
+    return std::nullopt;
+  }
+  std::optional<regex::Regex> body =
+      args.flags.count('F') > 0
+          ? std::optional<regex::Regex>(regex::Regex::Literal(pattern))
+          : regex::Regex::FromPattern(pattern);
+  std::optional<regex::Regex> search = regex::Regex::FromSearchPattern(
+      args.flags.count('F') > 0 ? std::string() : pattern);
+  if (args.flags.count('F') > 0) {
+    // Fixed string anywhere in the line.
+    search = regex::Regex::AnyLine().Concat(*body).Concat(regex::Regex::AnyLine());
+  }
+  if (!search.has_value()) {
+    return std::nullopt;
+  }
+  if (args.flags.count('c') > 0) {
+    return FixedOutput(*regex::Regex::FromPattern("\\d+"));
+  }
+  if (args.flags.count('q') > 0) {
+    return FixedOutput(regex::Regex::Nothing());  // By design: no output.
+  }
+  if (args.flags.count('o') > 0 && body.has_value()) {
+    // Each output line is exactly one match of the pattern body.
+    return FixedOutput(*body);
+  }
+  CommandType t;
+  t.input = TypeExpr::Lang(regex::Regex::AnyLine());
+  t.intersect_filter = args.flags.count('v') > 0 ? search->Complement() : *search;
+  return t;
+}
+
+std::optional<CommandType> TypeSort(const ScannedArgs& args) {
+  CommandType t = Identity();
+  if (args.flags.count('g') > 0 || args.flags.count('n') > 0) {
+    // The paper's sort -g bound: every line must parse as a general number —
+    // the 0x-hex shape its §4 example feeds in (with arbitrary trailing
+    // text, as the paper's 0x[0-9a-f]+.* allows), a full decimal/float, or
+    // blank (sort treats blank as 0). Note "0x.*" is NOT within the bound:
+    // that is exactly what makes the simple sed type fail and motivates the
+    // polymorphic one.
+    t.bound = regex::Regex::FromPattern(
+        "(0x[0-9a-f]+.*|[-+]?\\d+(\\.\\d+)?(e[-+]?\\d+)?| *)?");
+  }
+  return t;
+}
+
+}  // namespace
+
+std::optional<CommandType> TypeOfSedScript(const std::string& script) {
+  // Recognized: s/^/TEXT/  and  s/$/TEXT/ with '/' delimiter and literal TEXT.
+  if (script.size() < 5 || script[0] != 's' || script[1] != '/') {
+    return std::nullopt;
+  }
+  std::vector<std::string> parts = Split(script.substr(2), '/');
+  if (parts.size() != 3 || !parts[2].empty()) {
+    return std::nullopt;
+  }
+  const std::string& addr = parts[0];
+  const std::string& text = parts[1];
+  // TEXT must be literal (no regex/backreference metacharacters).
+  for (char c : text) {
+    if (std::string_view("\\&[]*+?^$|(){}").find(c) != std::string_view::npos) {
+      return std::nullopt;
+    }
+  }
+  CommandType t;
+  t.polymorphic = true;
+  t.input = TypeExpr::Var();
+  if (addr == "^") {
+    // sed 's/^/0x/' :: ∀α. α → 0xα
+    t.output = TypeExpr::Concat({TypeExpr::Prefix(text), TypeExpr::Var()});
+    return t;
+  }
+  if (addr == "$") {
+    t.output = TypeExpr::Concat({TypeExpr::Var(), TypeExpr::Prefix(text)});
+    return t;
+  }
+  return std::nullopt;
+}
+
+std::optional<CommandType> TypeOfCommand(const std::vector<std::string>& argv,
+                                         const rtypes::TypeLibrary& lib) {
+  if (argv.empty()) {
+    return std::nullopt;
+  }
+  const std::string& name = argv[0];
+  ScannedArgs args = ScanArgs(argv);
+
+  if (name == "cat" || name == "tee") {
+    return Identity();
+  }
+  if (name == "head" || name == "tail") {
+    return Identity();  // A sub-multiset of input lines; same line type.
+  }
+  if (name == "uniq") {
+    if (args.flags.count('c') > 0) {
+      // uniq -c :: ∀α. α → " *N α".
+      CommandType t;
+      t.polymorphic = true;
+      t.input = TypeExpr::Var();
+      std::optional<regex::Regex> count = regex::Regex::FromPattern(" *\\d+ ");
+      t.output = TypeExpr::Concat({TypeExpr::Lang(*count), TypeExpr::Var()});
+      return t;
+    }
+    return Identity();
+  }
+  if (name == "sort") {
+    return TypeSort(args);
+  }
+  if (name == "grep" || name == "egrep" || name == "fgrep") {
+    ScannedArgs adjusted = args;
+    if (name == "egrep") {
+      adjusted.flags.insert('E');
+    }
+    if (name == "fgrep") {
+      adjusted.flags.insert('F');
+    }
+    return TypeGrep(adjusted);
+  }
+  if (name == "sed") {
+    std::vector<std::string> scripts;
+    if (auto it = args.flag_values.find('e'); it != args.flag_values.end()) {
+      scripts.push_back(it->second);
+    } else if (!args.positional.empty()) {
+      scripts.push_back(args.positional[0]);
+    }
+    if (scripts.size() == 1) {
+      return TypeOfSedScript(scripts[0]);
+    }
+    return std::nullopt;
+  }
+  if (name == "cut") {
+    // Output: one field — no tabs (or no delimiter chars) inside.
+    std::string delim = "\t";
+    if (auto it = args.flag_values.find('d'); it != args.flag_values.end() && !it->second.empty()) {
+      delim = it->second;
+    }
+    std::string cls = delim == "\t" ? "\\t" : std::string(1, delim[0]);
+    std::optional<regex::Regex> field = regex::Regex::FromPattern("[^" + cls + "\\n]*");
+    if (field.has_value()) {
+      return FixedOutput(*field);
+    }
+    return std::nullopt;
+  }
+  if (name == "wc") {
+    return FixedOutput(*regex::Regex::FromPattern(" *\\d+( +\\d+)*( .*)?"));
+  }
+  if (name == "tr") {
+    return FixedOutput(regex::Regex::AnyLine());
+  }
+  if (name == "lsb_release") {
+    const regex::Regex* lsb = lib.Find("lsbline");
+    if (lsb != nullptr) {
+      return FixedOutput(*lsb);
+    }
+    return std::nullopt;
+  }
+  if (name == "ls") {
+    if (args.flags.count('l') > 0) {
+      const regex::Regex* longlist = lib.Find("longlist");
+      if (longlist != nullptr) {
+        return FixedOutput(*longlist);
+      }
+    }
+    return FixedOutput(regex::Regex::AnyLine());
+  }
+  if (name == "echo") {
+    std::string text = Join(args.positional, " ");
+    return FixedOutput(regex::Regex::Literal(text));
+  }
+  if (name == "true" || name == ":") {
+    return FixedOutput(regex::Regex::Nothing());
+  }
+  return std::nullopt;  // Untyped: gradual boundary.
+}
+
+std::optional<CommandType> TypeOfSimpleCommand(const syntax::Command& cmd,
+                                               const rtypes::TypeLibrary& lib) {
+  if (cmd.kind != syntax::CommandKind::kSimple) {
+    return std::nullopt;
+  }
+  std::vector<std::string> argv;
+  for (const syntax::Word& w : cmd.simple.words) {
+    std::string text;
+    if (!w.IsStatic(&text)) {
+      return std::nullopt;
+    }
+    argv.push_back(std::move(text));
+  }
+  return TypeOfCommand(argv, lib);
+}
+
+}  // namespace sash::stream

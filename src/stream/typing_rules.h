@@ -1,0 +1,33 @@
+// Typing judgments for stream-processing commands: given a concrete
+// invocation (grep '^desc', sed 's/^/0x/', sort -g, ...) produce its
+// CommandType. Commands with no rule are *untyped* — the gradual boundary
+// where the runtime monitor takes over (§4).
+#ifndef SASH_STREAM_TYPING_RULES_H_
+#define SASH_STREAM_TYPING_RULES_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rtypes/types.h"
+#include "syntax/ast.h"
+
+namespace sash::stream {
+
+// Derives the type of a simple command from its static argv. Returns nullopt
+// when the command is unknown, its arguments are dynamic, or no rule applies.
+std::optional<rtypes::CommandType> TypeOfCommand(const std::vector<std::string>& argv,
+                                                 const rtypes::TypeLibrary& lib);
+
+// Convenience: extracts static argv from the AST (nullopt when any word is
+// dynamic) and applies TypeOfCommand.
+std::optional<rtypes::CommandType> TypeOfSimpleCommand(const syntax::Command& cmd,
+                                                       const rtypes::TypeLibrary& lib);
+
+// Exposed for tests: parses the restricted sed substitution forms the rules
+// understand: s/^/TEXT/ (prefix insert) and s/$/TEXT/ (suffix append).
+std::optional<rtypes::CommandType> TypeOfSedScript(const std::string& script);
+
+}  // namespace sash::stream
+
+#endif  // SASH_STREAM_TYPING_RULES_H_

@@ -1,0 +1,89 @@
+// The symbolic execution engine (§3 ingredient 2): simulates the shell
+// interpreter over symbolic states — expanding parameters, tracking working
+// directories, following success and failure paths, collecting and
+// propagating constraints on symbolic variables, and pruning via concrete
+// state whenever possible.
+//
+// Values are regular languages (SymValue); control-flow uncertainty forks
+// states. Command effects come from the Hoare specification library; a small
+// set of builtins (cd, test, echo, ...) is modeled natively, like primitive
+// functions in other languages.
+#ifndef SASH_SYMEX_ENGINE_H_
+#define SASH_SYMEX_ENGINE_H_
+
+#include <string>
+#include <vector>
+
+#include "specs/library.h"
+#include "symex/state.h"
+#include "syntax/ast.h"
+#include "util/diagnostics.h"
+
+namespace sash::symex {
+
+// Diagnostic codes emitted by the engine.
+inline constexpr char kCodeDeleteRoot[] = "SASH-DEL-ROOT";
+inline constexpr char kCodeAlwaysFails[] = "SASH-ALWAYS-FAILS";
+inline constexpr char kCodeUnsetVar[] = "SASH-UNSET-VAR";
+inline constexpr char kCodeUnknownCommand[] = "SASH-UNKNOWN-CMD";
+inline constexpr char kCodeEmptyExpansionArg[] = "SASH-EMPTY-OPERAND";
+inline constexpr char kCodeParamError[] = "SASH-PARAM-ERROR";
+
+struct EngineOptions {
+  // State-explosion controls (§4: "avoiding exponential explosion").
+  int max_states = 128;     // Hard cap on live states; extras are merged.
+  int loop_unroll = 2;      // Loop iterations explored before widening.
+  int max_call_depth = 16;  // Function/substitution nesting budget.
+  int max_for_iterations = 8;
+
+  // Language of possible $0 values; the paper's §3 path shape by default.
+  std::string script_path_pattern = "/?([^/\\n]*/)*[^/\\n]+";
+
+  // User annotations: initial variable content constraints (name, pattern).
+  std::vector<std::pair<std::string, std::string>> var_patterns;
+
+  // Number of positional parameters assumed possibly-present.
+  int positional_params = 3;
+
+  const specs::SpecLibrary* library = nullptr;  // Default: BuiltinGroundTruth.
+
+  bool report_unset_vars = true;
+  // Merge states that become indistinguishable (prunes via concrete state).
+  bool merge_identical_states = true;
+};
+
+struct EngineStats {
+  int commands_executed = 0;
+  int forks = 0;
+  int states_peak = 1;
+  int states_merged = 0;
+  int states_dropped = 0;  // Cap overflow.
+  int final_states = 0;
+};
+
+class Engine {
+ public:
+  Engine(EngineOptions options, DiagnosticSink* sink);
+
+  // Runs the whole program from the initial state; returns all surviving
+  // final states. Diagnostics accumulate in the sink.
+  std::vector<State> Run(const syntax::Program& program);
+
+  // Runs from a caller-provided initial state (for tests and composition).
+  std::vector<State> RunFrom(State initial, const syntax::Program& program);
+
+  const EngineStats& stats() const { return stats_; }
+
+  // The initial state the engine starts from (exposed for tests).
+  State MakeInitialState() const;
+
+ private:
+  friend class Evaluator;
+  EngineOptions options_;
+  DiagnosticSink* sink_;
+  EngineStats stats_;
+};
+
+}  // namespace sash::symex
+
+#endif  // SASH_SYMEX_ENGINE_H_

@@ -1,0 +1,18 @@
+#include "symex/state.h"
+
+namespace sash::symex {
+
+SymValue State::JoinedStdout() const {
+  if (stdout_lines.empty()) {
+    return SymValue::Concrete("");
+  }
+  // Command substitution strips trailing newlines, so the join is simply
+  // newline-separated lines.
+  SymValue out = stdout_lines[0];
+  for (size_t i = 1; i < stdout_lines.size(); ++i) {
+    out = out.Append(SymValue::Concrete("\n")).Append(stdout_lines[i]);
+  }
+  return out;
+}
+
+}  // namespace sash::symex

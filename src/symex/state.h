@@ -1,0 +1,109 @@
+// Execution state for the symbolic engine: variable store, working directory,
+// exit status, symbolic file system, accumulated stdout, and the path
+// condition (as human-readable assumptions used in witness notes).
+#ifndef SASH_SYMEX_STATE_H_
+#define SASH_SYMEX_STATE_H_
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "symex/value.h"
+#include "symfs/symbolic_fs.h"
+#include "syntax/ast.h"
+
+namespace sash::symex {
+
+// Abstract exit status: a known code or "some code, 0 or nonzero unknown".
+struct ExitStatus {
+  bool known = true;
+  int code = 0;
+
+  static ExitStatus Known(int c) { return ExitStatus{true, c}; }
+  static ExitStatus Unknown() { return ExitStatus{false, 0}; }
+
+  bool MustSucceed() const { return known && code == 0; }
+  bool MustFail() const { return known && code != 0; }
+  bool CanSucceed() const { return !known || code == 0; }
+  bool CanFail() const { return !known || code != 0; }
+};
+
+// How a value was computed from a variable — enough structure to push test
+// refinements back onto the variable (the paper's context-sensitivity: "it
+// concludes safety ... by tracking constraints on variable contents,
+// including those from conditionals").
+struct Provenance {
+  std::string var;           // The source variable.
+  std::string suffix;        // Literal text appended after the expansion.
+  bool canonicalized = false;  // Passed through realpath.
+};
+
+struct State {
+  int id = 0;
+
+  // Variable store. Missing name = unset. `maybe_unset` marks names whose
+  // set-ness is environment-dependent (positional parameters, inherited env).
+  std::map<std::string, SymValue> vars;
+  std::set<std::string> maybe_unset;
+
+  SymValue cwd = SymValue::Concrete("/");
+  ExitStatus exit;
+  symfs::SymbolicFs sfs;
+
+  // Captured standard output (one entry per written line), consumed by
+  // command substitution.
+  std::vector<SymValue> stdout_lines;
+  // Provenance of the last stdout line, when a value-model command (echo of a
+  // variable, realpath) produced it — lets `test` refine through
+  // substitutions like $(realpath "$STEAMROOT/").
+  std::optional<Provenance> stdout_prov;
+
+  // Human-readable path condition, e.g. "assumed `cd` failed".
+  std::vector<std::string> assumptions;
+
+  bool terminated = false;  // `exit` was executed.
+
+  // True when this path assumed some command failed (a forked failure branch
+  // or a spec case with nonzero exit). Used by the idempotence criterion to
+  // condition on "the first run succeeded".
+  bool assumed_failure = false;
+
+  // Visible function definitions (AST owned by the analyzed Program).
+  std::map<std::string, const syntax::Command*> functions;
+
+  // ----- variable helpers -----
+  bool IsSet(const std::string& name) const { return vars.count(name) > 0; }
+  bool MaybeUnset(const std::string& name) const { return maybe_unset.count(name) > 0; }
+
+  const SymValue* Lookup(const std::string& name) const {
+    auto it = vars.find(name);
+    return it == vars.end() ? nullptr : &it->second;
+  }
+
+  void Bind(const std::string& name, SymValue value) {
+    vars[name] = std::move(value);
+    maybe_unset.erase(name);
+  }
+
+  void BindMaybeUnset(const std::string& name, SymValue value) {
+    vars[name] = std::move(value);
+    maybe_unset.insert(name);
+  }
+
+  void Unset(const std::string& name) {
+    vars.erase(name);
+    maybe_unset.erase(name);
+  }
+
+  void Assume(std::string note) { assumptions.push_back(std::move(note)); }
+
+  // Joined stdout as a single value ("" when no output) with trailing
+  // newline stripped — command-substitution semantics.
+  SymValue JoinedStdout() const;
+};
+
+}  // namespace sash::symex
+
+#endif  // SASH_SYMEX_STATE_H_

@@ -1,0 +1,165 @@
+// The shell command AST: simple commands, pipelines, and-or lists, compound
+// commands, function definitions, and redirections — the POSIX sh constructs
+// the symbolic engine implements (the paper's §3 "semantics of state
+// transformations" ingredient models exactly these composition primitives).
+#ifndef SASH_SYNTAX_AST_H_
+#define SASH_SYNTAX_AST_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "syntax/word.h"
+#include "util/source_location.h"
+
+namespace sash::syntax {
+
+struct Command;
+using CommandPtr = std::unique_ptr<Command>;
+
+// v=value prefix assignment on a simple command (or a bare assignment).
+struct Assignment {
+  std::string name;
+  Word value;
+  SourceRange range;
+};
+
+enum class RedirOp {
+  kIn,          // <
+  kOut,         // >
+  kAppend,      // >>
+  kClobber,     // >|
+  kHereDoc,     // <<
+  kHereDocTab,  // <<-
+  kDupIn,       // <&
+  kDupOut,      // >&
+  kReadWrite,   // <>
+};
+
+struct Redirect {
+  int fd = -1;  // -1 means the operator default (0 for input, 1 for output).
+  RedirOp op = RedirOp::kOut;
+  Word target;  // Filename, fd digits, or here-doc delimiter.
+  // Here-document body; the slot is shared because the body text arrives only
+  // at the next newline, after the owning command is fully built.
+  std::shared_ptr<std::string> heredoc_body;
+  bool heredoc_quoted = false;  // Delimiter was quoted => no expansion in body.
+  SourceRange range;
+};
+
+// cmd [args...] with optional assignment prefix and redirections.
+struct SimpleCommand {
+  std::vector<Assignment> assignments;
+  std::vector<Word> words;  // words[0] is the command name (may be absent).
+};
+
+// cmd1 | cmd2 | ... , optionally negated with '!'.
+struct Pipeline {
+  bool negated = false;
+  std::vector<CommandPtr> commands;
+};
+
+enum class ListOp { kSeq, kAnd, kOr, kBackground };
+
+// c1 op1 c2 op2 c3 ... — ops attach to the command on their left.
+struct List {
+  std::vector<CommandPtr> commands;
+  std::vector<ListOp> ops;  // ops.size() == commands.size(); last op kSeq/kBackground.
+};
+
+struct Subshell {
+  CommandPtr body;
+};
+
+struct BraceGroup {
+  CommandPtr body;
+};
+
+struct If {
+  CommandPtr condition;
+  CommandPtr then_body;
+  CommandPtr else_body;  // Null when absent; elif chains nest here.
+};
+
+struct Loop {
+  bool until = false;  // false: while.
+  CommandPtr condition;
+  CommandPtr body;
+};
+
+struct For {
+  std::string var;
+  bool has_in = false;       // `for x in words...` vs `for x` ("$@").
+  std::vector<Word> words;
+  CommandPtr body;
+};
+
+struct CaseItem {
+  std::vector<Word> patterns;
+  CommandPtr body;  // May be null for an empty item.
+  SourceRange range;
+};
+
+struct Case {
+  Word subject;
+  std::vector<CaseItem> items;
+};
+
+struct FunctionDef {
+  std::string name;
+  CommandPtr body;
+};
+
+enum class CommandKind {
+  kSimple,
+  kPipeline,
+  kList,
+  kSubshell,
+  kBraceGroup,
+  kIf,
+  kLoop,
+  kFor,
+  kCase,
+  kFunctionDef,
+};
+
+// A tagged union over command forms. A hand-rolled variant keeps the tree
+// walkable with a switch and avoids std::variant's recursive-type contortions.
+struct Command {
+  CommandKind kind = CommandKind::kSimple;
+  SourceRange range;
+  std::vector<Redirect> redirects;  // Valid on every command form.
+
+  SimpleCommand simple;    // kSimple
+  Pipeline pipeline;       // kPipeline
+  List list;               // kList
+  Subshell subshell;       // kSubshell
+  BraceGroup brace;        // kBraceGroup
+  If if_cmd;               // kIf
+  Loop loop;               // kLoop
+  For for_cmd;             // kFor
+  Case case_cmd;           // kCase
+  FunctionDef function;    // kFunctionDef
+};
+
+// A whole script (or the inside of a command substitution).
+struct Program {
+  CommandPtr body;  // Null for an empty program.
+  SourceRange range;
+};
+
+// Renders the AST back to shell syntax (normalized whitespace). Primarily for
+// diagnostics and tests; not guaranteed byte-identical to the input.
+std::string ToShellSyntax(const Program& program);
+std::string ToShellSyntax(const Command& command);
+std::string ToShellSyntax(const Word& word);
+
+// Depth-first traversal helper: invokes `fn` on every command in the tree
+// (including nested command substitutions when `into_substitutions`).
+void VisitCommands(const Program& program, bool into_substitutions,
+                   const std::function<void(const Command&)>& fn);
+
+}  // namespace sash::syntax
+
+#endif  // SASH_SYNTAX_AST_H_

@@ -1,0 +1,42 @@
+// Recursive-descent parser for POSIX sh. Scannerless: words are lexed in
+// place, including their internal structure (quoting, parameter expansion,
+// command substitution), because shell tokenization is context-dependent.
+//
+// Supported grammar (POSIX.1-2018 XCU §2, minus interactive features):
+//   lists (; & newline), and-or (&& ||), pipelines (| and ! negation),
+//   simple commands with assignment prefixes and redirections,
+//   subshells ( ), brace groups { }, if/elif/else, while/until, for, case,
+//   function definitions, here-documents, comments, line continuations.
+//
+// Parse never throws; errors are reported through the returned diagnostics
+// and the parser recovers enough to keep analyzing the rest of the script.
+#ifndef SASH_SYNTAX_PARSER_H_
+#define SASH_SYNTAX_PARSER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "syntax/ast.h"
+#include "util/diagnostics.h"
+
+namespace sash::syntax {
+
+struct ParseOutput {
+  Program program;
+  std::vector<Diagnostic> diagnostics;
+
+  bool ok() const {
+    for (const Diagnostic& d : diagnostics) {
+      if (d.severity == Severity::kError) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+ParseOutput Parse(std::string_view source);
+
+}  // namespace sash::syntax
+
+#endif  // SASH_SYNTAX_PARSER_H_

@@ -1,0 +1,318 @@
+// AST -> shell syntax rendering and generic traversal.
+#include "syntax/ast.h"
+
+namespace sash::syntax {
+
+namespace {
+
+void RenderCommand(const Command& cmd, std::string& out);
+
+void RenderRedirects(const Command& cmd, std::string& out) {
+  for (const Redirect& r : cmd.redirects) {
+    out += ' ';
+    if (r.fd >= 0) {
+      out += std::to_string(r.fd);
+    }
+    switch (r.op) {
+      case RedirOp::kIn:
+        out += "<";
+        break;
+      case RedirOp::kOut:
+        out += ">";
+        break;
+      case RedirOp::kAppend:
+        out += ">>";
+        break;
+      case RedirOp::kClobber:
+        out += ">|";
+        break;
+      case RedirOp::kHereDoc:
+        out += "<<";
+        break;
+      case RedirOp::kHereDocTab:
+        out += "<<-";
+        break;
+      case RedirOp::kDupIn:
+        out += "<&";
+        break;
+      case RedirOp::kDupOut:
+        out += ">&";
+        break;
+      case RedirOp::kReadWrite:
+        out += "<>";
+        break;
+    }
+    out += r.target.ToDisplayString();
+  }
+}
+
+void RenderBody(const CommandPtr& body, std::string& out) {
+  if (body != nullptr) {
+    RenderCommand(*body, out);
+  } else {
+    out += ":";
+  }
+}
+
+void RenderCommand(const Command& cmd, std::string& out) {
+  switch (cmd.kind) {
+    case CommandKind::kSimple: {
+      bool first = true;
+      for (const Assignment& a : cmd.simple.assignments) {
+        if (!first) {
+          out += ' ';
+        }
+        out += a.name + "=" + a.value.ToDisplayString();
+        first = false;
+      }
+      for (const Word& w : cmd.simple.words) {
+        if (!first) {
+          out += ' ';
+        }
+        out += w.ToDisplayString();
+        first = false;
+      }
+      break;
+    }
+    case CommandKind::kPipeline: {
+      if (cmd.pipeline.negated) {
+        out += "! ";
+      }
+      for (size_t i = 0; i < cmd.pipeline.commands.size(); ++i) {
+        if (i > 0) {
+          out += " | ";
+        }
+        RenderCommand(*cmd.pipeline.commands[i], out);
+      }
+      break;
+    }
+    case CommandKind::kList: {
+      for (size_t i = 0; i < cmd.list.commands.size(); ++i) {
+        RenderCommand(*cmd.list.commands[i], out);
+        ListOp op = cmd.list.ops[i];
+        bool last = i + 1 == cmd.list.commands.size();
+        switch (op) {
+          case ListOp::kSeq:
+            if (!last) {
+              out += "; ";
+            }
+            break;
+          case ListOp::kAnd:
+            out += " && ";
+            break;
+          case ListOp::kOr:
+            out += " || ";
+            break;
+          case ListOp::kBackground:
+            out += " &";
+            if (!last) {
+              out += ' ';
+            }
+            break;
+        }
+      }
+      break;
+    }
+    case CommandKind::kSubshell:
+      out += "( ";
+      RenderBody(cmd.subshell.body, out);
+      out += " )";
+      break;
+    case CommandKind::kBraceGroup:
+      out += "{ ";
+      RenderBody(cmd.brace.body, out);
+      out += "; }";
+      break;
+    case CommandKind::kIf:
+      out += "if ";
+      RenderBody(cmd.if_cmd.condition, out);
+      out += "; then ";
+      RenderBody(cmd.if_cmd.then_body, out);
+      if (cmd.if_cmd.else_body != nullptr) {
+        out += "; else ";
+        RenderBody(cmd.if_cmd.else_body, out);
+      }
+      out += "; fi";
+      break;
+    case CommandKind::kLoop:
+      out += cmd.loop.until ? "until " : "while ";
+      RenderBody(cmd.loop.condition, out);
+      out += "; do ";
+      RenderBody(cmd.loop.body, out);
+      out += "; done";
+      break;
+    case CommandKind::kFor:
+      out += "for " + cmd.for_cmd.var;
+      if (cmd.for_cmd.has_in) {
+        out += " in";
+        for (const Word& w : cmd.for_cmd.words) {
+          out += ' ';
+          out += w.ToDisplayString();
+        }
+      }
+      out += "; do ";
+      RenderBody(cmd.for_cmd.body, out);
+      out += "; done";
+      break;
+    case CommandKind::kCase:
+      out += "case " + cmd.case_cmd.subject.ToDisplayString() + " in ";
+      for (const CaseItem& item : cmd.case_cmd.items) {
+        for (size_t i = 0; i < item.patterns.size(); ++i) {
+          if (i > 0) {
+            out += '|';
+          }
+          out += item.patterns[i].ToDisplayString();
+        }
+        out += ") ";
+        RenderBody(item.body, out);
+        out += " ;; ";
+      }
+      out += "esac";
+      break;
+    case CommandKind::kFunctionDef:
+      out += cmd.function.name + "() ";
+      RenderBody(cmd.function.body, out);
+      break;
+  }
+  RenderRedirects(cmd, out);
+}
+
+void VisitWord(const Word& word, bool into_substitutions,
+               const std::function<void(const Command&)>& fn);
+
+void VisitPart(const WordPart& part, bool into_substitutions,
+               const std::function<void(const Command&)>& fn) {
+  switch (part.kind) {
+    case WordPartKind::kDoubleQuoted:
+      for (const WordPart& c : part.children) {
+        VisitPart(c, into_substitutions, fn);
+      }
+      break;
+    case WordPartKind::kParam:
+      if (part.param_arg != nullptr) {
+        VisitWord(*part.param_arg, into_substitutions, fn);
+      }
+      break;
+    case WordPartKind::kCommandSub:
+      if (into_substitutions && part.command != nullptr) {
+        VisitCommands(*part.command, into_substitutions, fn);
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+void VisitWord(const Word& word, bool into_substitutions,
+               const std::function<void(const Command&)>& fn) {
+  for (const WordPart& p : word.parts) {
+    VisitPart(p, into_substitutions, fn);
+  }
+}
+
+void VisitCommand(const Command& cmd, bool subs, const std::function<void(const Command&)>& fn) {
+  fn(cmd);
+  for (const Redirect& r : cmd.redirects) {
+    VisitWord(r.target, subs, fn);
+  }
+  switch (cmd.kind) {
+    case CommandKind::kSimple:
+      for (const Assignment& a : cmd.simple.assignments) {
+        VisitWord(a.value, subs, fn);
+      }
+      for (const Word& w : cmd.simple.words) {
+        VisitWord(w, subs, fn);
+      }
+      break;
+    case CommandKind::kPipeline:
+      for (const CommandPtr& c : cmd.pipeline.commands) {
+        VisitCommand(*c, subs, fn);
+      }
+      break;
+    case CommandKind::kList:
+      for (const CommandPtr& c : cmd.list.commands) {
+        VisitCommand(*c, subs, fn);
+      }
+      break;
+    case CommandKind::kSubshell:
+      if (cmd.subshell.body != nullptr) {
+        VisitCommand(*cmd.subshell.body, subs, fn);
+      }
+      break;
+    case CommandKind::kBraceGroup:
+      if (cmd.brace.body != nullptr) {
+        VisitCommand(*cmd.brace.body, subs, fn);
+      }
+      break;
+    case CommandKind::kIf:
+      if (cmd.if_cmd.condition != nullptr) {
+        VisitCommand(*cmd.if_cmd.condition, subs, fn);
+      }
+      if (cmd.if_cmd.then_body != nullptr) {
+        VisitCommand(*cmd.if_cmd.then_body, subs, fn);
+      }
+      if (cmd.if_cmd.else_body != nullptr) {
+        VisitCommand(*cmd.if_cmd.else_body, subs, fn);
+      }
+      break;
+    case CommandKind::kLoop:
+      if (cmd.loop.condition != nullptr) {
+        VisitCommand(*cmd.loop.condition, subs, fn);
+      }
+      if (cmd.loop.body != nullptr) {
+        VisitCommand(*cmd.loop.body, subs, fn);
+      }
+      break;
+    case CommandKind::kFor:
+      for (const Word& w : cmd.for_cmd.words) {
+        VisitWord(w, subs, fn);
+      }
+      if (cmd.for_cmd.body != nullptr) {
+        VisitCommand(*cmd.for_cmd.body, subs, fn);
+      }
+      break;
+    case CommandKind::kCase:
+      VisitWord(cmd.case_cmd.subject, subs, fn);
+      for (const CaseItem& item : cmd.case_cmd.items) {
+        for (const Word& p : item.patterns) {
+          VisitWord(p, subs, fn);
+        }
+        if (item.body != nullptr) {
+          VisitCommand(*item.body, subs, fn);
+        }
+      }
+      break;
+    case CommandKind::kFunctionDef:
+      if (cmd.function.body != nullptr) {
+        VisitCommand(*cmd.function.body, subs, fn);
+      }
+      break;
+  }
+}
+
+}  // namespace
+
+std::string ToShellSyntax(const Program& program) {
+  if (program.body == nullptr) {
+    return "";
+  }
+  return ToShellSyntax(*program.body);
+}
+
+std::string ToShellSyntax(const Command& command) {
+  std::string out;
+  RenderCommand(command, out);
+  return out;
+}
+
+std::string ToShellSyntax(const Word& word) { return word.ToDisplayString(); }
+
+void VisitCommands(const Program& program, bool into_substitutions,
+                   const std::function<void(const Command&)>& fn) {
+  if (program.body == nullptr) {
+    return;
+  }
+  VisitCommand(*program.body, into_substitutions, fn);
+}
+
+}  // namespace sash::syntax

@@ -1,0 +1,133 @@
+#include "syntax/word.h"
+
+#include "syntax/ast.h"
+
+namespace sash::syntax {
+
+bool Word::IsStatic(std::string* out) const {
+  std::string text;
+  for (const WordPart& p : parts) {
+    switch (p.kind) {
+      case WordPartKind::kLiteral:
+      case WordPartKind::kSingleQuoted:
+        text += p.text;
+        break;
+      case WordPartKind::kDoubleQuoted:
+        for (const WordPart& c : p.children) {
+          if (c.kind != WordPartKind::kLiteral) {
+            return false;
+          }
+          text += c.text;
+        }
+        break;
+      default:
+        return false;
+    }
+  }
+  if (out != nullptr) {
+    *out = std::move(text);
+  }
+  return true;
+}
+
+std::string ParamOpSpelling(ParamOp op, bool colon) {
+  std::string c = colon ? ":" : "";
+  switch (op) {
+    case ParamOp::kPlain:
+      return "";
+    case ParamOp::kDefault:
+      return c + "-";
+    case ParamOp::kAssignDefault:
+      return c + "=";
+    case ParamOp::kErrorIfUnset:
+      return c + "?";
+    case ParamOp::kAlternative:
+      return c + "+";
+    case ParamOp::kRemSmallSuffix:
+      return "%";
+    case ParamOp::kRemLargeSuffix:
+      return "%%";
+    case ParamOp::kRemSmallPrefix:
+      return "#";
+    case ParamOp::kRemLargePrefix:
+      return "##";
+    case ParamOp::kLength:
+      return "#";
+  }
+  return "";
+}
+
+namespace {
+
+void RenderPart(const WordPart& p, std::string& out) {
+  switch (p.kind) {
+    case WordPartKind::kLiteral:
+      out += p.text;
+      break;
+    case WordPartKind::kSingleQuoted:
+      out += "'";
+      out += p.text;
+      out += "'";
+      break;
+    case WordPartKind::kDoubleQuoted:
+      out += '"';
+      for (const WordPart& c : p.children) {
+        RenderPart(c, out);
+      }
+      out += '"';
+      break;
+    case WordPartKind::kParam:
+      if (p.param_op == ParamOp::kPlain && p.param_arg == nullptr) {
+        out += "$";
+        // Braces needed when a name char could follow; always brace multi-char
+        // names for clarity except simple specials.
+        if (p.param_name.size() == 1 && !isalnum(static_cast<unsigned char>(p.param_name[0])) &&
+            p.param_name[0] != '_') {
+          out += p.param_name;
+        } else {
+          out += "{" + p.param_name + "}";
+        }
+      } else if (p.param_op == ParamOp::kLength) {
+        out += "${#" + p.param_name + "}";
+      } else {
+        out += "${" + p.param_name + ParamOpSpelling(p.param_op, p.param_colon);
+        if (p.param_arg != nullptr) {
+          for (const WordPart& c : p.param_arg->parts) {
+            RenderPart(c, out);
+          }
+        }
+        out += "}";
+      }
+      break;
+    case WordPartKind::kCommandSub:
+      out += "$(" + p.command_text + ")";
+      break;
+    case WordPartKind::kArith:
+      out += "$((" + p.text + "))";
+      break;
+    case WordPartKind::kGlobStar:
+      out += "*";
+      break;
+    case WordPartKind::kGlobQuestion:
+      out += "?";
+      break;
+    case WordPartKind::kGlobClass:
+      out += "[" + p.text + "]";
+      break;
+    case WordPartKind::kTilde:
+      out += "~" + p.text;
+      break;
+  }
+}
+
+}  // namespace
+
+std::string Word::ToDisplayString() const {
+  std::string out;
+  for (const WordPart& p : parts) {
+    RenderPart(p, out);
+  }
+  return out;
+}
+
+}  // namespace sash::syntax

@@ -1,0 +1,86 @@
+// Shell words. A word is a concatenation of parts — literal text, quoted
+// segments, parameter expansions, command substitutions, globs — which is the
+// unit the symbolic engine expands. Example: "$STEAMROOT"/* has parts
+//   DoubleQuoted[ Param{STEAMROOT} ], Literal{/}, Glob{*}.
+#ifndef SASH_SYNTAX_WORD_H_
+#define SASH_SYNTAX_WORD_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/source_location.h"
+
+namespace sash::syntax {
+
+struct Program;  // Defined in syntax/ast.h.
+
+// Parameter-expansion operators (POSIX 2.6.2).
+enum class ParamOp {
+  kPlain,          // $x / ${x}
+  kDefault,        // ${x:-w} / ${x-w}
+  kAssignDefault,  // ${x:=w} / ${x=w}
+  kErrorIfUnset,   // ${x:?w} / ${x?w}
+  kAlternative,    // ${x:+w} / ${x+w}
+  kRemSmallSuffix, // ${x%w}
+  kRemLargeSuffix, // ${x%%w}
+  kRemSmallPrefix, // ${x#w}
+  kRemLargePrefix, // ${x##w}
+  kLength,         // ${#x}
+};
+
+enum class WordPartKind {
+  kLiteral,       // Unquoted literal text (after backslash removal).
+  kSingleQuoted,  // '...' — literal, no expansion.
+  kDoubleQuoted,  // "..." — sub-parts expand, but no field splitting/glob.
+  kParam,         // $name, ${name...}.
+  kCommandSub,    // $(...) or `...`.
+  kArith,         // $((...)) — kept as text; evaluated where possible.
+  kGlobStar,      // Unquoted *.
+  kGlobQuestion,  // Unquoted ?.
+  kGlobClass,     // Unquoted [...]; `text` holds the class body.
+  kTilde,         // Leading unquoted ~ (optionally ~user in `text`).
+};
+
+struct WordPart;
+
+// A full word: one or more parts, concatenated.
+struct Word {
+  std::vector<WordPart> parts;
+  SourceRange range;
+
+  // True when the word consists solely of literal/single-quoted text (no
+  // expansion can change it); `out` receives the static text.
+  bool IsStatic(std::string* out = nullptr) const;
+
+  // The literal spelling for diagnostics ("$STEAMROOT"/*), reconstructed.
+  std::string ToDisplayString() const;
+};
+
+struct WordPart {
+  WordPartKind kind = WordPartKind::kLiteral;
+  std::string text;  // kLiteral / kSingleQuoted / kArith / kGlobClass / kTilde user.
+
+  // kParam:
+  std::string param_name;              // May be positional "0".."9", "#", "?", "*", "@".
+  ParamOp param_op = ParamOp::kPlain;
+  bool param_colon = false;            // The ':' variant (treats empty as unset).
+  std::shared_ptr<Word> param_arg;     // Operator argument word (may be null).
+
+  // kDoubleQuoted: nested parts (literal/param/command-sub/arith).
+  std::vector<WordPart> children;
+
+  // kCommandSub: the parsed inner program.
+  std::shared_ptr<Program> command;
+  std::string command_text;  // Original text, for display.
+  bool backquoted = false;   // `...` legacy form rather than $(...).
+
+  SourceRange range;
+};
+
+// Spelling of a ParamOp ("%", ":-", ...) for display.
+std::string ParamOpSpelling(ParamOp op, bool colon);
+
+}  // namespace sash::syntax
+
+#endif  // SASH_SYNTAX_WORD_H_

@@ -1,0 +1,29 @@
+#include "util/result.h"
+
+namespace sash {
+
+std::string_view ErrcName(Errc code) {
+  switch (code) {
+    case Errc::kOk:
+      return "OK";
+    case Errc::kNoEnt:
+      return "ENOENT";
+    case Errc::kNotDir:
+      return "ENOTDIR";
+    case Errc::kIsDir:
+      return "EISDIR";
+    case Errc::kExists:
+      return "EEXIST";
+    case Errc::kNotEmpty:
+      return "ENOTEMPTY";
+    case Errc::kLoop:
+      return "ELOOP";
+    case Errc::kInval:
+      return "EINVAL";
+    case Errc::kPerm:
+      return "EPERM";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace sash

@@ -1,0 +1,96 @@
+// Minimal Status/Result types (C++20 has no std::expected). Errors carry a
+// POSIX-flavored code plus a message, because command models map them onto
+// exit codes and stderr text.
+#ifndef SASH_UTIL_RESULT_H_
+#define SASH_UTIL_RESULT_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace sash {
+
+enum class Errc {
+  kOk,
+  kNoEnt,     // No such file or directory.
+  kNotDir,    // A path component is not a directory.
+  kIsDir,     // Target is a directory.
+  kExists,    // Target already exists.
+  kNotEmpty,  // Directory not empty.
+  kLoop,      // Too many symlink levels.
+  kInval,     // Invalid argument.
+  kPerm,      // Operation not permitted.
+};
+
+std::string_view ErrcName(Errc code);
+
+class Status {
+ public:
+  Status() = default;
+  Status(Errc code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status Error(Errc code, std::string message) { return Status(code, std::move(message)); }
+
+  bool ok() const { return code_ == Errc::kOk; }
+  Errc code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) {
+      return "OK";
+    }
+    return std::string(ErrcName(code_)) + ": " + message_;
+  }
+
+ private:
+  Errc code_ = Errc::kOk;
+  std::string message_;
+};
+
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}          // NOLINT: implicit by design.
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT: implicit by design.
+
+  bool ok() const { return status_.ok() && value_.has_value(); }
+  const Status& status() const { return status_; }
+  Errc code() const { return status_.code(); }
+
+  const T& value() const {
+    CheckOk();
+    return *value_;
+  }
+  T& value() {
+    CheckOk();
+    return *value_;
+  }
+  T value_or(T fallback) const { return ok() ? *value_ : std::move(fallback); }
+
+  const T& operator*() const { return value(); }
+  T& operator*() { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  // Dereferencing a failed Result is a programming error; fail fast with the
+  // carried status instead of undefined behavior.
+  void CheckOk() const {
+    if (!value_.has_value()) {
+      std::fprintf(stderr, "FATAL: accessed value of failed Result: %s\n",
+                   status_.ToString().c_str());
+      std::abort();
+    }
+  }
+
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace sash
+
+#endif  // SASH_UTIL_RESULT_H_

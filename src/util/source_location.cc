@@ -1,0 +1,20 @@
+#include "util/source_location.h"
+
+namespace sash {
+
+SourceRange SourceRange::Join(const SourceRange& a, const SourceRange& b) {
+  SourceRange out;
+  out.begin = a.begin.offset <= b.begin.offset ? a.begin : b.begin;
+  out.end = a.end.offset >= b.end.offset ? a.end : b.end;
+  return out;
+}
+
+std::string SourceRange::ToString() const {
+  std::string out = std::to_string(begin.line) + ":" + std::to_string(begin.column);
+  if (end.offset > begin.offset) {
+    out += "-" + std::to_string(end.line) + ":" + std::to_string(end.column);
+  }
+  return out;
+}
+
+}  // namespace sash

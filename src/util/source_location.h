@@ -1,0 +1,40 @@
+// Source positions and ranges used by the lexer, parser, and every diagnostic
+// the analyzer produces. Offsets are byte offsets into the original source
+// text; lines and columns are 1-based and computed for display only.
+#ifndef SASH_UTIL_SOURCE_LOCATION_H_
+#define SASH_UTIL_SOURCE_LOCATION_H_
+
+#include <cstddef>
+#include <string>
+
+namespace sash {
+
+// A single point in a source buffer.
+struct SourcePos {
+  size_t offset = 0;  // Byte offset from the start of the buffer.
+  int line = 1;       // 1-based line number.
+  int column = 1;     // 1-based column number (bytes, not display width).
+
+  bool operator==(const SourcePos&) const = default;
+};
+
+// A half-open range [begin, end) in a source buffer.
+struct SourceRange {
+  SourcePos begin;
+  SourcePos end;
+
+  bool operator==(const SourceRange&) const = default;
+
+  // True when the range covers zero bytes.
+  bool empty() const { return begin.offset == end.offset; }
+
+  // Merges two ranges into the smallest range covering both.
+  static SourceRange Join(const SourceRange& a, const SourceRange& b);
+
+  // Renders as "line:col" or "line:col-line:col" for diagnostics.
+  std::string ToString() const;
+};
+
+}  // namespace sash
+
+#endif  // SASH_UTIL_SOURCE_LOCATION_H_

@@ -1,0 +1,43 @@
+// Small string helpers shared across sash libraries. Kept deliberately tiny;
+// anything with real semantics (shell word splitting, glob matching) lives in
+// the module that owns those semantics.
+#ifndef SASH_UTIL_STRINGS_H_
+#define SASH_UTIL_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sash {
+
+// Splits `s` on `sep`, keeping empty fields ("a::b" -> {"a","","b"}).
+std::vector<std::string> Split(std::string_view s, char sep);
+
+// Splits `s` into lines; a trailing newline does not produce an empty line.
+std::vector<std::string> SplitLines(std::string_view s);
+
+// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+// Whitespace trimming (space, tab, newline, carriage return).
+std::string_view TrimLeft(std::string_view s);
+std::string_view TrimRight(std::string_view s);
+std::string_view Trim(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+bool Contains(std::string_view s, std::string_view needle);
+
+// Escapes a string for display inside single quotes in diagnostics: control
+// characters become \xNN, backslash and quote are escaped.
+std::string EscapeForDisplay(std::string_view s);
+
+// Replaces every occurrence of `from` (non-empty) with `to`.
+std::string ReplaceAll(std::string_view s, std::string_view from, std::string_view to);
+
+// ASCII-only lowercase conversion.
+std::string AsciiLower(std::string_view s);
+
+}  // namespace sash
+
+#endif  // SASH_UTIL_STRINGS_H_

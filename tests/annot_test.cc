@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "annot/annotations.h"
+
+namespace sash::annot {
+namespace {
+
+TEST(Annotations, ParsesInlineDirectives) {
+  const char* src =
+      "#!/bin/sh\n"
+      "#@ sash: type hex = /[0-9a-f]+/\n"
+      "#@ sash: command mytool :: any -> hex\n"
+      "#@ sash: var STEAMROOT : abspath\n"
+      "echo code here  #@ sash: type trailer = word\n"
+      "# ordinary comment\n";
+  AnnotationSet set = ParseInlineAnnotations(src);
+  ASSERT_EQ(set.types.size(), 2u);
+  EXPECT_EQ(set.types[0].name, "hex");
+  EXPECT_EQ(set.types[0].spelling, "/[0-9a-f]+/");
+  EXPECT_EQ(set.types[1].name, "trailer");
+  ASSERT_EQ(set.commands.size(), 1u);
+  EXPECT_EQ(set.commands[0].command, "mytool");
+  EXPECT_EQ(set.commands[0].input_spelling, "any");
+  EXPECT_EQ(set.commands[0].output_spelling, "hex");
+  ASSERT_EQ(set.vars.size(), 1u);
+  EXPECT_EQ(set.vars[0].var, "STEAMROOT");
+  EXPECT_EQ(set.vars[0].spelling, "abspath");
+}
+
+TEST(Annotations, MalformedDirectivesReported) {
+  DiagnosticSink sink;
+  AnnotationSet set = ParseInlineAnnotations(
+      "#@ sash: type broken\n#@ sash: command x -> y\n#@ sash: nonsense\n", &sink);
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(sink.size(), 3u);
+  EXPECT_EQ(sink.diagnostics()[0].code, kCodeBadAnnotation);
+}
+
+TEST(Annotations, ExternalFileFormat) {
+  const char* file =
+      "# project stream types\n"
+      "type loglevel = /(DEBUG|INFO|WARN|ERROR)/\n"
+      "command logfilter :: any -> loglevel\n"
+      "\n"
+      "var LOGDIR : abspath\n";
+  AnnotationSet set = ParseAnnotationFile(file);
+  EXPECT_EQ(set.types.size(), 1u);
+  EXPECT_EQ(set.commands.size(), 1u);
+  EXPECT_EQ(set.vars.size(), 1u);
+}
+
+TEST(Annotations, ResolveRegistersTypesInOrder) {
+  AnnotationSet set = ParseAnnotationFile(
+      "type hex = /[0-9a-f]+/\n"
+      "type hexes = hex\n"  // References the just-defined name.
+      "command h :: any -> hexes\n"
+      "var X : hex\n");
+  rtypes::TypeLibrary lib = rtypes::TypeLibrary::Default();
+  DiagnosticSink sink;
+  AnnotationSet::Resolved resolved = set.ResolveInto(&lib, &sink);
+  EXPECT_TRUE(sink.empty());
+  ASSERT_NE(lib.Find("hexes"), nullptr);
+  EXPECT_TRUE(lib.Find("hexes")->Matches("deadbeef"));
+  ASSERT_EQ(resolved.command_types.size(), 1u);
+  EXPECT_EQ(resolved.command_types[0].first, "h");
+  ASSERT_EQ(resolved.var_langs.size(), 1u);
+  EXPECT_EQ(resolved.var_langs[0].first, "X");
+}
+
+TEST(Annotations, UnresolvableSpellingReported) {
+  AnnotationSet set = ParseAnnotationFile("var X : not-a-type\n");
+  rtypes::TypeLibrary lib = rtypes::TypeLibrary::Default();
+  DiagnosticSink sink;
+  AnnotationSet::Resolved resolved = set.ResolveInto(&lib, &sink);
+  EXPECT_TRUE(resolved.var_langs.empty());
+  EXPECT_EQ(sink.size(), 1u);
+}
+
+}  // namespace
+}  // namespace sash::annot

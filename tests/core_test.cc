@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include "core/analyzer.h"
+
+namespace sash::core {
+namespace {
+
+AnalysisReport Analyze(std::string_view src, AnalyzerOptions options = {}) {
+  Analyzer analyzer(std::move(options));
+  return analyzer.AnalyzeSource(src);
+}
+
+constexpr const char* kFig1 =
+    "#!/bin/sh\n"
+    "STEAMROOT=\"$(cd \"${0%/*}\" && echo $PWD)\"\n"
+    "rm -fr \"$STEAMROOT\"/*\n";
+
+constexpr const char* kFig2 =
+    "#!/bin/sh\n"
+    "STEAMROOT=\"$(cd \"${0%/*}\" && echo $PWD)\"\n"
+    "if [ \"$(realpath \"$STEAMROOT/\")\" != \"/\" ]; then\n"
+    "rm -fr \"$STEAMROOT\"/*\n"
+    "else\n"
+    "echo \"Bad script path: $0\"; exit 1\n"
+    "fi\n";
+
+constexpr const char* kFig3 =
+    "#!/bin/sh\n"
+    "STEAMROOT=\"$(cd \"${0%/*}\" && echo $PWD)\"\n"
+    "if [ \"$(realpath \"$STEAMROOT/\")\" = \"/\" ]; then\n"
+    "rm -fr \"$STEAMROOT\"/*\n"
+    "else\n"
+    "echo \"Bad script path: $0\"; exit 1\n"
+    "fi\n";
+
+constexpr const char* kFig5 =
+    "#!/bin/sh\n"
+    "STEAMROOT=\"$(cd \"${0%/*}\" && echo $PWD)\"/\n"
+    "case $(lsb_release -a | grep '^desc' | cut -f 2) in\n"
+    "Debian) SUFFIX=\".config/steam\" ;;\n"
+    "*Linux) SUFFIX=\".steam\" ;;\n"
+    "esac\n"
+    "rm -fr $STEAMROOT$SUFFIX\n";
+
+TEST(Analyzer, Fig1Detected) {
+  AnalysisReport r = Analyze(kFig1);
+  EXPECT_TRUE(r.parse_ok());
+  EXPECT_TRUE(r.HasCode(symex::kCodeDeleteRoot));
+}
+
+TEST(Analyzer, Fig2Clean) {
+  AnalysisReport r = Analyze(kFig2);
+  EXPECT_TRUE(r.parse_ok());
+  EXPECT_FALSE(r.HasCode(symex::kCodeDeleteRoot)) << r.ToString();
+}
+
+TEST(Analyzer, Fig3AlwaysWrong) {
+  AnalysisReport r = Analyze(kFig3);
+  bool found_always = false;
+  for (const Diagnostic& d : r.findings()) {
+    if (d.code == symex::kCodeDeleteRoot && d.message.find("always") != std::string::npos) {
+      found_always = true;
+    }
+  }
+  EXPECT_TRUE(found_always) << r.ToString();
+}
+
+TEST(Analyzer, Fig5BothBugsFound) {
+  AnalysisReport r = Analyze(kFig5);
+  // The dead grep filter (stream types)...
+  EXPECT_TRUE(r.HasCode(stream::kCodeDeadStream)) << r.ToString();
+  // ...and the resulting dangerous rm (symbolic execution).
+  EXPECT_TRUE(r.HasCode(symex::kCodeDeleteRoot)) << r.ToString();
+}
+
+TEST(Analyzer, SplitVariantDetected) {
+  AnalysisReport r = Analyze(
+      "STEAMROOT=\"$(cd \"${0%/*}\" && echo $PWD)\"\nc=\"/*\"\nrm -fr $STEAMROOT$c\n");
+  EXPECT_TRUE(r.HasCode(symex::kCodeDeleteRoot));
+}
+
+TEST(Analyzer, RmCatCompositionDetected) {
+  AnalysisReport r = Analyze("rm -r \"$1\"\ncat \"$1/config\"\n");
+  EXPECT_TRUE(r.HasCode(symex::kCodeAlwaysFails));
+}
+
+TEST(Analyzer, CleanScriptHasNoActionableFindings) {
+  AnalysisReport r = Analyze(
+      "#!/bin/sh\n"
+      "workdir=/tmp/build\n"
+      "mkdir -p \"$workdir\"\n"
+      "echo start > \"$workdir/log\"\n"
+      "if [ -f \"$workdir/log\" ]; then cat \"$workdir/log\"; fi\n"
+      "rm -r \"$workdir\"\n");
+  EXPECT_TRUE(r.Clean()) << r.ToString();
+}
+
+TEST(Analyzer, ParseErrorsSurface) {
+  AnalysisReport r = Analyze("if true; then echo unterminated\n");
+  EXPECT_FALSE(r.parse_ok());
+  EXPECT_TRUE(r.HasCode("SASH-PARSE"));
+}
+
+TEST(Analyzer, LintOptIn) {
+  AnalyzerOptions with_lint;
+  with_lint.enable_lint = true;
+  AnalysisReport r = Analyze("x=`date`\n", std::move(with_lint));
+  EXPECT_TRUE(r.HasCode(lint::kRuleBacktick));
+  AnalysisReport quiet = Analyze("x=`date`\n");
+  EXPECT_FALSE(quiet.HasCode(lint::kRuleBacktick));
+}
+
+TEST(Analyzer, AnnotationsConstrainVariables) {
+  // Without the annotation the unset TARGET can be anything, so rm warns;
+  // the annotation pins it under /scratch and the warning disappears.
+  const char* unannotated = "rm -rf \"$TARGET\"/*\n";
+  AnalyzerOptions opts;
+  opts.engine.report_unset_vars = false;
+  AnalysisReport noisy = Analyze(unannotated, opts);
+  EXPECT_TRUE(noisy.HasCode(symex::kCodeDeleteRoot));
+
+  const char* annotated =
+      "#@ sash: var TARGET : //scratch/[a-z]+/\n"
+      "rm -rf \"$TARGET\"/*\n";
+  AnalysisReport clean = Analyze(annotated, opts);
+  EXPECT_FALSE(clean.HasCode(symex::kCodeDeleteRoot)) << clean.ToString();
+}
+
+TEST(Analyzer, AnnotationsTypeUserCommands) {
+  // An annotated command type lets the dead-stream check reason through an
+  // otherwise opaque tool.
+  const char* src =
+      "#@ sash: command my_lister :: any -> lsbline\n"
+      "my_lister | grep '^desc' | cut -f 2\n";
+  AnalysisReport r = Analyze(src);
+  EXPECT_TRUE(r.HasCode(stream::kCodeDeadStream)) << r.ToString();
+  // Without the annotation the stage is untyped and nothing fires.
+  AnalysisReport quiet = Analyze("my_lister | grep '^desc' | cut -f 2\n");
+  EXPECT_FALSE(quiet.HasCode(stream::kCodeDeadStream));
+}
+
+TEST(Analyzer, FindingsSortedAndDeduplicated) {
+  AnalysisReport r = Analyze(kFig5);
+  size_t prev_offset = 0;
+  for (const Diagnostic& d : r.findings()) {
+    EXPECT_GE(d.range.begin.offset, prev_offset);
+    prev_offset = d.range.begin.offset;
+  }
+  // No exact duplicates.
+  for (size_t i = 1; i < r.findings().size(); ++i) {
+    const Diagnostic& a = r.findings()[i - 1];
+    const Diagnostic& b = r.findings()[i];
+    EXPECT_FALSE(a.code == b.code && a.range.begin.offset == b.range.begin.offset &&
+                 a.message == b.message);
+  }
+}
+
+TEST(Analyzer, EngineStatsExposed) {
+  AnalysisReport r = Analyze(kFig2);
+  EXPECT_GT(r.engine_stats().commands_executed, 0);
+  EXPECT_GT(r.engine_stats().forks, 0);
+  AnalysisReport p = Analyze(kFig5);
+  EXPECT_EQ(p.pipelines_checked(), 1);
+}
+
+TEST(Analyzer, IdempotenceCriterion) {
+  AnalyzerOptions opts;
+  opts.enable_idempotence_check = true;
+  opts.engine.report_unset_vars = false;
+  // mkdir without -p fails on the second run: not idempotent (§4 / CoLiS).
+  AnalysisReport bare = Analyze("mkdir /opt/app\necho done\n", opts);
+  EXPECT_TRUE(bare.HasCode(kCodeNotIdempotent)) << bare.ToString();
+  // mkdir -p is idempotent.
+  AnalysisReport dashp = Analyze("mkdir -p /opt/app\necho done\n", opts);
+  EXPECT_FALSE(dashp.HasCode(kCodeNotIdempotent)) << dashp.ToString();
+  // mv consumes its source: not idempotent.
+  AnalysisReport mv = Analyze("mv /data/old /data/new\n", opts);
+  EXPECT_TRUE(mv.HasCode(kCodeNotIdempotent));
+  // touch is idempotent.
+  AnalysisReport touch = Analyze("touch /opt/stamp\n", opts);
+  EXPECT_FALSE(touch.HasCode(kCodeNotIdempotent)) << touch.ToString();
+  // Off by default.
+  AnalysisReport off = Analyze("mkdir /opt/app\n");
+  EXPECT_FALSE(off.HasCode(kCodeNotIdempotent));
+}
+
+TEST(Analyzer, IdempotentCleanupPattern) {
+  AnalyzerOptions opts;
+  opts.enable_idempotence_check = true;
+  opts.engine.report_unset_vars = false;
+  // rm -f + mkdir -p: the canonical idempotent prologue.
+  AnalysisReport r =
+      Analyze("rm -rf /var/cache/app\nmkdir -p /var/cache/app\ntouch /var/cache/app/stamp\n",
+              opts);
+  EXPECT_FALSE(r.HasCode(kCodeNotIdempotent)) << r.ToString();
+}
+
+TEST(Analyzer, OptimizationCoach) {
+  AnalyzerOptions opts;
+  opts.enable_optimization_coach = true;
+  opts.engine.report_unset_vars = false;
+  AnalysisReport r = Analyze("mkdir -p /build/a\nmkdir -p /build/b\n", opts);
+  EXPECT_TRUE(r.HasCode(kCodeParallelizable)) << r.ToString();
+  // Dependent commands get no suggestion.
+  AnalysisReport dep = Analyze("echo x > /tmp/f\ncat /tmp/f\n", opts);
+  EXPECT_FALSE(dep.HasCode(kCodeParallelizable)) << dep.ToString();
+  // Off by default.
+  AnalysisReport off = Analyze("mkdir -p /build/a\nmkdir -p /build/b\n");
+  EXPECT_FALSE(off.HasCode(kCodeParallelizable));
+}
+
+TEST(Analyzer, ExternalAnnotationsApply) {
+  AnalyzerOptions opts;
+  opts.engine.report_unset_vars = false;
+  Analyzer analyzer(opts);
+  analyzer.AddAnnotations(annot::ParseAnnotationFile("var TARGET : //scratch/[a-z]+/\n"));
+  AnalysisReport r = analyzer.AnalyzeSource("rm -rf \"$TARGET\"/*\n");
+  EXPECT_FALSE(r.HasCode(symex::kCodeDeleteRoot)) << r.ToString();
+}
+
+TEST(Analyzer, ReportRendering) {
+  AnalysisReport r = Analyze(kFig1);
+  std::string rendered = r.ToString();
+  EXPECT_NE(rendered.find("SASH-DEL-ROOT"), std::string::npos);
+  AnalysisReport clean = Analyze("echo fine\n");
+  EXPECT_EQ(clean.ToString(), "no findings\n");
+}
+
+}  // namespace
+}  // namespace sash::core

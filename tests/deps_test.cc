@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "core/deps.h"
+#include "syntax/parser.h"
+
+namespace sash::core {
+namespace {
+
+DependencyReport Deps(std::string_view src) {
+  syntax::ParseOutput out = syntax::Parse(src);
+  EXPECT_TRUE(out.ok()) << src;
+  return AnalyzeDependencies(out.program);
+}
+
+TEST(Deps, IndependentCommandsAreReorderable) {
+  DependencyReport r = Deps("mkdir -p /a\nmkdir -p /b\n");
+  ASSERT_EQ(r.commands.size(), 2u);
+  EXPECT_TRUE(r.edges.empty());
+  ASSERT_EQ(r.independent_adjacent.size(), 1u);
+  std::vector<std::string> suggestions = r.Suggestions();
+  ASSERT_EQ(suggestions.size(), 1u);
+  EXPECT_NE(suggestions[0].find("run in parallel"), std::string::npos);
+}
+
+TEST(Deps, FileWriteThenReadOrders) {
+  DependencyReport r = Deps("echo data > /tmp/f\ncat /tmp/f\n");
+  ASSERT_EQ(r.commands.size(), 2u);
+  EXPECT_TRUE(r.DependsOn(1, 0));
+  EXPECT_TRUE(r.independent_adjacent.empty());
+}
+
+TEST(Deps, DirectoryPrefixConflicts) {
+  // Writing under a directory conflicts with deleting the directory.
+  DependencyReport r = Deps("touch /app/data/f\nrm -rf /app\n");
+  EXPECT_TRUE(r.DependsOn(1, 0));
+  // Sibling directories do not conflict.
+  DependencyReport r2 = Deps("touch /app1/f\nrm -rf /app2\n");
+  EXPECT_FALSE(r2.DependsOn(1, 0));
+}
+
+TEST(Deps, VariableFlowOrders) {
+  DependencyReport r = Deps("x=1\necho $x\n");
+  EXPECT_TRUE(r.DependsOn(1, 0));
+  DependencyReport r2 = Deps("x=1\necho $y\n");
+  EXPECT_FALSE(r2.DependsOn(1, 0));
+}
+
+TEST(Deps, DynamicPathsAreBarriers) {
+  DependencyReport r = Deps("rm -rf \"$d\"\nmkdir /other\n");
+  ASSERT_EQ(r.commands.size(), 2u);
+  EXPECT_TRUE(r.commands[0].barrier);
+  EXPECT_TRUE(r.DependsOn(1, 0));
+}
+
+TEST(Deps, UnknownCommandsAreBarriers) {
+  DependencyReport r = Deps("custom-tool /a\ntouch /b\n");
+  EXPECT_TRUE(r.commands[0].barrier);
+  EXPECT_TRUE(r.DependsOn(1, 0));
+}
+
+TEST(Deps, PipelineSummarizedStageWise) {
+  DependencyReport r = Deps("grep x /logs/app.log | sort > /tmp/out\ntouch /tmp/other\n");
+  ASSERT_EQ(r.commands.size(), 2u);
+  EXPECT_FALSE(r.commands[0].barrier);
+  EXPECT_TRUE(r.commands[0].path_reads.count("/logs/app.log") > 0);
+  EXPECT_TRUE(r.commands[0].path_writes.count("/tmp/out") > 0);
+  EXPECT_FALSE(r.DependsOn(1, 0));  // /tmp/other vs /tmp/out: disjoint files.
+}
+
+TEST(Deps, ReadersShareInputsFreely) {
+  // Two readers of the same file are independent (no write).
+  DependencyReport r = Deps("grep a /data/in\ngrep b /data/in\n");
+  EXPECT_FALSE(r.DependsOn(1, 0));
+  ASSERT_EQ(r.independent_adjacent.size(), 1u);
+}
+
+TEST(Deps, AndOrChainsAreOneUnit) {
+  DependencyReport r = Deps("mkdir /a && touch /a/f\n");
+  EXPECT_EQ(r.commands.size(), 1u);
+}
+
+TEST(Deps, ThreeStageScriptShape) {
+  // A realistic build-script shape: fetch, transform, install — each step
+  // feeding the next, plus one independent logging line.
+  DependencyReport r = Deps(
+      "cp /src/pkg.tar /work/pkg.tar\n"
+      "tar_placeholder=1\n"
+      "touch /done/stamp\n");
+  ASSERT_EQ(r.commands.size(), 3u);
+  EXPECT_FALSE(r.DependsOn(2, 0));  // /done vs /work: independent.
+  EXPECT_FALSE(r.DependsOn(1, 0));
+}
+
+}  // namespace
+}  // namespace sash::core

@@ -1,0 +1,227 @@
+// Edge-case coverage across modules: constructs the per-module suites touch
+// lightly — heredocs as data, until loops, elif chains, negated pipelines,
+// case fall-through, nested substitutions, subshell FS persistence, and
+// regex/glob corners.
+#include <gtest/gtest.h>
+
+#include "core/analyzer.h"
+#include "monitor/interp.h"
+#include "regex/regex.h"
+#include "symex/engine.h"
+#include "syntax/parser.h"
+
+namespace sash {
+namespace {
+
+monitor::InterpResult Execute(fs::FileSystem& fs, std::string_view src,
+                              monitor::InterpOptions options = {}) {
+  syntax::ParseOutput parsed = syntax::Parse(src);
+  EXPECT_TRUE(parsed.ok()) << src;
+  monitor::Interpreter interp(&fs, std::move(options));
+  return interp.Run(parsed.program);
+}
+
+std::vector<symex::State> Symbolic(std::string_view src) {
+  syntax::ParseOutput parsed = syntax::Parse(src);
+  EXPECT_TRUE(parsed.ok()) << src;
+  DiagnosticSink sink;
+  symex::EngineOptions options;
+  options.report_unset_vars = false;
+  symex::Engine engine(options, &sink);
+  return engine.Run(parsed.program);
+}
+
+// ---------- interpreter control-flow corners ----------
+
+TEST(InterpEdge, HeredocFeedsStdin) {
+  fs::FileSystem fs;
+  monitor::InterpResult r = Execute(fs,
+                                    "sort <<EOF\n"
+                                    "banana\n"
+                                    "apple\n"
+                                    "EOF\n");
+  EXPECT_EQ(r.out, "apple\nbanana\n");
+}
+
+TEST(InterpEdge, UntilLoopRuns) {
+  fs::FileSystem fs;
+  monitor::InterpResult r =
+      Execute(fs, "i=0\nuntil [ $i -ge 3 ]; do i=$((i+1)); done\necho $i\n");
+  EXPECT_EQ(r.out, "3\n");
+}
+
+TEST(InterpEdge, ElifChain) {
+  fs::FileSystem fs;
+  monitor::InterpResult r = Execute(
+      fs, "x=2\nif [ $x -eq 1 ]; then echo one\nelif [ $x -eq 2 ]; then echo two\n"
+          "elif [ $x -eq 3 ]; then echo three\nelse echo many\nfi\n");
+  EXPECT_EQ(r.out, "two\n");
+}
+
+TEST(InterpEdge, NegatedPipelineInCondition) {
+  fs::FileSystem fs;
+  monitor::InterpResult r =
+      Execute(fs, "if ! grep -q zzz; then echo absent; fi\n");
+  EXPECT_EQ(r.out, "absent\n");
+}
+
+TEST(InterpEdge, CaseNoMatchExitsZero) {
+  fs::FileSystem fs;
+  monitor::InterpResult r = Execute(fs, "case xyz in a) echo a ;; b) echo b ;; esac\necho $?\n");
+  EXPECT_EQ(r.out, "0\n");
+}
+
+TEST(InterpEdge, NestedSubstitutionDepth) {
+  fs::FileSystem fs;
+  monitor::InterpResult r = Execute(fs, "echo $(echo $(echo $(echo deep)))\n");
+  EXPECT_EQ(r.out, "deep\n");
+}
+
+TEST(InterpEdge, SubshellFsEffectsPersist) {
+  fs::FileSystem fs;
+  Execute(fs, "( mkdir /made-inside )\n");
+  EXPECT_TRUE(fs.IsDir("/made-inside"));
+}
+
+TEST(InterpEdge, AppendRedirection) {
+  fs::FileSystem fs;
+  Execute(fs, "echo one > /log\necho two >> /log\n");
+  EXPECT_EQ(*fs.ReadFile("/log"), "one\ntwo\n");
+}
+
+TEST(InterpEdge, DollarQuestionTracksFailures) {
+  fs::FileSystem fs;
+  monitor::InterpResult r = Execute(fs, "false\necho \"code=$?\"\n");
+  EXPECT_EQ(r.out, "code=1\n");
+}
+
+TEST(InterpEdge, FunctionSeesAndRestoresPositionals) {
+  fs::FileSystem fs;
+  monitor::InterpOptions options;
+  options.args = {"outer"};
+  monitor::InterpResult r =
+      Execute(fs, "f() { echo \"inner=$1\"; }\nf callarg\necho \"outer=$1\"\n", options);
+  EXPECT_EQ(r.out, "inner=callarg\nouter=outer\n");
+}
+
+// ---------- symbolic-engine corners ----------
+
+TEST(SymexEdge, UntilLoopTerminatesSymbolically) {
+  std::vector<symex::State> finals = Symbolic("until [ -f /flag ]; do touch /flag; done\nd=1\n");
+  ASSERT_FALSE(finals.empty());
+  EXPECT_NE(finals[0].Lookup("d"), nullptr);
+}
+
+TEST(SymexEdge, ElifBranchesAllExplored) {
+  std::vector<symex::State> finals = Symbolic(
+      "if [ \"$1\" = a ]; then r=a\nelif [ \"$1\" = b ]; then r=b\nelse r=c\nfi\n");
+  std::set<std::string> seen;
+  for (const symex::State& s : finals) {
+    const symex::SymValue* r = s.Lookup("r");
+    if (r != nullptr && r->is_concrete()) {
+      seen.insert(r->concrete());
+    }
+  }
+  EXPECT_EQ(seen, (std::set<std::string>{"a", "b", "c"}));
+}
+
+TEST(SymexEdge, NegatedPipelineFlipsKnownExit) {
+  std::vector<symex::State> finals = Symbolic("! false\n");
+  ASSERT_EQ(finals.size(), 1u);
+  EXPECT_TRUE(finals[0].exit.MustSucceed());
+}
+
+TEST(SymexEdge, BackgroundCommandResetsStatus) {
+  std::vector<symex::State> finals = Symbolic("false &\nx=$?\n");
+  ASSERT_FALSE(finals.empty());
+  EXPECT_TRUE(finals[0].Lookup("x")->MustEqual("0"));
+}
+
+TEST(SymexEdge, TildeExpandsToHome) {
+  std::vector<symex::State> finals = Symbolic("d=~/data\n");
+  EXPECT_TRUE(finals[0].Lookup("d")->MustEqual("/home/user/data"));
+}
+
+TEST(SymexEdge, AlternativeOperator) {
+  std::vector<symex::State> finals = Symbolic("x=set\ny=${x:+present}\nz=${unset_v:+present}\n");
+  EXPECT_TRUE(finals[0].Lookup("y")->MustEqual("present"));
+  EXPECT_TRUE(finals[0].Lookup("z")->MustEqual(""));
+}
+
+TEST(SymexEdge, QuotedHeredocDoesNotCrashEngine) {
+  std::vector<symex::State> finals = Symbolic("cat <<'EOF'\n$not_expanded\nEOF\nafter=1\n");
+  ASSERT_FALSE(finals.empty());
+  EXPECT_NE(finals[0].Lookup("after"), nullptr);
+}
+
+// ---------- analyzer end-to-end corners ----------
+
+TEST(AnalyzerEdge, DanglingCdWarningOnlyFromLint) {
+  core::Analyzer plain;
+  EXPECT_FALSE(plain.AnalyzeSource("cd /tmp\n").HasCode(lint::kRuleCdNoGuard));
+}
+
+TEST(AnalyzerEdge, DeepNestingDoesNotHang) {
+  // 12 nested ifs: bounded state growth, quick answer.
+  std::string src;
+  for (int i = 0; i < 12; ++i) {
+    src += "if [ \"$" + std::to_string(i % 3 + 1) + "\" = x ]; then\n";
+  }
+  src += "echo innermost\n";
+  for (int i = 0; i < 12; ++i) {
+    src += "fi\n";
+  }
+  core::AnalyzerOptions options;
+  options.engine.report_unset_vars = false;
+  core::Analyzer analyzer(options);
+  core::AnalysisReport report = analyzer.AnalyzeSource(src);
+  EXPECT_TRUE(report.parse_ok());
+}
+
+TEST(AnalyzerEdge, EmptyAndCommentOnlySources) {
+  core::Analyzer analyzer;
+  EXPECT_TRUE(analyzer.AnalyzeSource("").Clean());
+  EXPECT_TRUE(analyzer.AnalyzeSource("# nothing here\n").Clean());
+  EXPECT_TRUE(analyzer.AnalyzeSource("\n\n\n").Clean());
+}
+
+// ---------- regex corners ----------
+
+TEST(RegexEdge, ExactRepetitionBounds) {
+  std::optional<regex::Regex> r = regex::Regex::FromPattern("(ab){3}");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(r->Matches("ababab"));
+  EXPECT_FALSE(r->Matches("abab"));
+  EXPECT_FALSE(r->Matches("abababab"));
+}
+
+TEST(RegexEdge, LiteralBraceWhenNotABound) {
+  std::optional<regex::Regex> r = regex::Regex::FromPattern("a{x}");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(r->Matches("a{x}"));
+}
+
+TEST(RegexEdge, UpperAndPunctClasses) {
+  std::optional<regex::Regex> r = regex::Regex::FromPattern("[[:upper:]]+[[:punct:]]");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(r->Matches("ABC!"));
+  EXPECT_FALSE(r->Matches("abc!"));
+}
+
+TEST(RegexEdge, EmptyAlternationBranch) {
+  std::optional<regex::Regex> r = regex::Regex::FromPattern("(a|)b");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(r->Matches("ab"));
+  EXPECT_TRUE(r->Matches("b"));
+}
+
+TEST(RegexEdge, NulAndHighBytes) {
+  regex::Regex any = regex::Regex::AnyLine();
+  std::string with_nul("a\0b", 3);
+  EXPECT_TRUE(any.Matches(with_nul));
+  std::string high = "caf\xc3\xa9";
+  EXPECT_TRUE(any.Matches(high));
+}
+
+}  // namespace
+}  // namespace sash

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include "exec/commands.h"
+
+namespace sash::exec {
+namespace {
+
+RunResult Sh(fs::FileSystem& fs, std::vector<std::string> argv, std::string stdin_data = "") {
+  return RunCommand(fs, argv, stdin_data);
+}
+
+TEST(Exec, EchoAndUnknown) {
+  fs::FileSystem fs;
+  RunResult r = Sh(fs, {"echo", "hello", "world"});
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_EQ(r.out, "hello world\n");
+  EXPECT_EQ(Sh(fs, {"echo", "-n", "x"}).out, "x");
+  RunResult unknown = Sh(fs, {"frobnicate"});
+  EXPECT_EQ(unknown.exit_code, 127);
+  EXPECT_NE(unknown.err.find("command not found"), std::string::npos);
+}
+
+TEST(Exec, CatFilesAndStdin) {
+  fs::FileSystem fs;
+  fs.WriteFile("/a", "one\n");
+  fs.WriteFile("/b", "two\n");
+  EXPECT_EQ(Sh(fs, {"cat", "/a", "/b"}).out, "one\ntwo\n");
+  EXPECT_EQ(Sh(fs, {"cat"}, "from stdin\n").out, "from stdin\n");
+  RunResult missing = Sh(fs, {"cat", "/nope"});
+  EXPECT_EQ(missing.exit_code, 1);
+  EXPECT_FALSE(missing.err.empty());
+  fs.MakeDir("/d", false);
+  EXPECT_EQ(Sh(fs, {"cat", "/d"}).exit_code, 1);
+  EXPECT_EQ(Sh(fs, {"cat", "-n", "/a"}).out.find("     1\tone\n"), 0u);
+}
+
+TEST(Exec, RmSemanticsMatchSpec) {
+  fs::FileSystem fs;
+  fs.MakeDir("/d/sub", true);
+  fs.WriteFile("/f", "x");
+  EXPECT_EQ(Sh(fs, {"rm", "/d"}).exit_code, 1);       // Dir without -r.
+  EXPECT_EQ(Sh(fs, {"rm", "-r", "/d"}).exit_code, 0);
+  EXPECT_FALSE(fs.Exists("/d"));
+  EXPECT_EQ(Sh(fs, {"rm", "/f"}).exit_code, 0);
+  EXPECT_EQ(Sh(fs, {"rm", "/gone"}).exit_code, 1);
+  EXPECT_EQ(Sh(fs, {"rm", "-f", "/gone"}).exit_code, 0);
+  // Guardrail: invalid flags are rejected by the spec parser.
+  EXPECT_EQ(Sh(fs, {"rm", "-z", "/f"}).exit_code, 2);
+  EXPECT_EQ(Sh(fs, {"rm"}).exit_code, 2);  // Missing operand.
+}
+
+TEST(Exec, MkdirTouchRmdir) {
+  fs::FileSystem fs;
+  EXPECT_EQ(Sh(fs, {"mkdir", "/a"}).exit_code, 0);
+  EXPECT_EQ(Sh(fs, {"mkdir", "/a"}).exit_code, 1);
+  EXPECT_EQ(Sh(fs, {"mkdir", "-p", "/a/b/c"}).exit_code, 0);
+  EXPECT_TRUE(fs.IsDir("/a/b/c"));
+  EXPECT_EQ(Sh(fs, {"touch", "/a/f"}).exit_code, 0);
+  EXPECT_TRUE(fs.IsFile("/a/f"));
+  EXPECT_EQ(Sh(fs, {"touch", "-c", "/a/missing"}).exit_code, 0);
+  EXPECT_FALSE(fs.Exists("/a/missing"));
+  EXPECT_EQ(Sh(fs, {"rmdir", "/a/b/c"}).exit_code, 0);
+  EXPECT_EQ(Sh(fs, {"rmdir", "/a"}).exit_code, 1);  // Not empty.
+}
+
+TEST(Exec, CpAndMv) {
+  fs::FileSystem fs;
+  fs.WriteFile("/src", "data");
+  fs.MakeDir("/dir", false);
+  EXPECT_EQ(Sh(fs, {"cp", "/src", "/copy"}).exit_code, 0);
+  EXPECT_EQ(*fs.ReadFile("/copy"), "data");
+  EXPECT_EQ(Sh(fs, {"cp", "/src", "/dir"}).exit_code, 0);
+  EXPECT_TRUE(fs.IsFile("/dir/src"));
+  fs.MakeDir("/tree/x", true);
+  EXPECT_EQ(Sh(fs, {"cp", "/tree", "/tree2"}).exit_code, 1);  // No -r.
+  EXPECT_EQ(Sh(fs, {"cp", "-r", "/tree", "/tree2"}).exit_code, 0);
+  EXPECT_TRUE(fs.IsDir("/tree2/x"));
+  EXPECT_EQ(Sh(fs, {"mv", "/copy", "/moved"}).exit_code, 0);
+  EXPECT_FALSE(fs.Exists("/copy"));
+  EXPECT_TRUE(fs.IsFile("/moved"));
+  // Directory cannot clobber a file.
+  EXPECT_EQ(Sh(fs, {"mv", "/tree", "/moved"}).exit_code, 1);
+}
+
+TEST(Exec, GrepModes) {
+  fs::FileSystem fs;
+  std::string input = "alpha\nbeta\nALPHA\ngamma alpha\n";
+  EXPECT_EQ(Sh(fs, {"grep", "alpha"}, input).out, "alpha\ngamma alpha\n");
+  EXPECT_EQ(Sh(fs, {"grep", "^alpha"}, input).out, "alpha\n");
+  EXPECT_EQ(Sh(fs, {"grep", "-i", "^alpha"}, input).out, "alpha\nALPHA\n");
+  EXPECT_EQ(Sh(fs, {"grep", "-v", "alpha"}, input).out, "beta\nALPHA\n");
+  EXPECT_EQ(Sh(fs, {"grep", "-c", "alpha"}, input).out, "2\n");
+  RunResult quiet = Sh(fs, {"grep", "-q", "beta"}, input);
+  EXPECT_EQ(quiet.exit_code, 0);
+  EXPECT_TRUE(quiet.out.empty());
+  EXPECT_EQ(Sh(fs, {"grep", "-q", "zeta"}, input).exit_code, 1);
+  EXPECT_EQ(Sh(fs, {"grep", "-n", "beta"}, input).out, "2:beta\n");
+  // -o extracts each match on its own line (the §4 hex extraction).
+  EXPECT_EQ(Sh(fs, {"grep", "-oE", "[0-9a-f]+", }, "zz1a2bzz 3c\n").out, "1a2b\n3c\n");
+  // Fixed strings.
+  EXPECT_EQ(Sh(fs, {"grep", "-F", "a.b"}, "a.b\naxb\n").out, "a.b\n");
+}
+
+TEST(Exec, SedForms) {
+  fs::FileSystem fs;
+  EXPECT_EQ(Sh(fs, {"sed", "s/^/0x/"}, "1a\n2b\n").out, "0x1a\n0x2b\n");
+  EXPECT_EQ(Sh(fs, {"sed", "s/$/;/"}, "x\n").out, "x;\n");
+  EXPECT_EQ(Sh(fs, {"sed", "s/a+/A/"}, "baaad\n").out, "bAd\n");
+  EXPECT_EQ(Sh(fs, {"sed", "s/o/0/g"}, "foo boo\n").out, "f00 b00\n");
+  EXPECT_EQ(Sh(fs, {"sed", "s/o/0/"}, "foo\n").out, "f0o\n");
+  EXPECT_EQ(Sh(fs, {"sed", "q"}, "x\n").exit_code, 2);  // Unsupported form.
+}
+
+TEST(Exec, CutFieldsAndChars) {
+  fs::FileSystem fs;
+  EXPECT_EQ(Sh(fs, {"cut", "-f2"}, "a\tb\tc\n").out, "b\n");
+  EXPECT_EQ(Sh(fs, {"cut", "-f1,3"}, "a\tb\tc\n").out, "a\tc\n");
+  EXPECT_EQ(Sh(fs, {"cut", "-d:", "-f1"}, "root:x:0\n").out, "root\n");
+  EXPECT_EQ(Sh(fs, {"cut", "-f2"}, "no-delim\n").out, "no-delim\n");
+  EXPECT_EQ(Sh(fs, {"cut", "-c2-3"}, "abcdef\n").out, "bc\n");
+}
+
+TEST(Exec, SortVariants) {
+  fs::FileSystem fs;
+  EXPECT_EQ(Sh(fs, {"sort"}, "b\na\nc\n").out, "a\nb\nc\n");
+  EXPECT_EQ(Sh(fs, {"sort", "-r"}, "a\nb\n").out, "b\na\n");
+  EXPECT_EQ(Sh(fs, {"sort", "-n"}, "10\n9\n2\n").out, "2\n9\n10\n");
+  EXPECT_EQ(Sh(fs, {"sort", "-u"}, "b\na\nb\n").out, "a\nb\n");
+}
+
+TEST(Exec, HeadTailUniqWcTr) {
+  fs::FileSystem fs;
+  EXPECT_EQ(Sh(fs, {"head", "-n2"}, "1\n2\n3\n").out, "1\n2\n");
+  EXPECT_EQ(Sh(fs, {"tail", "-n2"}, "1\n2\n3\n").out, "2\n3\n");
+  EXPECT_EQ(Sh(fs, {"uniq"}, "a\na\nb\na\n").out, "a\nb\na\n");
+  EXPECT_EQ(Sh(fs, {"uniq", "-d"}, "a\na\nb\n").out, "a\n");
+  RunResult counted = Sh(fs, {"uniq", "-c"}, "a\na\nb\n");
+  EXPECT_NE(counted.out.find("2 a"), std::string::npos);
+  EXPECT_EQ(Sh(fs, {"wc", "-l"}, "x\ny\n").out, " 2\n");
+  EXPECT_EQ(Sh(fs, {"tr", "a-z", "A-Z"}, "abc\n").out, "ABC\n");
+  EXPECT_EQ(Sh(fs, {"tr", "-d", "0-9"}, "a1b2\n").out, "ab\n");
+}
+
+TEST(Exec, LsbReleaseMatchesPaperShape) {
+  fs::FileSystem fs;
+  RunResult r = Sh(fs, {"lsb_release", "-a"});
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.out.find("Distributor ID:\tDebian"), std::string::npos);
+  EXPECT_NE(r.out.find("Description:\t"), std::string::npos);
+  EXPECT_NE(r.out.find("Codename:\tbookworm"), std::string::npos);
+  // Every line matches the paper's §3 line type (checked in stream tests).
+  RunResult shortform = Sh(fs, {"lsb_release", "-sc"});
+  EXPECT_EQ(shortform.out, "bookworm\n");
+}
+
+TEST(Exec, CurlUsesWorldMap) {
+  fs::FileSystem fs;
+  World world;
+  world.remote["http://sw.com/up.sh"] = "#!/bin/sh\necho installing\n";
+  RunResult ok = RunCommand(fs, {"curl", "-s", "http://sw.com/up.sh"}, "", world);
+  EXPECT_EQ(ok.exit_code, 0);
+  EXPECT_NE(ok.out.find("installing"), std::string::npos);
+  RunResult to_file = RunCommand(fs, {"curl", "-o", "/tmp.sh", "http://sw.com/up.sh"}, "", world);
+  EXPECT_EQ(to_file.exit_code, 0);
+  EXPECT_TRUE(fs.IsFile("/tmp.sh"));
+  RunResult missing = RunCommand(fs, {"curl", "http://nowhere.example"}, "", world);
+  EXPECT_EQ(missing.exit_code, 6);
+}
+
+TEST(Exec, PipelineComposesManually) {
+  // lsb_release -a | grep '^Desc' | cut -f 2 — Fig. 5's *corrected* pipeline
+  // run concretely end to end.
+  fs::FileSystem fs;
+  RunResult lsb = Sh(fs, {"lsb_release", "-a"});
+  RunResult grep = Sh(fs, {"grep", "^Desc"}, lsb.out);
+  RunResult cut = Sh(fs, {"cut", "-f2"}, grep.out);
+  EXPECT_EQ(cut.out, "Debian GNU/Linux 12 (bookworm)\n");
+  // And the buggy '^desc' filter yields nothing — the Fig. 5 behavior.
+  RunResult bad = Sh(fs, {"grep", "^desc"}, lsb.out);
+  EXPECT_TRUE(bad.out.empty());
+  EXPECT_EQ(bad.exit_code, 1);
+}
+
+TEST(Exec, CommandInventory) {
+  EXPECT_TRUE(HasCommand("rm"));
+  EXPECT_TRUE(HasCommand("lsb_release"));
+  EXPECT_FALSE(HasCommand("systemctl"));
+  EXPECT_GE(CommandNames().size(), 25u);
+}
+
+}  // namespace
+}  // namespace sash::exec

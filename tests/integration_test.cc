@@ -1,0 +1,241 @@
+// Cross-module integration: the strongest property we can test is that the
+// *static* verdicts (symbolic engine, stream types) agree with *concrete*
+// reality (the sandboxed interpreter over the in-memory file system), and
+// that mined specifications are interchangeable with the hand-written ones.
+#include <gtest/gtest.h>
+
+#include "core/analyzer.h"
+#include "mining/pipeline.h"
+#include "monitor/interp.h"
+#include "monitor/stream_monitor.h"
+#include "syntax/parser.h"
+
+namespace sash {
+namespace {
+
+core::AnalysisReport Analyze(std::string_view src) {
+  core::Analyzer analyzer;
+  analyzer.options().engine.report_unset_vars = false;
+  return analyzer.AnalyzeSource(src);
+}
+
+monitor::InterpResult Execute(fs::FileSystem& fs, std::string_view src,
+                              monitor::InterpOptions options = {}) {
+  syntax::ParseOutput parsed = syntax::Parse(src);
+  EXPECT_TRUE(parsed.ok()) << src;
+  monitor::Interpreter interp(&fs, std::move(options));
+  return interp.Run(parsed.program);
+}
+
+// ---- static "always fails" implies concrete failure ----
+
+TEST(Integration, AlwaysFailsVerdictMatchesExecution) {
+  const char* script = "rm -r \"$1\"\ncat \"$1/config\"\n";
+  ASSERT_TRUE(Analyze(script).HasCode(symex::kCodeAlwaysFails));
+  // Concretely, for a representative argument with the directory present:
+  fs::FileSystem fs;
+  fs.MakeDir("/data/app", true);
+  fs.WriteFile("/data/app/config", "k=v");
+  monitor::InterpOptions options;
+  options.args = {"/data/app"};
+  monitor::InterpResult run = Execute(fs, script, options);
+  EXPECT_NE(run.exit_code, 0);
+  EXPECT_NE(run.err.find("config"), std::string::npos);
+}
+
+TEST(Integration, RecreatedPathVerdictMatchesExecution) {
+  const char* script = "rm -r \"$1\"\nmkdir \"$1\"\necho fresh > \"$1/config\"\ncat \"$1/config\"\n";
+  ASSERT_FALSE(Analyze(script).HasCode(symex::kCodeAlwaysFails));
+  fs::FileSystem fs;
+  fs.MakeDir("/data/app", true);
+  monitor::InterpOptions options;
+  options.args = {"/data/app"};
+  monitor::InterpResult run = Execute(fs, script, options);
+  EXPECT_EQ(run.exit_code, 0);
+  EXPECT_EQ(run.out, "fresh\n");
+}
+
+// ---- static "deletes root" warning corresponds to a real wipe ----
+
+TEST(Integration, SteamBugVerdictMatchesExecutionOnBothPaths) {
+  const char* script =
+      "STEAMROOT=\"$(cd \"${0%/*}\" && echo $PWD)\"\n"
+      "rm -fr \"$STEAMROOT\"/*\n";
+  ASSERT_TRUE(Analyze(script).HasCode(symex::kCodeDeleteRoot));
+
+  // Dangerous witness path: $0 without a directory.
+  {
+    fs::FileSystem fs;
+    fs.MakeDir("/home/user", true);
+    fs.WriteFile("/home/user/data", "x");
+    monitor::InterpOptions options;
+    options.script_name = "upd.sh";
+    Execute(fs, script, options);
+    EXPECT_FALSE(fs.Exists("/home/user"));  // Wiped.
+  }
+  // Benign path: proper install location.
+  {
+    fs::FileSystem fs;
+    fs.MakeDir("/home/user/.steam/old", true);
+    fs.WriteFile("/home/user/keep.txt", "x");
+    monitor::InterpOptions options;
+    options.script_name = "/home/user/.steam/upd.sh";
+    Execute(fs, script, options);
+    EXPECT_TRUE(fs.IsFile("/home/user/keep.txt"));
+    EXPECT_FALSE(fs.Exists("/home/user/.steam/old"));
+  }
+}
+
+TEST(Integration, Fig2GuardReallyProtects) {
+  const char* script =
+      "STEAMROOT=\"$(cd \"${0%/*}\" && echo $PWD)\"\n"
+      "if [ \"$(realpath \"$STEAMROOT/\")\" != \"/\" ]; then\n"
+      "rm -fr \"$STEAMROOT\"/*\n"
+      "else\n"
+      "echo \"Bad script path: $0\"; exit 1\n"
+      "fi\n";
+  ASSERT_FALSE(Analyze(script).HasCode(symex::kCodeDeleteRoot));
+  // The dangerous $0 now takes the else branch; nothing is deleted.
+  fs::FileSystem fs;
+  fs.MakeDir("/home/user", true);
+  fs.WriteFile("/home/user/data", "x");
+  monitor::InterpOptions options;
+  options.script_name = "upd.sh";
+  monitor::InterpResult run = Execute(fs, script, options);
+  EXPECT_NE(run.exit_code, 0);
+  EXPECT_NE(run.out.find("Bad script path"), std::string::npos);
+  EXPECT_TRUE(fs.IsFile("/home/user/data"));
+}
+
+TEST(Integration, Fig3GuardInvertedReallyDestroys) {
+  const char* script =
+      "STEAMROOT=\"$(cd \"${0%/*}\" && echo $PWD)\"\n"
+      "if [ \"$(realpath \"$STEAMROOT/\")\" = \"/\" ]; then\n"
+      "rm -fr \"$STEAMROOT\"/*\n"
+      "else\n"
+      "echo \"Bad script path: $0\"; exit 1\n"
+      "fi\n";
+  ASSERT_TRUE(Analyze(script).HasCode(symex::kCodeDeleteRoot));
+  fs::FileSystem fs;
+  fs.MakeDir("/home/user", true);
+  monitor::InterpOptions options;
+  options.script_name = "upd.sh";
+  Execute(fs, script, options);
+  EXPECT_EQ(fs.LiveNodeCount(), 1u);  // Root only: everything else gone.
+}
+
+// ---- stream-type verdict matches concrete pipeline output ----
+
+TEST(Integration, DeadStreamVerdictMatchesConcreteEmptiness) {
+  // Statically: grep '^desc' makes the stream provably empty.
+  ASSERT_TRUE(
+      Analyze("x=$(lsb_release -a | grep '^desc' | cut -f 2)\necho \"got: $x\"\n")
+          .HasCode(stream::kCodeDeadStream));
+  // Concretely: the substitution is indeed empty.
+  fs::FileSystem fs;
+  monitor::InterpResult buggy =
+      Execute(fs, "x=$(lsb_release -a | grep '^desc' | cut -f 2)\necho \"got: $x\"\n");
+  EXPECT_EQ(buggy.out, "got: \n");
+  monitor::InterpResult fixed =
+      Execute(fs, "x=$(lsb_release -a | grep '^Desc' | cut -f 2)\necho \"got: $x\"\n");
+  EXPECT_EQ(fixed.out, "got: Debian GNU/Linux 12 (bookworm)\n");
+}
+
+TEST(Integration, Fig5SuffixStaysUnsetConcretely) {
+  const char* script =
+      "case $(lsb_release -a | grep '^desc' | cut -f 2) in\n"
+      "Debian) SUFFIX=.config ;;\n"
+      "*Linux) SUFFIX=.steam ;;\n"
+      "esac\n"
+      "echo \"suffix=[$SUFFIX]\"\n";
+  fs::FileSystem fs;
+  monitor::InterpResult run = Execute(fs, script);
+  EXPECT_EQ(run.out, "suffix=[]\n");  // The silent fall-through, for real.
+}
+
+// ---- mined specs are interchangeable with ground truth ----
+
+TEST(Integration, AnalyzerWorksWithMinedLibrary) {
+  static const specs::SpecLibrary kMined = mining::MinedLibrary();
+  core::Analyzer analyzer;
+  analyzer.options().engine.report_unset_vars = false;
+  analyzer.options().engine.library = &kMined;
+
+  // The rm-then-cat contradiction still detected with *mined* specs.
+  core::AnalysisReport report = analyzer.AnalyzeSource("rm -r \"$1\"\ncat \"$1/config\"\n");
+  EXPECT_TRUE(report.HasCode(symex::kCodeAlwaysFails)) << report.ToString();
+  // And the Steam bug.
+  core::AnalysisReport steam = analyzer.AnalyzeSource(
+      "STEAMROOT=\"$(cd \"${0%/*}\" && echo $PWD)\"\nrm -fr \"$STEAMROOT\"/*\n");
+  EXPECT_TRUE(steam.HasCode(symex::kCodeDeleteRoot)) << steam.ToString();
+  // Safe control stays clean.
+  core::AnalysisReport clean =
+      analyzer.AnalyzeSource("mkdir -p /tmp/w\ntouch /tmp/w/f\nrm -r /tmp/w\n");
+  EXPECT_FALSE(clean.HasCode(symex::kCodeDeleteRoot));
+  EXPECT_FALSE(clean.HasCode(symex::kCodeAlwaysFails));
+}
+
+// ---- the monitor halts what the analysis could not see ----
+
+TEST(Integration, MonitorCatchesWhatAnnotationsWouldPrevent) {
+  // An opaque producer claims numbers but emits junk; statically unknown,
+  // dynamically halted at the first bad line.
+  fs::FileSystem fs;
+  fs.WriteFile("/feed", "10\n20\noops\n30\n");
+  syntax::ParseOutput parsed = syntax::Parse("cat /feed | sort -n\n");
+  monitor::MonitorPolicy all;
+  all.monitor_all_boundaries = true;
+  monitor::StreamMonitor mon(rtypes::TypeLibrary::Default(), all);
+  monitor::MonitoredRun run = mon.Run(parsed.program, &fs, monitor::InterpOptions{});
+  EXPECT_TRUE(run.violation);
+  EXPECT_EQ(run.event.line, "oops");
+}
+
+// ---- end-to-end: a realistic installer script, analyzed then run ----
+
+TEST(Integration, RealisticInstallerRoundTrip) {
+  const char* installer =
+      "#!/bin/sh\n"
+      "PREFIX=${PREFIX:-/usr/local}\n"
+      "appdir=\"$PREFIX/lib/coolapp\"\n"
+      "mkdir -p \"$appdir\"\n"
+      "echo 'payload' > \"$appdir/coolapp\"\n"
+      "if [ -f \"$appdir/coolapp\" ]; then\n"
+      "  echo \"installed to $appdir\"\n"
+      "else\n"
+      "  echo 'install failed' && exit 1\n"
+      "fi\n";
+  core::AnalysisReport report = Analyze(installer);
+  EXPECT_FALSE(report.HasCode(symex::kCodeDeleteRoot)) << report.ToString();
+  EXPECT_FALSE(report.HasCode(symex::kCodeAlwaysFails)) << report.ToString();
+
+  fs::FileSystem fs;
+  fs.MakeDir("/usr/local", true);
+  monitor::InterpResult run = Execute(fs, installer);
+  EXPECT_EQ(run.exit_code, 0);
+  EXPECT_TRUE(fs.IsFile("/usr/local/lib/coolapp/coolapp"));
+  EXPECT_NE(run.out.find("installed to /usr/local/lib/coolapp"), std::string::npos);
+}
+
+// ---- lint baseline and semantic analysis disagree exactly as advertised ----
+
+TEST(Integration, BaselineComparisonShape) {
+  const char* fig2 =
+      "STEAMROOT=\"$(cd \"${0%/*}\" && echo $PWD)\"\n"
+      "if [ \"$(realpath \"$STEAMROOT/\")\" != \"/\" ]; then\n"
+      "rm -fr \"$STEAMROOT\"/*\nelse\necho bad; exit 1\nfi\n";
+  syntax::ParseOutput parsed = syntax::Parse(fig2);
+  // Lint warns on the provably-safe script...
+  bool lint_warns = false;
+  for (const Diagnostic& d : lint::Lint(parsed.program)) {
+    if (d.code == lint::kRuleRmVarPath) {
+      lint_warns = true;
+    }
+  }
+  EXPECT_TRUE(lint_warns);
+  // ...semantic analysis does not.
+  EXPECT_FALSE(Analyze(fig2).HasCode(symex::kCodeDeleteRoot));
+}
+
+}  // namespace
+}  // namespace sash

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "lint/lint.h"
+#include "syntax/parser.h"
+
+namespace sash::lint {
+namespace {
+
+std::vector<Diagnostic> LintSource(std::string_view src, LintOptions options = {}) {
+  syntax::ParseOutput out = syntax::Parse(src);
+  EXPECT_TRUE(out.ok()) << src;
+  return Lint(out.program, options);
+}
+
+bool Has(const std::vector<Diagnostic>& ds, std::string_view code) {
+  for (const Diagnostic& d : ds) {
+    if (d.code == code) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(Lint, UnquotedVariable) {
+  EXPECT_TRUE(Has(LintSource("rm -fr $STEAMROOT\n"), kRuleUnquotedVar));
+  EXPECT_FALSE(Has(LintSource("rm -fr \"$STEAMROOT\"\n"), kRuleUnquotedVar));
+  EXPECT_FALSE(Has(LintSource("echo literal\n"), kRuleUnquotedVar));
+}
+
+TEST(Lint, RmVarPathSuggestsGuard) {
+  std::vector<Diagnostic> ds = LintSource("rm -fr \"$STEAMROOT\"/*\n");
+  ASSERT_TRUE(Has(ds, kRuleRmVarPath));
+  bool suggested = false;
+  for (const Diagnostic& d : ds) {
+    if (d.code == kRuleRmVarPath &&
+        d.message.find("${STEAMROOT:?}") != std::string::npos) {
+      suggested = true;
+    }
+  }
+  EXPECT_TRUE(suggested);  // The exact ShellCheck suggestion from §2.
+}
+
+TEST(Lint, CdWithoutGuard) {
+  EXPECT_TRUE(Has(LintSource("cd /tmp\nls\n"), kRuleCdNoGuard));
+  EXPECT_FALSE(Has(LintSource("cd /tmp && ls\n"), kRuleCdNoGuard));
+  EXPECT_FALSE(Has(LintSource("cd /tmp || exit 1\nls\n"), kRuleCdNoGuard));
+}
+
+TEST(Lint, BacktickAndEchoSub) {
+  EXPECT_TRUE(Has(LintSource("x=`date`\n"), kRuleBacktick));
+  EXPECT_FALSE(Has(LintSource("x=$(date)\n"), kRuleBacktick));
+  EXPECT_TRUE(Has(LintSource("x=$(echo hi)\n"), kRuleEchoSub));
+  EXPECT_FALSE(Has(LintSource("x=$(cat f)\n"), kRuleEchoSub));
+}
+
+TEST(Lint, UselessCatAndReadR) {
+  EXPECT_TRUE(Has(LintSource("cat file | grep x\n"), kRuleUselessCat));
+  EXPECT_FALSE(Has(LintSource("grep x file\n"), kRuleUselessCat));
+  EXPECT_FALSE(Has(LintSource("cat a b | grep x\n"), kRuleUselessCat));
+  EXPECT_TRUE(Has(LintSource("read line\n"), kRuleReadNoR));
+  EXPECT_FALSE(Has(LintSource("read -r line\n"), kRuleReadNoR));
+}
+
+TEST(Lint, RulesToggle) {
+  LintOptions off;
+  off.unquoted_var = false;
+  off.rm_var_path = false;
+  EXPECT_FALSE(Has(LintSource("rm -fr $x/\n", off), kRuleUnquotedVar));
+  EXPECT_FALSE(Has(LintSource("rm -fr $x/\n", off), kRuleRmVarPath));
+}
+
+TEST(Lint, PortabilityRules) {
+  EXPECT_TRUE(Has(LintSource("if [[ -n $x ]]; then echo y; fi\n"), kRulePortability));
+  EXPECT_TRUE(Has(LintSource("source lib.sh\n"), kRulePortability));
+  EXPECT_TRUE(Has(LintSource("echo -n busy\n"), kRulePortability));
+  EXPECT_TRUE(Has(LintSource("echo $RANDOM\n"), kRulePortability));
+  EXPECT_TRUE(Has(LintSource("[ \"$a\" == \"$b\" ]\n"), kRulePortability));
+  EXPECT_FALSE(Has(LintSource("[ \"$a\" = \"$b\" ]\n"), kRulePortability));
+  EXPECT_FALSE(Has(LintSource(". lib.sh\n"), kRulePortability));
+  EXPECT_FALSE(Has(LintSource("printf '%s' busy\n"), kRulePortability));
+  LintOptions off;
+  off.portability = false;
+  EXPECT_FALSE(Has(LintSource("source lib.sh\n", off), kRulePortability));
+}
+
+// ---- The §2 comparison: where the syntactic baseline stops. ----
+
+constexpr const char* kFig1 =
+    "STEAMROOT=\"$(cd \"${0%/*}\" && echo $PWD)\"\n"
+    "rm -fr \"$STEAMROOT\"/*\n";
+constexpr const char* kFig2 =
+    "STEAMROOT=\"$(cd \"${0%/*}\" && echo $PWD)\"\n"
+    "if [ \"$(realpath \"$STEAMROOT/\")\" != \"/\" ]; then\n"
+    "rm -fr \"$STEAMROOT\"/*\nelse\necho bad; exit 1\nfi\n";
+constexpr const char* kFig3 =
+    "STEAMROOT=\"$(cd \"${0%/*}\" && echo $PWD)\"\n"
+    "if [ \"$(realpath \"$STEAMROOT/\")\" = \"/\" ]; then\n"
+    "rm -fr \"$STEAMROOT\"/*\nelse\necho bad; exit 1\nfi\n";
+
+TEST(Lint, WarnsOnFig1) {
+  // "The ShellCheck linter indeed issues a warning for Fig. 1."
+  EXPECT_TRUE(Has(LintSource(kFig1), kRuleRmVarPath));
+}
+
+TEST(Lint, NoisyOnTheSafeFix) {
+  // "it fails to recognize an obviously safe fix (Fig. 2)": the same warning
+  // fires even though the guard makes the rm provably safe.
+  EXPECT_TRUE(Has(LintSource(kFig2), kRuleRmVarPath));
+}
+
+TEST(Lint, BlindToTheUnsafeFix) {
+  // "it fails to identify the unambiguous incorrectness of an obviously
+  // unsafe fix (Fig. 3)": the linter's verdict on Fig. 3 is *identical* to
+  // its verdict on Fig. 2 — same codes, no escalation.
+  std::vector<Diagnostic> fig2 = LintSource(kFig2);
+  std::vector<Diagnostic> fig3 = LintSource(kFig3);
+  ASSERT_EQ(fig2.size(), fig3.size());
+  for (size_t i = 0; i < fig2.size(); ++i) {
+    EXPECT_EQ(fig2[i].code, fig3[i].code);
+    EXPECT_EQ(fig2[i].severity, fig3[i].severity);
+  }
+}
+
+TEST(Lint, MissesTheSplitVariableVariant) {
+  // §3: "robust to semantically-equivalent syntactic variants" is exactly
+  // what the pattern-matcher is not: $STEAMROOT$c has no literal '/' after
+  // the variable, so SC2115-style matching cannot fire.
+  std::vector<Diagnostic> ds = LintSource("c=\"/*\"\nrm -fr $STEAMROOT$c\n");
+  EXPECT_FALSE(Has(ds, kRuleRmVarPath));
+}
+
+}  // namespace
+}  // namespace sash::lint

@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include "mining/doc_miner.h"
+#include "mining/man_corpus.h"
+#include "mining/pipeline.h"
+#include "mining/prober.h"
+#include "mining/spec_compiler.h"
+
+namespace sash::mining {
+namespace {
+
+TEST(ManCorpus, CoversCoreCommands) {
+  const char* expected[] = {"rm", "rmdir", "mkdir", "touch", "cat", "cp", "mv", "ls", "realpath"};
+  for (const char* name : expected) {
+    EXPECT_TRUE(ManCorpus().count(name) > 0) << name;
+  }
+  EXPECT_EQ(DocumentedCommands().size(), ManCorpus().size());
+}
+
+TEST(DocMiner, MinesRmSyntaxFromManPage) {
+  DocMiner miner;
+  Result<specs::SyntaxSpec> spec = miner.MineSyntax(ManCorpus().at("rm"));
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->command, "rm");
+  EXPECT_NE(spec->summary.find("remove"), std::string::npos);
+  // The paper's example: "-r and -f as distinct, non-exclusive flags".
+  const specs::FlagSpec* r = spec->FindShort('r');
+  const specs::FlagSpec* f = spec->FindShort('f');
+  ASSERT_NE(r, nullptr);
+  ASSERT_NE(f, nullptr);
+  EXPECT_FALSE(r->takes_arg);
+  EXPECT_FALSE(f->takes_arg);
+  EXPECT_EQ(r->long_name, "recursive");
+  EXPECT_EQ(f->long_name, "force");
+  EXPECT_FALSE(r->description.empty());
+  // "at least one positional argument to rm as a path".
+  ASSERT_EQ(spec->operands.size(), 1u);
+  EXPECT_EQ(spec->operands[0].kind, specs::ValueKind::kPath);
+  EXPECT_EQ(spec->operands[0].min_count, 1);
+  EXPECT_EQ(spec->operands[0].max_count, -1);
+}
+
+TEST(DocMiner, MinesOptionArguments) {
+  DocMiner miner;
+  Result<specs::SyntaxSpec> spec = miner.MineSyntax(ManCorpus().at("mkdir"));
+  ASSERT_TRUE(spec.ok());
+  const specs::FlagSpec* m = spec->FindShort('m');
+  ASSERT_NE(m, nullptr);
+  EXPECT_TRUE(m->takes_arg);
+  const specs::FlagSpec* p = spec->FindShort('p');
+  ASSERT_NE(p, nullptr);
+  EXPECT_FALSE(p->takes_arg);
+}
+
+TEST(DocMiner, MinesTwoSlotOperands) {
+  DocMiner miner;
+  Result<specs::SyntaxSpec> spec = miner.MineSyntax(ManCorpus().at("cp"));
+  ASSERT_TRUE(spec.ok());
+  ASSERT_EQ(spec->operands.size(), 2u);
+  EXPECT_EQ(spec->operands[0].name, "source");
+  EXPECT_EQ(spec->operands[0].max_count, -1);
+  EXPECT_EQ(spec->operands[1].name, "target");
+  EXPECT_EQ(spec->operands[1].max_count, 1);
+}
+
+TEST(DocMiner, GuardrailRejectsGarbage) {
+  DocMiner miner;
+  EXPECT_FALSE(miner.MineSyntax("not a man page at all").ok());
+  EXPECT_FALSE(miner.MineSyntax("NAME\n  x - y\n").ok());  // No SYNOPSIS.
+  // Duplicate flags violate the guardrail.
+  EXPECT_FALSE(miner.MineSyntax("SYNOPSIS\n  cmd [-a] [-a] file\n").ok());
+}
+
+TEST(Guardrail, ValidateSyntaxSpecRules) {
+  specs::SyntaxSpec ok;
+  ok.command = "x";
+  EXPECT_TRUE(ValidateSyntaxSpec(ok).ok());
+  specs::SyntaxSpec empty;
+  EXPECT_FALSE(ValidateSyntaxSpec(empty).ok());
+  specs::SyntaxSpec bad_arity;
+  bad_arity.command = "x";
+  specs::OperandSpec o;
+  o.min_count = 3;
+  o.max_count = 1;
+  bad_arity.operands.push_back(o);
+  EXPECT_FALSE(ValidateSyntaxSpec(bad_arity).ok());
+  specs::SyntaxSpec two_unbounded;
+  two_unbounded.command = "x";
+  specs::OperandSpec u;
+  u.min_count = 0;
+  u.max_count = -1;
+  two_unbounded.operands.push_back(u);
+  two_unbounded.operands.push_back(u);
+  EXPECT_FALSE(ValidateSyntaxSpec(two_unbounded).ok());
+}
+
+TEST(Enumerator, SweepsFlagsAndEnvironments) {
+  DocMiner miner;
+  Result<specs::SyntaxSpec> spec = miner.MineSyntax(ManCorpus().at("rm"));
+  ASSERT_TRUE(spec.ok());
+  ProbePlan plan = EnumerateProbes(*spec);
+  // rm has 4 swept boolean flags (f, r, i, v — R deduped? R is separate) and
+  // one path operand: 4 environment shapes.
+  EXPECT_GE(plan.invocations.size(), 16u);
+  EXPECT_EQ(plan.environments.size(), 4u);
+  EXPECT_EQ(plan.path_operand_indices, (std::vector<int>{0}));
+  // Invocations include the paper's sweep: rm {, -f, -r, -f -r} $p.
+  bool saw_plain = false;
+  bool saw_fr = false;
+  for (const specs::Invocation& inv : plan.invocations) {
+    if (inv.flags.empty()) {
+      saw_plain = true;
+    }
+    if (inv.flags.count('f') > 0 && inv.flags.count('r') > 0) {
+      saw_fr = true;
+    }
+  }
+  EXPECT_TRUE(saw_plain);
+  EXPECT_TRUE(saw_fr);
+}
+
+TEST(Prober, RecordsTracesAndSnapshots) {
+  DocMiner miner;
+  Result<specs::SyntaxSpec> spec = miner.MineSyntax(ManCorpus().at("rm"));
+  ASSERT_TRUE(spec.ok());
+  ProbePlan plan = EnumerateProbes(*spec);
+  std::vector<ProbeRecord> records = RunProbes(plan);
+  EXPECT_EQ(records.size(), plan.invocations.size() * plan.environments.size());
+  // Find the paper's probe: rm -f -r $p where $p is an extant directory.
+  bool found = false;
+  for (const ProbeRecord& rec : records) {
+    if (rec.invocation.HasFlag('f') && rec.invocation.HasFlag('r') &&
+        !rec.invocation.HasFlag('i') && !rec.invocation.HasFlag('v') &&
+        rec.env.shapes == std::vector<OperandShape>{OperandShape::kDirWithChild}) {
+      found = true;
+      // "it discovers that given a path to an extant directory, rm -f -r $p
+      //  deletes that directory and exits with code 0".
+      EXPECT_EQ(rec.exit_code, 0);
+      EXPECT_TRUE(rec.before.count(ProbeOperandPath(0)) > 0);
+      EXPECT_TRUE(rec.after.count(ProbeOperandPath(0)) == 0);
+      EXPECT_FALSE(rec.trace.empty());
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Compiler, RmSpecReproducesPaperTriple) {
+  MiningOutcome outcome = MineCommand("rm");
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  // The compiled spec must contain a case equivalent to the paper's
+  //   {(∃ $p) ∧ (arg 0 $p path.FD)} rm -f -r $p {(∄ $p) ∧ exit 0}
+  specs::Invocation inv;
+  inv.command = "rm";
+  inv.flags = {'f', 'r'};
+  inv.operands = {"/probe/p0"};
+  const specs::SpecCase* c = outcome.spec.MatchCase(inv, {specs::PathState::kIsDir});
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->exit_code, 0);
+  bool deletes = false;
+  for (const specs::Effect& e : c->effects) {
+    if (e.kind == specs::EffectKind::kDeleteTree || e.kind == specs::EffectKind::kDeleteFile) {
+      deletes = true;
+    }
+  }
+  EXPECT_TRUE(deletes);
+}
+
+TEST(Pipeline, EveryMinedCommandAgreesWithGroundTruth) {
+  for (const MiningOutcome& outcome : MineAll()) {
+    ASSERT_TRUE(outcome.ok) << outcome.command << ": " << outcome.error;
+    EXPECT_GT(outcome.probes, 0) << outcome.command;
+    EXPECT_GT(outcome.cases, 0) << outcome.command;
+    EXPECT_DOUBLE_EQ(outcome.validation.Agreement(), 1.0)
+        << outcome.command << " first disagreement: "
+        << (outcome.validation.disagreements.empty() ? "none"
+                                                     : outcome.validation.disagreements[0]);
+  }
+}
+
+TEST(Pipeline, MinedLibraryIsQueryable) {
+  specs::SpecLibrary lib = MinedLibrary();
+  EXPECT_GE(lib.size(), 9u);
+  ASSERT_TRUE(lib.Has("rm"));
+  EXPECT_FALSE(lib.Find("rm")->cases.empty());
+}
+
+TEST(Compiler, IrrelevantFlagsDropped) {
+  // rm's -i and -v never change model behavior; mined cases must not key on
+  // them (their Hoare guard omits both).
+  MiningOutcome outcome = MineCommand("rm");
+  ASSERT_TRUE(outcome.ok);
+  for (const specs::SpecCase& c : outcome.spec.cases) {
+    EXPECT_EQ(c.required_flags.count('i'), 0u);
+    EXPECT_EQ(c.required_flags.count('v'), 0u);
+    EXPECT_EQ(c.forbidden_flags.count('i'), 0u);
+    EXPECT_EQ(c.forbidden_flags.count('v'), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace sash::mining

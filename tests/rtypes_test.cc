@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "rtypes/types.h"
+
+namespace sash::rtypes {
+namespace {
+
+regex::Regex Rx(const char* p) {
+  std::optional<regex::Regex> r = regex::Regex::FromPattern(p);
+  EXPECT_TRUE(r.has_value()) << p;
+  return r.value_or(regex::Regex::Nothing());
+}
+
+TEST(TypeExpr, SubstituteAndPrint) {
+  TypeExpr prefixed = TypeExpr::Concat({TypeExpr::Prefix("0x"), TypeExpr::Var()});
+  EXPECT_TRUE(prefixed.UsesVar());
+  regex::Regex out = prefixed.Substitute(Rx("[0-9a-f]+"));
+  EXPECT_TRUE(out.Matches("0xdeadbeef"));
+  EXPECT_FALSE(out.Matches("deadbeef"));
+  EXPECT_EQ(prefixed.ToString(), "0xα");
+  TypeExpr fixed = TypeExpr::Lang(Rx("desc.*"));
+  EXPECT_FALSE(fixed.UsesVar());
+}
+
+// The paper's §4 polymorphic sed type: sed 's/^/0x/' :: ∀α. α → 0xα.
+TEST(CommandType, PolymorphicSedFromPaper) {
+  CommandType sed;
+  sed.polymorphic = true;
+  sed.input = TypeExpr::Var();
+  sed.output = TypeExpr::Concat({TypeExpr::Prefix("0x"), TypeExpr::Var()});
+  EXPECT_EQ(sed.ToString(), "∀α. α → 0xα");
+
+  ApplyResult r = Apply(sed, Rx("[0-9a-f]+"));
+  ASSERT_TRUE(r.ok);
+  // "(1) instantiating sed's type variable α with its concrete input
+  //  [0-9a-f]+ (from grep) to obtain the concrete output type 0x[0-9a-f]+"
+  EXPECT_TRUE(r.output->EquivalentTo(Rx("0x[0-9a-f]+")));
+}
+
+// "(2) confirming that this concrete output type is compatible with sort -g,
+//  i.e., that 0x[0-9a-f]+ ⊆ 0x[0-9a-f]+.*"
+TEST(CommandType, SortBoundFromPaper) {
+  CommandType sort_g;
+  sort_g.polymorphic = true;
+  sort_g.bound = Rx("0x[0-9a-f]+.*");
+  sort_g.input = TypeExpr::Var();
+  sort_g.output = TypeExpr::Var();
+
+  ApplyResult good = Apply(sort_g, Rx("0x[0-9a-f]+"));
+  EXPECT_TRUE(good.ok);
+  EXPECT_TRUE(good.output->EquivalentTo(Rx("0x[0-9a-f]+")));
+
+  // The simple (non-polymorphic) sed type 0x.* does NOT satisfy the bound —
+  // exactly the paper's motivation for polymorphism.
+  ApplyResult bad = Apply(sort_g, Rx("0x.*"));
+  EXPECT_FALSE(bad.ok);
+  EXPECT_NE(bad.error.find("⊄"), std::string::npos);
+}
+
+TEST(CommandType, MonomorphicSubsumption) {
+  CommandType t;
+  t.input = TypeExpr::Lang(Rx("[a-z]+"));
+  t.output = TypeExpr::Lang(Rx("\\d+"));
+  // A subtype of the declared input is accepted.
+  EXPECT_TRUE(Apply(t, Rx("[a-c]+")).ok);
+  // A non-subtype is rejected.
+  EXPECT_FALSE(Apply(t, Rx("[a-z0-9]+")).ok);
+}
+
+TEST(CommandType, IntersectFilterComputesGrepOutput) {
+  CommandType grep;
+  grep.intersect_filter = Rx("desc.*");
+  ApplyResult r = Apply(grep, Rx("(Distributor ID|Description|Release|Codename):\\t.*"));
+  ASSERT_TRUE(r.ok);
+  // Fig. 5: the intersection is empty — the dead-stream signal.
+  EXPECT_TRUE(r.output_empty);
+
+  CommandType grep_fixed;
+  grep_fixed.intersect_filter = Rx("Desc.*");
+  ApplyResult r2 = Apply(grep_fixed, Rx("(Distributor ID|Description|Release|Codename):\\t.*"));
+  ASSERT_TRUE(r2.ok);
+  EXPECT_FALSE(r2.output_empty);
+  EXPECT_TRUE(r2.output->Matches("Description:\tDebian"));
+}
+
+TEST(CommandType, EmptyInputStaysEmpty) {
+  CommandType ident;
+  ident.polymorphic = true;
+  ident.input = TypeExpr::Var();
+  ident.output = TypeExpr::Var();
+  ApplyResult r = Apply(ident, regex::Regex::Nothing());
+  EXPECT_TRUE(r.ok);
+  EXPECT_TRUE(r.output_empty);
+}
+
+TEST(TypeLibrary, DefaultsResolve) {
+  TypeLibrary lib = TypeLibrary::Default();
+  EXPECT_NE(lib.Find("any"), nullptr);
+  EXPECT_NE(lib.Find("url"), nullptr);
+  EXPECT_NE(lib.Find("longlist"), nullptr);
+  EXPECT_NE(lib.Find("hexline"), nullptr);
+  EXPECT_EQ(lib.Find("no-such-type"), nullptr);
+  EXPECT_TRUE(lib.Find("url")->Matches("https://example.com/install.sh"));
+  EXPECT_FALSE(lib.Find("url")->Matches("not a url"));
+  EXPECT_TRUE(lib.Find("number")->Matches("-42"));
+  EXPECT_TRUE(lib.Find("tsvline")->Matches("a\tb\tc"));
+}
+
+TEST(TypeLibrary, ResolveInlinePatternsAndNames) {
+  TypeLibrary lib = TypeLibrary::Default();
+  std::optional<regex::Regex> named = lib.Resolve("hexline");
+  ASSERT_TRUE(named.has_value());
+  EXPECT_TRUE(named->Matches("beef"));
+  std::optional<regex::Regex> inline_pat = lib.Resolve("/ab+/");
+  ASSERT_TRUE(inline_pat.has_value());
+  EXPECT_TRUE(inline_pat->Matches("abb"));
+  EXPECT_FALSE(lib.Resolve("unknown-name").has_value());
+}
+
+TEST(TypeLibrary, UserDefinitionsExtend) {
+  TypeLibrary lib = TypeLibrary::Default();
+  lib.Define("steamroot", *regex::Regex::FromPattern("/home/[^/\\n]+/\\.steam"));
+  ASSERT_NE(lib.Find("steamroot"), nullptr);
+  EXPECT_TRUE(lib.Find("steamroot")->Matches("/home/jcarb/.steam"));
+  // Redefinition replaces.
+  lib.Define("steamroot", regex::Regex::Literal("/opt/steam"));
+  EXPECT_TRUE(lib.Find("steamroot")->Matches("/opt/steam"));
+  EXPECT_FALSE(lib.Find("steamroot")->Matches("/home/jcarb/.steam"));
+}
+
+TEST(TypeOf, IntrospectionPicksBestName) {
+  TypeLibrary lib = TypeLibrary::Default();
+  EXPECT_EQ(TypeOf(lib, *regex::Regex::FromPattern("[0-9a-f]+")), "hexline");
+  EXPECT_EQ(TypeOf(lib, regex::Regex::Nothing()), "none");
+  EXPECT_EQ(TypeOf(lib, *regex::Regex::FromPattern("-?\\d+")), "number");
+  // A subtype of number that is no library type exactly: containment names it.
+  EXPECT_EQ(TypeOf(lib, *regex::Regex::FromPattern("\\d{3}")), "number");
+}
+
+TEST(CommandType, DisplayStrings) {
+  CommandType sort_g;
+  sort_g.polymorphic = true;
+  sort_g.bound = Rx("0x[0-9a-f]+.*");
+  sort_g.input = TypeExpr::Var();
+  sort_g.output = TypeExpr::Var();
+  EXPECT_EQ(sort_g.ToString(), "∀α ⊆ 0x[0-9a-f]+.*. α → α");
+
+  CommandType mono;
+  mono.input = TypeExpr::Lang(regex::Regex::AnyLine());
+  mono.output = TypeExpr::Lang(Rx("desc.*"));
+  EXPECT_EQ(mono.ToString(), ".* → desc.*");
+}
+
+}  // namespace
+}  // namespace sash::rtypes

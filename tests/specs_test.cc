@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include "specs/library.h"
+
+namespace sash::specs {
+namespace {
+
+const SyntaxSpec& RmSyntax() { return SpecLibrary::BuiltinGroundTruth().Find("rm")->syntax; }
+
+TEST(SyntaxSpec, UsageAndLookup) {
+  const SyntaxSpec& rm = RmSyntax();
+  EXPECT_NE(rm.FindShort('r'), nullptr);
+  EXPECT_NE(rm.FindShort('f'), nullptr);
+  EXPECT_EQ(rm.FindShort('z'), nullptr);
+  EXPECT_NE(rm.FindLong("force"), nullptr);
+  EXPECT_EQ(rm.MinOperands(), 1);
+  EXPECT_EQ(rm.MaxOperands(), -1);
+  EXPECT_NE(rm.UsageString().find("rm"), std::string::npos);
+  EXPECT_NE(rm.UsageString().find("file..."), std::string::npos);
+}
+
+TEST(ParseInvocation, SeparateAndCombinedFlags) {
+  Result<Invocation> r1 = ParseInvocation(RmSyntax(), {"-f", "-r", "/tmp/x"});
+  ASSERT_TRUE(r1.ok());
+  EXPECT_TRUE(r1->HasFlag('f'));
+  EXPECT_TRUE(r1->HasFlag('r'));
+  EXPECT_EQ(r1->operands, (std::vector<std::string>{"/tmp/x"}));
+
+  Result<Invocation> r2 = ParseInvocation(RmSyntax(), {"-fr", "/tmp/x"});
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(r2->HasFlag('f'));
+  EXPECT_TRUE(r2->HasFlag('r'));
+}
+
+TEST(ParseInvocation, LongOptions) {
+  Result<Invocation> r = ParseInvocation(RmSyntax(), {"--force", "--recursive", "a", "b"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->HasFlag('f'));
+  EXPECT_TRUE(r->HasFlag('r'));
+  EXPECT_EQ(r->operands.size(), 2u);
+}
+
+TEST(ParseInvocation, OptionArguments) {
+  const SyntaxSpec& head = SpecLibrary::BuiltinGroundTruth().Find("head")->syntax;
+  Result<Invocation> sep = ParseInvocation(head, {"-n", "3", "f.txt"});
+  ASSERT_TRUE(sep.ok());
+  EXPECT_EQ(sep->FlagArg('n').value_or(""), "3");
+  Result<Invocation> attached = ParseInvocation(head, {"-n3", "f.txt"});
+  ASSERT_TRUE(attached.ok());
+  EXPECT_EQ(attached->FlagArg('n').value_or(""), "3");
+  Result<Invocation> eq = ParseInvocation(head, {"--lines=5"});
+  ASSERT_TRUE(eq.ok());
+  EXPECT_EQ(eq->FlagArg('n').value_or(""), "5");
+}
+
+TEST(ParseInvocation, DoubleDashEndsOptions) {
+  Result<Invocation> r = ParseInvocation(RmSyntax(), {"--", "-f"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->HasFlag('f'));
+  EXPECT_EQ(r->operands, (std::vector<std::string>{"-f"}));
+}
+
+TEST(ParseInvocation, GuardrailRejectsIllegitimate) {
+  // Unknown flag.
+  EXPECT_FALSE(ParseInvocation(RmSyntax(), {"-x", "file"}).ok());
+  // Unknown long option.
+  EXPECT_FALSE(ParseInvocation(RmSyntax(), {"--explode", "file"}).ok());
+  // Missing operand.
+  EXPECT_FALSE(ParseInvocation(RmSyntax(), {"-f"}).ok());
+  // Missing option argument.
+  const SyntaxSpec& head = SpecLibrary::BuiltinGroundTruth().Find("head")->syntax;
+  EXPECT_FALSE(ParseInvocation(head, {"-n"}).ok());
+  // Extra operand beyond max.
+  const SyntaxSpec& sleep_s = SpecLibrary::BuiltinGroundTruth().Find("sleep")->syntax;
+  EXPECT_FALSE(ParseInvocation(sleep_s, {"1", "2"}).ok());
+}
+
+TEST(Invocation, CanonicalArgvRoundTrips) {
+  Result<Invocation> r = ParseInvocation(RmSyntax(), {"-rf", "a", "b"});
+  ASSERT_TRUE(r.ok());
+  std::vector<std::string> argv = r->ToArgv();
+  ASSERT_GE(argv.size(), 4u);
+  EXPECT_EQ(argv[0], "rm");
+  // Re-parse the canonical argv (minus command) and compare.
+  Result<Invocation> again =
+      ParseInvocation(RmSyntax(), std::vector<std::string>(argv.begin() + 1, argv.end()));
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->flags, r->flags);
+  EXPECT_EQ(again->operands, r->operands);
+}
+
+TEST(Hoare, RmForceRecursiveMatchesPaperTriple) {
+  const CommandSpec* rm = SpecLibrary::BuiltinGroundTruth().Find("rm");
+  ASSERT_NE(rm, nullptr);
+  Result<Invocation> inv = ParseInvocation(rm->syntax, {"-f", "-r", "/some/dir"});
+  ASSERT_TRUE(inv.ok());
+  // Operand is an extant directory.
+  const SpecCase* c = rm->MatchCase(*inv, {PathState::kIsDir});
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->exit_code, 0);
+  ASSERT_EQ(c->effects.size(), 1u);
+  EXPECT_EQ(c->effects[0].kind, EffectKind::kDeleteTree);
+  // The paper renders this as {(∃ $p) ∧ ...} rm -f -r $p {(∄ $p) ∧ exit 0}.
+  std::string triple = c->ToHoareString("rm");
+  EXPECT_NE(triple.find("rm -f -r"), std::string::npos);
+  EXPECT_NE(triple.find("(∄ $p)"), std::string::npos);
+  EXPECT_NE(triple.find("exit 0"), std::string::npos);
+}
+
+TEST(Hoare, RmCaseAnalysis) {
+  const CommandSpec* rm = SpecLibrary::BuiltinGroundTruth().Find("rm");
+  const SyntaxSpec& syn = rm->syntax;
+  // Plain rm of a directory fails.
+  Invocation plain = *ParseInvocation(syn, {"d"});
+  const SpecCase* c = rm->MatchCase(plain, {PathState::kIsDir});
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->exit_code, 1);
+  EXPECT_TRUE(c->effects.empty());
+  EXPECT_TRUE(c->stderr_nonempty);
+  // Plain rm of a missing file fails...
+  c = rm->MatchCase(plain, {PathState::kAbsent});
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->exit_code, 1);
+  // ...but rm -f of a missing file succeeds silently.
+  Invocation forced = *ParseInvocation(syn, {"-f", "d"});
+  c = rm->MatchCase(forced, {PathState::kAbsent});
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->exit_code, 0);
+  EXPECT_FALSE(c->stderr_nonempty);
+}
+
+TEST(Hoare, MkdirAndTouch) {
+  const SpecLibrary& lib = SpecLibrary::BuiltinGroundTruth();
+  const CommandSpec* mkdir_spec = lib.Find("mkdir");
+  Invocation plain = *ParseInvocation(mkdir_spec->syntax, {"d"});
+  const SpecCase* c = mkdir_spec->MatchCase(plain, {PathState::kAbsent});
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->effects[0].kind, EffectKind::kCreateDir);
+  c = mkdir_spec->MatchCase(plain, {PathState::kIsDir});
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->exit_code, 1);
+  Invocation parents = *ParseInvocation(mkdir_spec->syntax, {"-p", "d"});
+  c = mkdir_spec->MatchCase(parents, {PathState::kIsDir});
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->exit_code, 0);
+
+  const CommandSpec* touch_spec = lib.Find("touch");
+  Invocation t = *ParseInvocation(touch_spec->syntax, {"f"});
+  c = touch_spec->MatchCase(t, {PathState::kAbsent});
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->effects[0].kind, EffectKind::kCreateFile);
+}
+
+TEST(Hoare, CatRequiresFile) {
+  const CommandSpec* cat = SpecLibrary::BuiltinGroundTruth().Find("cat");
+  Invocation inv = *ParseInvocation(cat->syntax, {"f"});
+  const SpecCase* c = cat->MatchCase(inv, {PathState::kIsFile});
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->exit_code, 0);
+  EXPECT_EQ(c->effects[0].kind, EffectKind::kReadFile);
+  c = cat->MatchCase(inv, {PathState::kAbsent});
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->exit_code, 1);
+  EXPECT_TRUE(c->stderr_nonempty);
+}
+
+TEST(Hoare, CpMvUseRoles) {
+  const SpecLibrary& lib = SpecLibrary::BuiltinGroundTruth();
+  const CommandSpec* cp = lib.Find("cp");
+  Invocation inv = *ParseInvocation(cp->syntax, {"src", "dst"});
+  const SpecCase* c = cp->MatchCase(inv, {PathState::kIsFile, PathState::kAbsent});
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->effects[0].kind, EffectKind::kCopyToLast);
+  // Directory source without -r fails.
+  c = cp->MatchCase(inv, {PathState::kIsDir, PathState::kAbsent});
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->exit_code, 1);
+  Invocation rec = *ParseInvocation(cp->syntax, {"-r", "src", "dst"});
+  c = cp->MatchCase(rec, {PathState::kIsDir, PathState::kAbsent});
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->exit_code, 0);
+}
+
+TEST(Hoare, SelectOperandsVariants) {
+  EXPECT_EQ(SelectOperands(OperandSel::Each(), 3), (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(SelectOperands(OperandSel::Index(1), 3), (std::vector<int>{1}));
+  EXPECT_EQ(SelectOperands(OperandSel::Index(5), 3), (std::vector<int>{}));
+  EXPECT_EQ(SelectOperands(OperandSel::Last(), 3), (std::vector<int>{2}));
+  EXPECT_EQ(SelectOperands(OperandSel::AllButLast(), 3), (std::vector<int>{0, 1}));
+  EXPECT_EQ(SelectOperands(OperandSel::AllButFirst(), 3), (std::vector<int>{1, 2}));
+  EXPECT_EQ(SelectOperands(OperandSel::Last(), 0), (std::vector<int>{}));
+}
+
+TEST(Hoare, StateSatisfiesLattice) {
+  EXPECT_TRUE(StateSatisfies(PathState::kIsFile, PathState::kAny));
+  EXPECT_TRUE(StateSatisfies(PathState::kIsFile, PathState::kExists));
+  EXPECT_TRUE(StateSatisfies(PathState::kIsDir, PathState::kExists));
+  EXPECT_FALSE(StateSatisfies(PathState::kAbsent, PathState::kExists));
+  EXPECT_FALSE(StateSatisfies(PathState::kIsDir, PathState::kIsFile));
+  EXPECT_TRUE(StateSatisfies(PathState::kAbsent, PathState::kAbsent));
+  EXPECT_FALSE(StateSatisfies(PathState::kIsFile, PathState::kAbsent));
+}
+
+TEST(Library, GroundTruthCoverage) {
+  const SpecLibrary& lib = SpecLibrary::BuiltinGroundTruth();
+  const char* expected[] = {"rm",   "rmdir", "mkdir", "touch",       "cat",  "cp",
+                            "mv",   "ls",    "realpath", "echo",     "grep", "sed",
+                            "cut",  "sort",  "head",  "tail",        "tr",   "uniq",
+                            "wc",   "lsb_release", "curl", "basename", "dirname"};
+  for (const char* name : expected) {
+    EXPECT_TRUE(lib.Has(name)) << name;
+  }
+  EXPECT_FALSE(lib.Has("no-such-command"));
+  EXPECT_GE(lib.size(), 25u);
+}
+
+TEST(Library, LsbReleaseCarriesLineType) {
+  const CommandSpec* lsb = SpecLibrary::BuiltinGroundTruth().Find("lsb_release");
+  ASSERT_NE(lsb, nullptr);
+  EXPECT_EQ(lsb->stdout_line_type, "(Distributor ID|Description|Release|Codename):\\t.*");
+}
+
+TEST(Library, EveryCommandRendersTriples) {
+  const SpecLibrary& lib = SpecLibrary::BuiltinGroundTruth();
+  for (const std::string& name : lib.CommandNames()) {
+    const CommandSpec* spec = lib.Find(name);
+    ASSERT_NE(spec, nullptr);
+    EXPECT_FALSE(spec->cases.empty()) << name;
+    std::string rendered = spec->ToString();
+    EXPECT_NE(rendered.find(name), std::string::npos) << rendered;
+    EXPECT_NE(rendered.find("exit"), std::string::npos) << rendered;
+  }
+}
+
+}  // namespace
+}  // namespace sash::specs

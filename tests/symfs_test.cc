@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "symfs/symbolic_fs.h"
+
+namespace sash::symfs {
+namespace {
+
+TEST(PathKey, ConstructionNormalizes) {
+  PathKey c = PathKey::Concrete("/a//b/./c");
+  EXPECT_EQ(c.base, "");
+  EXPECT_EQ(c.rel, "/a/b/c");
+  PathKey v = PathKey::VarRooted("$1", "/config");
+  EXPECT_EQ(v.base, "$1");
+  EXPECT_EQ(v.rel, "config");
+  PathKey root = PathKey::VarRooted("$1", "");
+  EXPECT_EQ(root.rel, "");
+  EXPECT_EQ(root.ToString(), "$1");
+  EXPECT_EQ(v.ToString(), "$1/config");
+}
+
+TEST(PathKey, AncestorRelation) {
+  PathKey a = PathKey::Concrete("/a");
+  PathKey ab = PathKey::Concrete("/a/b");
+  PathKey abc = PathKey::Concrete("/a/b/c");
+  PathKey ax = PathKey::Concrete("/ax");
+  EXPECT_TRUE(a.IsAncestorOf(ab));
+  EXPECT_TRUE(a.IsAncestorOf(abc));
+  EXPECT_FALSE(a.IsAncestorOf(ax));  // Prefix but not a path ancestor.
+  EXPECT_FALSE(ab.IsAncestorOf(a));
+  EXPECT_FALSE(a.IsAncestorOf(a));
+  PathKey var = PathKey::VarRooted("$1", "");
+  PathKey var_sub = PathKey::VarRooted("$1", "config");
+  PathKey other_var = PathKey::VarRooted("$2", "config");
+  EXPECT_TRUE(var.IsAncestorOf(var_sub));
+  EXPECT_FALSE(var.IsAncestorOf(other_var));
+  EXPECT_FALSE(var.IsAncestorOf(PathKey::Concrete("/a")));
+}
+
+TEST(SymbolicFs, BasicAssumeQuery) {
+  SymbolicFs sfs;
+  PathKey f = PathKey::Concrete("/etc/passwd");
+  EXPECT_EQ(sfs.Query(f), PathState::kAny);
+  sfs.Assume(f, PathState::kIsFile);
+  EXPECT_EQ(sfs.Query(f), PathState::kIsFile);
+  // Ancestors become directories.
+  EXPECT_EQ(sfs.Query(PathKey::Concrete("/etc")), PathState::kIsDir);
+}
+
+TEST(SymbolicFs, AbsentAncestorForcesAbsence) {
+  SymbolicFs sfs;
+  sfs.Assume(PathKey::Concrete("/d"), PathState::kAbsent);
+  EXPECT_EQ(sfs.Query(PathKey::Concrete("/d/x")), PathState::kAbsent);
+  EXPECT_EQ(sfs.Query(PathKey::Concrete("/d/x/y")), PathState::kAbsent);
+  EXPECT_EQ(sfs.Query(PathKey::Concrete("/other")), PathState::kAny);
+}
+
+TEST(SymbolicFs, FileAncestorBlocksResolution) {
+  SymbolicFs sfs;
+  sfs.Assume(PathKey::Concrete("/f"), PathState::kIsFile);
+  EXPECT_EQ(sfs.Query(PathKey::Concrete("/f/sub")), PathState::kAbsent);
+}
+
+TEST(SymbolicFs, DescendantImpliesDirectory) {
+  SymbolicFs sfs;
+  sfs.Assume(PathKey::VarRooted("$1", "config"), PathState::kIsFile);
+  EXPECT_EQ(sfs.Query(PathKey::VarRooted("$1", "")), PathState::kIsDir);
+}
+
+// The paper's §4 composition bug: rm -r $1; cat $1/config.
+TEST(SymbolicFs, RmThenCatContradiction) {
+  SymbolicFs sfs;
+  PathKey root = PathKey::VarRooted("$1", "");
+  PathKey config = PathKey::VarRooted("$1", "config");
+  // Initially unknown: cat's requirement is merely unknown.
+  EXPECT_EQ(sfs.CheckRequirement(config, PathState::kIsFile), Knowledge::kUnknown);
+  // rm -r $1.
+  sfs.ApplyDeleteTree(root);
+  // Now cat $1/config *cannot* succeed.
+  EXPECT_EQ(sfs.CheckRequirement(config, PathState::kIsFile), Knowledge::kContradiction);
+  EXPECT_EQ(sfs.Query(config), PathState::kAbsent);
+}
+
+TEST(SymbolicFs, RecreationAfterDeleteIsConsistent) {
+  SymbolicFs sfs;
+  PathKey d = PathKey::VarRooted("$1", "");
+  PathKey f = PathKey::VarRooted("$1", "config");
+  sfs.ApplyDeleteTree(d);
+  EXPECT_EQ(sfs.CheckRequirement(f, PathState::kIsFile), Knowledge::kContradiction);
+  // mkdir $1; touch $1/config restores satisfiability.
+  sfs.ApplyCreateDir(d);
+  sfs.ApplyCreateFile(f);
+  EXPECT_EQ(sfs.CheckRequirement(f, PathState::kIsFile), Knowledge::kKnown);
+}
+
+TEST(SymbolicFs, DeleteErasesDescendantFacts) {
+  SymbolicFs sfs;
+  sfs.Assume(PathKey::Concrete("/d/a"), PathState::kIsFile);
+  sfs.Assume(PathKey::Concrete("/d/b"), PathState::kIsDir);
+  size_t before = sfs.FactCount();
+  EXPECT_GE(before, 3u);  // /d/a, /d/b, /d.
+  sfs.ApplyDeleteTree(PathKey::Concrete("/d"));
+  EXPECT_EQ(sfs.Query(PathKey::Concrete("/d/a")), PathState::kAbsent);
+  EXPECT_EQ(sfs.Query(PathKey::Concrete("/d")), PathState::kAbsent);
+}
+
+TEST(SymbolicFs, CheckRequirementThreeValued) {
+  SymbolicFs sfs;
+  PathKey p = PathKey::Concrete("/p");
+  EXPECT_EQ(sfs.CheckRequirement(p, PathState::kIsFile), Knowledge::kUnknown);
+  EXPECT_EQ(sfs.CheckRequirement(p, PathState::kAny), Knowledge::kKnown);
+  sfs.Assume(p, PathState::kExists);
+  EXPECT_EQ(sfs.CheckRequirement(p, PathState::kExists), Knowledge::kKnown);
+  // Exists-but-kind-unknown vs file requirement: environment-dependent.
+  EXPECT_EQ(sfs.CheckRequirement(p, PathState::kIsFile), Knowledge::kUnknown);
+  sfs.Assume(p, PathState::kIsDir);
+  EXPECT_EQ(sfs.CheckRequirement(p, PathState::kIsFile), Knowledge::kContradiction);
+  EXPECT_EQ(sfs.CheckRequirement(p, PathState::kAbsent), Knowledge::kContradiction);
+}
+
+TEST(SymbolicFs, ToStringListsFacts) {
+  SymbolicFs sfs;
+  sfs.Assume(PathKey::Concrete("/x"), PathState::kIsFile);
+  std::string s = sfs.ToString();
+  EXPECT_NE(s.find("/x: path.F"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sash::symfs

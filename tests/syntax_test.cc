@@ -1,0 +1,602 @@
+#include <gtest/gtest.h>
+
+#include "syntax/ast.h"
+#include "syntax/parser.h"
+
+namespace sash::syntax {
+namespace {
+
+// Parses and asserts success.
+Program Parsed(std::string_view src) {
+  ParseOutput out = Parse(src);
+  EXPECT_TRUE(out.ok()) << "source: " << src << "\nfirst error: "
+                        << (out.diagnostics.empty() ? "none" : out.diagnostics[0].ToString());
+  return std::move(out.program);
+}
+
+const Command& Body(const Program& p) {
+  EXPECT_NE(p.body, nullptr);
+  return *p.body;
+}
+
+TEST(Parser, EmptyAndCommentOnly) {
+  EXPECT_EQ(Parsed("").body, nullptr);
+  EXPECT_EQ(Parsed("   \n\n  # just a comment\n").body, nullptr);
+  EXPECT_EQ(Parsed("#!/bin/sh\n").body, nullptr);
+}
+
+TEST(Parser, SimpleCommand) {
+  Program p = Parsed("echo hello world");
+  const Command& c = Body(p);
+  ASSERT_EQ(c.kind, CommandKind::kSimple);
+  ASSERT_EQ(c.simple.words.size(), 3u);
+  std::string text;
+  EXPECT_TRUE(c.simple.words[0].IsStatic(&text));
+  EXPECT_EQ(text, "echo");
+  EXPECT_TRUE(c.simple.words[2].IsStatic(&text));
+  EXPECT_EQ(text, "world");
+}
+
+TEST(Parser, AssignmentPrefixes) {
+  Program p = Parsed("A=1 B='two' cmd arg");
+  const Command& c = Body(p);
+  ASSERT_EQ(c.kind, CommandKind::kSimple);
+  ASSERT_EQ(c.simple.assignments.size(), 2u);
+  EXPECT_EQ(c.simple.assignments[0].name, "A");
+  EXPECT_EQ(c.simple.assignments[1].name, "B");
+  std::string v;
+  EXPECT_TRUE(c.simple.assignments[1].value.IsStatic(&v));
+  EXPECT_EQ(v, "two");
+  ASSERT_EQ(c.simple.words.size(), 2u);
+}
+
+TEST(Parser, BareAssignment) {
+  Program p = Parsed("STEAMROOT=value");
+  const Command& c = Body(p);
+  ASSERT_EQ(c.kind, CommandKind::kSimple);
+  EXPECT_TRUE(c.simple.words.empty());
+  ASSERT_EQ(c.simple.assignments.size(), 1u);
+  EXPECT_EQ(c.simple.assignments[0].name, "STEAMROOT");
+}
+
+TEST(Parser, EmptyAssignmentValue) {
+  Program p = Parsed("X= cmd");
+  const Command& c = Body(p);
+  ASSERT_EQ(c.simple.assignments.size(), 1u);
+  std::string v;
+  EXPECT_TRUE(c.simple.assignments[0].value.IsStatic(&v));
+  EXPECT_EQ(v, "");
+}
+
+TEST(Parser, EqualsInArgumentIsNotAssignment) {
+  Program p = Parsed("cmd A=1");
+  const Command& c = Body(p);
+  EXPECT_TRUE(c.simple.assignments.empty());
+  ASSERT_EQ(c.simple.words.size(), 2u);
+}
+
+TEST(Parser, Pipeline) {
+  Program p = Parsed("a | b | c");
+  const Command& c = Body(p);
+  ASSERT_EQ(c.kind, CommandKind::kPipeline);
+  EXPECT_EQ(c.pipeline.commands.size(), 3u);
+  EXPECT_FALSE(c.pipeline.negated);
+}
+
+TEST(Parser, NegatedPipeline) {
+  Program p = Parsed("! grep -q x file");
+  const Command& c = Body(p);
+  ASSERT_EQ(c.kind, CommandKind::kPipeline);
+  EXPECT_TRUE(c.pipeline.negated);
+  EXPECT_EQ(c.pipeline.commands.size(), 1u);
+}
+
+TEST(Parser, AndOrChain) {
+  Program p = Parsed("a && b || c");
+  const Command& c = Body(p);
+  ASSERT_EQ(c.kind, CommandKind::kList);
+  ASSERT_EQ(c.list.commands.size(), 3u);
+  EXPECT_EQ(c.list.ops[0], ListOp::kAnd);
+  EXPECT_EQ(c.list.ops[1], ListOp::kOr);
+  EXPECT_EQ(c.list.ops[2], ListOp::kSeq);
+}
+
+TEST(Parser, AndOrAcrossNewlines) {
+  Program p = Parsed("a &&\n  b");
+  const Command& c = Body(p);
+  ASSERT_EQ(c.kind, CommandKind::kList);
+  EXPECT_EQ(c.list.commands.size(), 2u);
+}
+
+TEST(Parser, SequencesAndBackground) {
+  Program p = Parsed("a; b & c");
+  const Command& c = Body(p);
+  ASSERT_EQ(c.kind, CommandKind::kList);
+  ASSERT_EQ(c.list.commands.size(), 3u);
+  EXPECT_EQ(c.list.ops[0], ListOp::kSeq);
+  EXPECT_EQ(c.list.ops[1], ListOp::kBackground);
+}
+
+TEST(Parser, NewlineSeparatesCommands) {
+  Program p = Parsed("a\nb\nc\n");
+  const Command& c = Body(p);
+  ASSERT_EQ(c.kind, CommandKind::kList);
+  EXPECT_EQ(c.list.commands.size(), 3u);
+}
+
+TEST(Parser, Subshell) {
+  Program p = Parsed("(cd /tmp && pwd)");
+  const Command& c = Body(p);
+  ASSERT_EQ(c.kind, CommandKind::kSubshell);
+  ASSERT_NE(c.subshell.body, nullptr);
+  EXPECT_EQ(c.subshell.body->kind, CommandKind::kList);
+}
+
+TEST(Parser, BraceGroup) {
+  Program p = Parsed("{ a; b; }");
+  const Command& c = Body(p);
+  ASSERT_EQ(c.kind, CommandKind::kBraceGroup);
+  ASSERT_NE(c.brace.body, nullptr);
+}
+
+TEST(Parser, IfElse) {
+  Program p = Parsed("if test -f x; then echo yes; else echo no; fi");
+  const Command& c = Body(p);
+  ASSERT_EQ(c.kind, CommandKind::kIf);
+  ASSERT_NE(c.if_cmd.condition, nullptr);
+  ASSERT_NE(c.if_cmd.then_body, nullptr);
+  ASSERT_NE(c.if_cmd.else_body, nullptr);
+}
+
+TEST(Parser, ElifChain) {
+  Program p = Parsed("if a; then x; elif b; then y; elif c; then z; else w; fi");
+  const Command& c = Body(p);
+  ASSERT_EQ(c.kind, CommandKind::kIf);
+  const Command* elif1 = c.if_cmd.else_body.get();
+  ASSERT_NE(elif1, nullptr);
+  ASSERT_EQ(elif1->kind, CommandKind::kIf);
+  const Command* elif2 = elif1->if_cmd.else_body.get();
+  ASSERT_NE(elif2, nullptr);
+  ASSERT_EQ(elif2->kind, CommandKind::kIf);
+  EXPECT_NE(elif2->if_cmd.else_body, nullptr);
+}
+
+TEST(Parser, WhileAndUntil) {
+  Program p = Parsed("while read line; do echo \"$line\"; done");
+  const Command& c = Body(p);
+  ASSERT_EQ(c.kind, CommandKind::kLoop);
+  EXPECT_FALSE(c.loop.until);
+  Program q = Parsed("until test -f done.flag; do sleep 1; done");
+  EXPECT_TRUE(Body(q).loop.until);
+}
+
+TEST(Parser, ForLoop) {
+  Program p = Parsed("for f in a.txt b.txt *.log; do rm \"$f\"; done");
+  const Command& c = Body(p);
+  ASSERT_EQ(c.kind, CommandKind::kFor);
+  EXPECT_EQ(c.for_cmd.var, "f");
+  EXPECT_TRUE(c.for_cmd.has_in);
+  EXPECT_EQ(c.for_cmd.words.size(), 3u);
+}
+
+TEST(Parser, ForWithoutIn) {
+  Program p = Parsed("for arg\ndo echo \"$arg\"; done");
+  const Command& c = Body(p);
+  ASSERT_EQ(c.kind, CommandKind::kFor);
+  EXPECT_FALSE(c.for_cmd.has_in);
+}
+
+TEST(Parser, CaseStatement) {
+  Program p = Parsed("case $x in\n  a|b) echo ab ;;\n  *) echo other ;;\nesac");
+  const Command& c = Body(p);
+  ASSERT_EQ(c.kind, CommandKind::kCase);
+  ASSERT_EQ(c.case_cmd.items.size(), 2u);
+  EXPECT_EQ(c.case_cmd.items[0].patterns.size(), 2u);
+  ASSERT_EQ(c.case_cmd.items[1].patterns.size(), 1u);
+  EXPECT_EQ(c.case_cmd.items[1].patterns[0].parts[0].kind, WordPartKind::kGlobStar);
+}
+
+TEST(Parser, CaseWithParenPrefixAndNoFinalDsemi) {
+  Program p = Parsed("case $x in (y) echo y;; (z) echo z\nesac");
+  const Command& c = Body(p);
+  ASSERT_EQ(c.kind, CommandKind::kCase);
+  EXPECT_EQ(c.case_cmd.items.size(), 2u);
+}
+
+TEST(Parser, FunctionDefinition) {
+  Program p = Parsed("cleanup() { rm -f \"$tmp\"; }\ncleanup");
+  const Command& c = Body(p);
+  ASSERT_EQ(c.kind, CommandKind::kList);
+  ASSERT_EQ(c.list.commands.size(), 2u);
+  ASSERT_EQ(c.list.commands[0]->kind, CommandKind::kFunctionDef);
+  EXPECT_EQ(c.list.commands[0]->function.name, "cleanup");
+  EXPECT_EQ(c.list.commands[0]->function.body->kind, CommandKind::kBraceGroup);
+}
+
+TEST(Parser, Redirections) {
+  Program p = Parsed("cmd <in >out 2>>log 2>&1 >|clob <>rw");
+  const Command& c = Body(p);
+  ASSERT_EQ(c.redirects.size(), 6u);
+  EXPECT_EQ(c.redirects[0].op, RedirOp::kIn);
+  EXPECT_EQ(c.redirects[1].op, RedirOp::kOut);
+  EXPECT_EQ(c.redirects[2].op, RedirOp::kAppend);
+  EXPECT_EQ(c.redirects[2].fd, 2);
+  EXPECT_EQ(c.redirects[3].op, RedirOp::kDupOut);
+  EXPECT_EQ(c.redirects[3].fd, 2);
+  EXPECT_EQ(c.redirects[4].op, RedirOp::kClobber);
+  EXPECT_EQ(c.redirects[5].op, RedirOp::kReadWrite);
+}
+
+TEST(Parser, RedirectOnCompound) {
+  Program p = Parsed("if a; then b; fi >log 2>&1");
+  const Command& c = Body(p);
+  ASSERT_EQ(c.kind, CommandKind::kIf);
+  EXPECT_EQ(c.redirects.size(), 2u);
+}
+
+TEST(Parser, WordStartingWithDigitIsNotRedirect) {
+  Program p = Parsed("echo 2fast");
+  const Command& c = Body(p);
+  EXPECT_TRUE(c.redirects.empty());
+  ASSERT_EQ(c.simple.words.size(), 2u);
+}
+
+TEST(Parser, HereDoc) {
+  Program p = Parsed("cat <<EOF\nline one\nline two\nEOF\necho after");
+  const Command& c = Body(p);
+  ASSERT_EQ(c.kind, CommandKind::kList);
+  ASSERT_EQ(c.list.commands.size(), 2u);
+  const Command& cat = *c.list.commands[0];
+  ASSERT_EQ(cat.redirects.size(), 1u);
+  EXPECT_EQ(cat.redirects[0].op, RedirOp::kHereDoc);
+  ASSERT_NE(cat.redirects[0].heredoc_body, nullptr);
+  EXPECT_EQ(*cat.redirects[0].heredoc_body, "line one\nline two\n");
+  EXPECT_FALSE(cat.redirects[0].heredoc_quoted);
+}
+
+TEST(Parser, HereDocQuotedDelimiterAndTabStrip) {
+  Program p = Parsed("cat <<-'END'\n\tindented\n\tEND\n");
+  const Command& c = Body(p);
+  ASSERT_EQ(c.redirects.size(), 1u);
+  EXPECT_EQ(c.redirects[0].op, RedirOp::kHereDocTab);
+  EXPECT_TRUE(c.redirects[0].heredoc_quoted);
+  EXPECT_EQ(*c.redirects[0].heredoc_body, "indented\n");
+}
+
+TEST(Parser, SingleAndDoubleQuotes) {
+  Program p = Parsed("echo 'single $x' \"double $y end\"");
+  const Command& c = Body(p);
+  ASSERT_EQ(c.simple.words.size(), 3u);
+  const Word& w1 = c.simple.words[1];
+  ASSERT_EQ(w1.parts.size(), 1u);
+  EXPECT_EQ(w1.parts[0].kind, WordPartKind::kSingleQuoted);
+  EXPECT_EQ(w1.parts[0].text, "single $x");
+  const Word& w2 = c.simple.words[2];
+  ASSERT_EQ(w2.parts.size(), 1u);
+  ASSERT_EQ(w2.parts[0].kind, WordPartKind::kDoubleQuoted);
+  ASSERT_EQ(w2.parts[0].children.size(), 3u);
+  EXPECT_EQ(w2.parts[0].children[0].kind, WordPartKind::kLiteral);
+  EXPECT_EQ(w2.parts[0].children[1].kind, WordPartKind::kParam);
+  EXPECT_EQ(w2.parts[0].children[1].param_name, "y");
+  EXPECT_EQ(w2.parts[0].children[2].text, " end");
+}
+
+TEST(Parser, ParameterExpansionForms) {
+  Program p = Parsed("echo ${x} ${y:-def} ${z:=as} ${w:?err} ${v:+alt} ${a%/*} ${b%%.*} "
+                     "${c#pre} ${d##*/} ${#e} ${f-unset}");
+  const Command& c = Body(p);
+  ASSERT_EQ(c.simple.words.size(), 12u);
+  auto param = [&](size_t i) -> const WordPart& {
+    const Word& w = c.simple.words[i];
+    EXPECT_EQ(w.parts.size(), 1u);
+    return w.parts[0];
+  };
+  EXPECT_EQ(param(1).param_op, ParamOp::kPlain);
+  EXPECT_EQ(param(2).param_op, ParamOp::kDefault);
+  EXPECT_TRUE(param(2).param_colon);
+  EXPECT_EQ(param(3).param_op, ParamOp::kAssignDefault);
+  EXPECT_EQ(param(4).param_op, ParamOp::kErrorIfUnset);
+  EXPECT_EQ(param(5).param_op, ParamOp::kAlternative);
+  EXPECT_EQ(param(6).param_op, ParamOp::kRemSmallSuffix);
+  EXPECT_EQ(param(7).param_op, ParamOp::kRemLargeSuffix);
+  EXPECT_EQ(param(8).param_op, ParamOp::kRemSmallPrefix);
+  EXPECT_EQ(param(9).param_op, ParamOp::kRemLargePrefix);
+  EXPECT_EQ(param(10).param_op, ParamOp::kLength);
+  EXPECT_EQ(param(11).param_op, ParamOp::kDefault);
+  EXPECT_FALSE(param(11).param_colon);
+  // The %/* argument contains a glob star.
+  ASSERT_NE(param(6).param_arg, nullptr);
+  ASSERT_EQ(param(6).param_arg->parts.size(), 2u);
+  EXPECT_EQ(param(6).param_arg->parts[1].kind, WordPartKind::kGlobStar);
+}
+
+TEST(Parser, SpecialParameters) {
+  Program p = Parsed("echo $0 $1 $# $? $* $@ $$ $!");
+  const Command& c = Body(p);
+  ASSERT_EQ(c.simple.words.size(), 9u);
+  const char* expected[] = {"0", "1", "#", "?", "*", "@", "$", "!"};
+  for (size_t i = 1; i < 9; ++i) {
+    ASSERT_EQ(c.simple.words[i].parts.size(), 1u) << i;
+    EXPECT_EQ(c.simple.words[i].parts[0].kind, WordPartKind::kParam);
+    EXPECT_EQ(c.simple.words[i].parts[0].param_name, expected[i - 1]);
+  }
+}
+
+TEST(Parser, CommandSubstitution) {
+  Program p = Parsed("now=$(date +%s)");
+  const Command& c = Body(p);
+  ASSERT_EQ(c.simple.assignments.size(), 1u);
+  const Word& v = c.simple.assignments[0].value;
+  ASSERT_EQ(v.parts.size(), 1u);
+  ASSERT_EQ(v.parts[0].kind, WordPartKind::kCommandSub);
+  ASSERT_NE(v.parts[0].command, nullptr);
+  ASSERT_NE(v.parts[0].command->body, nullptr);
+  EXPECT_EQ(v.parts[0].command->body->kind, CommandKind::kSimple);
+}
+
+TEST(Parser, NestedCommandSubstitution) {
+  Program p = Parsed("x=$(basename $(dirname /a/b/c))");
+  const Command& c = Body(p);
+  const Word& v = c.simple.assignments[0].value;
+  ASSERT_EQ(v.parts[0].kind, WordPartKind::kCommandSub);
+  const Program& inner = *v.parts[0].command;
+  ASSERT_EQ(inner.body->kind, CommandKind::kSimple);
+  const Word& arg = inner.body->simple.words[1];
+  ASSERT_EQ(arg.parts.size(), 1u);
+  EXPECT_EQ(arg.parts[0].kind, WordPartKind::kCommandSub);
+}
+
+TEST(Parser, BackquoteSubstitution) {
+  Program p = Parsed("x=`uname -s`");
+  const Command& c = Body(p);
+  const Word& v = c.simple.assignments[0].value;
+  ASSERT_EQ(v.parts.size(), 1u);
+  ASSERT_EQ(v.parts[0].kind, WordPartKind::kCommandSub);
+  ASSERT_NE(v.parts[0].command->body, nullptr);
+  EXPECT_EQ(v.parts[0].command->body->simple.words.size(), 2u);
+}
+
+TEST(Parser, ArithmeticExpansion) {
+  Program p = Parsed("echo $((1 + (2 * 3)))");
+  const Command& c = Body(p);
+  ASSERT_EQ(c.simple.words.size(), 2u);
+  ASSERT_EQ(c.simple.words[1].parts.size(), 1u);
+  EXPECT_EQ(c.simple.words[1].parts[0].kind, WordPartKind::kArith);
+  EXPECT_EQ(c.simple.words[1].parts[0].text, "1 + (2 * 3)");
+}
+
+TEST(Parser, GlobsAndTilde) {
+  Program p = Parsed("ls ~alice/docs *.txt ?file [a-z]x");
+  const Command& c = Body(p);
+  ASSERT_EQ(c.simple.words.size(), 5u);
+  EXPECT_EQ(c.simple.words[1].parts[0].kind, WordPartKind::kTilde);
+  EXPECT_EQ(c.simple.words[1].parts[0].text, "alice");
+  EXPECT_EQ(c.simple.words[2].parts[0].kind, WordPartKind::kGlobStar);
+  EXPECT_EQ(c.simple.words[3].parts[0].kind, WordPartKind::kGlobQuestion);
+  EXPECT_EQ(c.simple.words[4].parts[0].kind, WordPartKind::kGlobClass);
+  EXPECT_EQ(c.simple.words[4].parts[0].text, "a-z");
+}
+
+TEST(Parser, QuotedGlobIsLiteral) {
+  Program p = Parsed("echo '*' \"?\"");
+  const Command& c = Body(p);
+  EXPECT_EQ(c.simple.words[1].parts[0].kind, WordPartKind::kSingleQuoted);
+  ASSERT_EQ(c.simple.words[2].parts[0].kind, WordPartKind::kDoubleQuoted);
+  EXPECT_EQ(c.simple.words[2].parts[0].children[0].kind, WordPartKind::kLiteral);
+}
+
+TEST(Parser, EscapedCharacters) {
+  Program p = Parsed("echo \\* a\\ b");
+  const Command& c = Body(p);
+  ASSERT_EQ(c.simple.words.size(), 3u);
+  std::string t;
+  EXPECT_TRUE(c.simple.words[1].IsStatic(&t));
+  EXPECT_EQ(t, "*");
+  EXPECT_TRUE(c.simple.words[2].IsStatic(&t));
+  EXPECT_EQ(t, "a b");
+}
+
+TEST(Parser, LineContinuation) {
+  Program p = Parsed("echo one \\\n  two");
+  const Command& c = Body(p);
+  EXPECT_EQ(c.simple.words.size(), 3u);
+}
+
+TEST(Parser, ReservedWordAsArgument) {
+  Program p = Parsed("echo then fi done");
+  const Command& c = Body(p);
+  ASSERT_EQ(c.kind, CommandKind::kSimple);
+  EXPECT_EQ(c.simple.words.size(), 4u);
+}
+
+TEST(Parser, HashMidWordIsLiteral) {
+  Program p = Parsed("echo a#b # trailing comment");
+  const Command& c = Body(p);
+  ASSERT_EQ(c.simple.words.size(), 2u);
+  std::string t;
+  EXPECT_TRUE(c.simple.words[1].IsStatic(&t));
+  EXPECT_EQ(t, "a#b");
+}
+
+TEST(Parser, ErrorsReported) {
+  EXPECT_FALSE(Parse("if true; then echo x").ok());   // Missing fi.
+  EXPECT_FALSE(Parse("echo 'unterminated").ok());
+  EXPECT_FALSE(Parse("echo \"unterminated").ok());
+  EXPECT_FALSE(Parse("( echo x").ok());
+  EXPECT_FALSE(Parse("echo ${x").ok());
+  EXPECT_FALSE(Parse("case x in a) echo").ok());  // Missing esac.
+}
+
+// ---- The paper's figures parse faithfully. ----
+
+constexpr const char* kFig1 = R"sh(#!/bin/sh
+STEAMROOT="$(cd "${0%/*}" && echo $PWD)"
+# ... more lines ...
+rm -fr "$STEAMROOT"/*
+)sh";
+
+TEST(Parser, PaperFig1SteamBug) {
+  Program p = Parsed(kFig1);
+  const Command& c = Body(p);
+  ASSERT_EQ(c.kind, CommandKind::kList);
+  ASSERT_EQ(c.list.commands.size(), 2u);
+  // Line 2: assignment whose value is "..." containing a command sub.
+  const Command& assign = *c.list.commands[0];
+  ASSERT_EQ(assign.kind, CommandKind::kSimple);
+  ASSERT_EQ(assign.simple.assignments.size(), 1u);
+  EXPECT_EQ(assign.simple.assignments[0].name, "STEAMROOT");
+  const Word& value = assign.simple.assignments[0].value;
+  ASSERT_EQ(value.parts.size(), 1u);
+  ASSERT_EQ(value.parts[0].kind, WordPartKind::kDoubleQuoted);
+  ASSERT_EQ(value.parts[0].children.size(), 1u);
+  ASSERT_EQ(value.parts[0].children[0].kind, WordPartKind::kCommandSub);
+  // Inside: cd "${0%/*}" && echo $PWD
+  const Program& sub = *value.parts[0].children[0].command;
+  ASSERT_NE(sub.body, nullptr);
+  ASSERT_EQ(sub.body->kind, CommandKind::kList);
+  ASSERT_EQ(sub.body->list.commands.size(), 2u);
+  EXPECT_EQ(sub.body->list.ops[0], ListOp::kAnd);
+  const Command& cd = *sub.body->list.commands[0];
+  ASSERT_EQ(cd.simple.words.size(), 2u);
+  const WordPart& cd_arg = cd.simple.words[1].parts[0];
+  ASSERT_EQ(cd_arg.kind, WordPartKind::kDoubleQuoted);
+  ASSERT_EQ(cd_arg.children.size(), 1u);
+  const WordPart& param = cd_arg.children[0];
+  EXPECT_EQ(param.kind, WordPartKind::kParam);
+  EXPECT_EQ(param.param_name, "0");
+  EXPECT_EQ(param.param_op, ParamOp::kRemSmallSuffix);
+  // Line 4: rm -fr "$STEAMROOT"/*
+  const Command& rm = *c.list.commands[1];
+  ASSERT_EQ(rm.simple.words.size(), 3u);
+  const Word& target = rm.simple.words[2];
+  ASSERT_EQ(target.parts.size(), 3u);
+  EXPECT_EQ(target.parts[0].kind, WordPartKind::kDoubleQuoted);
+  EXPECT_EQ(target.parts[1].kind, WordPartKind::kLiteral);
+  EXPECT_EQ(target.parts[1].text, "/");
+  EXPECT_EQ(target.parts[2].kind, WordPartKind::kGlobStar);
+}
+
+constexpr const char* kFig2 = R"sh(#!/bin/sh
+STEAMROOT="$(cd "${0%/*}" && echo $PWD)"
+
+if [ "$(realpath "$STEAMROOT/")" != "/" ]; then
+rm -fr "$STEAMROOT"/*
+else
+echo "Bad script path: $0"; exit 1
+fi
+)sh";
+
+TEST(Parser, PaperFig2SafeFix) {
+  Program p = Parsed(kFig2);
+  const Command& c = Body(p);
+  ASSERT_EQ(c.kind, CommandKind::kList);
+  ASSERT_EQ(c.list.commands.size(), 2u);
+  const Command& iff = *c.list.commands[1];
+  ASSERT_EQ(iff.kind, CommandKind::kIf);
+  // Condition is [ ... ] — a simple command named "[".
+  ASSERT_NE(iff.if_cmd.condition, nullptr);
+  const Command& cond = *iff.if_cmd.condition;
+  ASSERT_EQ(cond.kind, CommandKind::kSimple);
+  std::string name;
+  EXPECT_TRUE(cond.simple.words[0].IsStatic(&name));
+  EXPECT_EQ(name, "[");
+  ASSERT_NE(iff.if_cmd.else_body, nullptr);
+}
+
+constexpr const char* kFig5 = R"sh(#!/bin/sh
+STEAMROOT="$(cd "${0%/*}" && echo $PWD)"/
+case $(lsb_release -a | grep '^desc' | cut -f 2) in
+Debian) SUFFIX=".config/steam" ;;
+*Linux) SUFFIX=".steam" ;;
+esac
+rm -fr $STEAMROOT$SUFFIX
+)sh";
+
+TEST(Parser, PaperFig5StreamBug) {
+  Program p = Parsed(kFig5);
+  const Command& c = Body(p);
+  ASSERT_EQ(c.kind, CommandKind::kList);
+  ASSERT_EQ(c.list.commands.size(), 3u);
+  const Command& kase = *c.list.commands[1];
+  ASSERT_EQ(kase.kind, CommandKind::kCase);
+  ASSERT_EQ(kase.case_cmd.items.size(), 2u);
+  // Subject is $(pipeline of three stages).
+  ASSERT_EQ(kase.case_cmd.subject.parts.size(), 1u);
+  ASSERT_EQ(kase.case_cmd.subject.parts[0].kind, WordPartKind::kCommandSub);
+  const Program& sub = *kase.case_cmd.subject.parts[0].command;
+  ASSERT_EQ(sub.body->kind, CommandKind::kPipeline);
+  EXPECT_EQ(sub.body->pipeline.commands.size(), 3u);
+  // Second pattern *Linux mixes glob and literal.
+  const Word& pat = kase.case_cmd.items[1].patterns[0];
+  ASSERT_EQ(pat.parts.size(), 2u);
+  EXPECT_EQ(pat.parts[0].kind, WordPartKind::kGlobStar);
+  EXPECT_EQ(pat.parts[1].text, "Linux");
+  // Final rm uses two adjacent unquoted params.
+  const Command& rm = *c.list.commands[2];
+  const Word& target = rm.simple.words[2];
+  ASSERT_EQ(target.parts.size(), 2u);
+  EXPECT_EQ(target.parts[0].param_name, "STEAMROOT");
+  EXPECT_EQ(target.parts[1].param_name, "SUFFIX");
+}
+
+// §3's syntactic-variant robustness example: c="/*"; rm -fr $STEAMROOT$c
+TEST(Parser, PaperSplitVariableVariant) {
+  Program p = Parsed("c=\"/*\"\nrm -fr $STEAMROOT$c\n");
+  const Command& c = Body(p);
+  ASSERT_EQ(c.kind, CommandKind::kList);
+  const Command& assign = *c.list.commands[0];
+  const Word& v = assign.simple.assignments[0].value;
+  ASSERT_EQ(v.parts.size(), 1u);
+  ASSERT_EQ(v.parts[0].kind, WordPartKind::kDoubleQuoted);
+  // Inside double quotes, * is literal.
+  ASSERT_EQ(v.parts[0].children.size(), 1u);
+  EXPECT_EQ(v.parts[0].children[0].text, "/*");
+}
+
+TEST(Printer, RoundTripThroughParser) {
+  const char* sources[] = {
+      "echo hello world",
+      "a | b && c || d",
+      "if t; then x; else y; fi",
+      "for f in 1 2 3; do echo $f; done",
+      "case $x in a) y ;; *) z ;; esac",
+      "( cd /tmp && pwd )",
+      "{ a; b; }",
+      "f() { echo hi; }",
+      "x=1 y=2 cmd <in >out",
+      "rm -fr \"$STEAMROOT\"/*",
+  };
+  for (const char* src : sources) {
+    Program p1 = Parsed(src);
+    std::string printed = ToShellSyntax(p1);
+    ParseOutput second = Parse(printed);
+    EXPECT_TRUE(second.ok()) << "reprinting '" << src << "' gave '" << printed << "'";
+    EXPECT_EQ(printed, ToShellSyntax(second.program))
+        << "print not idempotent for '" << src << "'";
+  }
+}
+
+TEST(Visitor, CountsCommandsIncludingSubstitutions) {
+  Program p = Parsed(kFig1);
+  int all = 0;
+  VisitCommands(p, /*into_substitutions=*/true, [&](const Command&) { ++all; });
+  int top = 0;
+  VisitCommands(p, /*into_substitutions=*/false, [&](const Command&) { ++top; });
+  EXPECT_GT(all, top);
+  // Top level: list, assignment command, rm command = 3.
+  EXPECT_EQ(top, 3);
+  // Substitution adds: inner list, cd, echo = 3 more.
+  EXPECT_EQ(all, 6);
+}
+
+TEST(Parser, SourceRangesArePlausible) {
+  Program p = Parsed("echo one\nrm -rf /tmp/x\n");
+  const Command& c = Body(p);
+  ASSERT_EQ(c.kind, CommandKind::kList);
+  const Command& rm = *c.list.commands[1];
+  EXPECT_EQ(rm.range.begin.line, 2);
+  EXPECT_EQ(rm.range.begin.column, 1);
+}
+
+}  // namespace
+}  // namespace sash::syntax

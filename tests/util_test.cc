@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "util/diagnostics.h"
+#include "util/source_location.h"
+#include "util/strings.h"
+
+namespace sash {
+namespace {
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  EXPECT_EQ(Split("a::b", ':'), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split("", ':'), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("abc", ':'), (std::vector<std::string>{"abc"}));
+  EXPECT_EQ(Split(":", ':'), (std::vector<std::string>{"", ""}));
+}
+
+TEST(Strings, SplitLinesDropsTrailingNewline) {
+  EXPECT_EQ(SplitLines("a\nb\n"), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(SplitLines("a\nb"), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(SplitLines(""), (std::vector<std::string>{}));
+  EXPECT_EQ(SplitLines("\n"), (std::vector<std::string>{""}));
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"x"}, ","), "x");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim("\t\nx"), "x");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(Strings, StartsEndsContains) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("fo", "foo"));
+  EXPECT_TRUE(EndsWith("foobar", "bar"));
+  EXPECT_FALSE(EndsWith("ar", "bar"));
+  EXPECT_TRUE(Contains("foobar", "oba"));
+  EXPECT_FALSE(Contains("foobar", "xyz"));
+}
+
+TEST(Strings, EscapeForDisplay) {
+  EXPECT_EQ(EscapeForDisplay("a\nb"), "a\\nb");
+  EXPECT_EQ(EscapeForDisplay("tab\there"), "tab\\there");
+  EXPECT_EQ(EscapeForDisplay(std::string(1, '\x01')), "\\x01");
+  EXPECT_EQ(EscapeForDisplay("it's"), "it\\'s");
+}
+
+TEST(Strings, ReplaceAll) {
+  EXPECT_EQ(ReplaceAll("a.b.c", ".", "/"), "a/b/c");
+  EXPECT_EQ(ReplaceAll("aaa", "aa", "b"), "ba");
+  EXPECT_EQ(ReplaceAll("x", "", "y"), "x");
+}
+
+TEST(Strings, AsciiLower) { EXPECT_EQ(AsciiLower("AbC9"), "abc9"); }
+
+TEST(SourceRange, JoinAndToString) {
+  SourceRange a{{0, 1, 1}, {3, 1, 4}};
+  SourceRange b{{10, 2, 1}, {12, 2, 3}};
+  SourceRange j = SourceRange::Join(a, b);
+  EXPECT_EQ(j.begin.offset, 0u);
+  EXPECT_EQ(j.end.offset, 12u);
+  EXPECT_EQ(a.ToString(), "1:1-1:4");
+  SourceRange point{{5, 3, 2}, {5, 3, 2}};
+  EXPECT_EQ(point.ToString(), "3:2");
+  EXPECT_TRUE(point.empty());
+  EXPECT_FALSE(a.empty());
+}
+
+TEST(Diagnostics, EmitAndRender) {
+  DiagnosticSink sink;
+  EXPECT_TRUE(sink.empty());
+  Diagnostic& d = sink.Emit(Severity::kError, "SASH-TEST", SourceRange{{0, 4, 3}, {2, 4, 5}},
+                            "something went wrong");
+  d.notes.push_back(DiagnosticNote{{}, "witness: $0 = 'upd.sh'"});
+  EXPECT_EQ(sink.size(), 1u);
+  std::string rendered = sink.diagnostics()[0].ToString();
+  EXPECT_NE(rendered.find("4:3-4:5 error[SASH-TEST]: something went wrong"), std::string::npos);
+  EXPECT_NE(rendered.find("note: witness"), std::string::npos);
+}
+
+TEST(Diagnostics, CountAtLeast) {
+  DiagnosticSink sink;
+  sink.Emit(Severity::kInfo, "A", {}, "info");
+  sink.Emit(Severity::kWarning, "B", {}, "warn");
+  sink.Emit(Severity::kError, "C", {}, "err");
+  EXPECT_EQ(sink.CountAtLeast(Severity::kWarning), 2u);
+  EXPECT_EQ(sink.CountAtLeast(Severity::kError), 1u);
+  EXPECT_EQ(sink.CountAtLeast(Severity::kNote), 3u);
+}
+
+TEST(Diagnostics, SeverityNames) {
+  EXPECT_EQ(SeverityName(Severity::kNote), "note");
+  EXPECT_EQ(SeverityName(Severity::kInfo), "info");
+  EXPECT_EQ(SeverityName(Severity::kWarning), "warning");
+  EXPECT_EQ(SeverityName(Severity::kError), "error");
+}
+
+}  // namespace
+}  // namespace sash

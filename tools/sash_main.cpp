@@ -1,0 +1,256 @@
+// The sash command-line tool.
+//
+//   sash analyze [--lint] [--no-symex] [--no-stream] <script.sh>
+//   sash lint <script.sh>
+//   sash run <script.sh> [args...]        (sandboxed; nothing touches disk)
+//   sash verify --no-rw <path> [--no-read <path>] <script.sh>
+//   sash mine [command]
+//   sash typeof <pipeline string>
+//
+// Reads from stdin when the script operand is "-".
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "core/analyzer.h"
+#include "mining/pipeline.h"
+#include "monitor/guard.h"
+#include "monitor/interp.h"
+#include "stream/pipeline.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: sash <command> [options]\n"
+               "  analyze [--lint] [--no-symex] [--no-stream] [--idempotence] [--coach]\n"
+               "          [--annotations file.sasht] <script.sh>\n"
+               "  lint <script.sh>\n"
+               "  run <script.sh> [args...]\n"
+               "  verify [--no-rw PATH]... [--no-read PATH]... <script.sh>\n"
+               "  mine [command]\n"
+               "  typeof '<pipeline>'\n");
+  return 2;
+}
+
+bool ReadSource(const std::string& path, std::string* out) {
+  if (path == "-") {
+    std::ostringstream buf;
+    buf << std::cin.rdbuf();
+    *out = buf.str();
+    return true;
+  }
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "sash: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+int CmdAnalyze(const std::vector<std::string>& args) {
+  sash::core::AnalyzerOptions options;
+  std::string file;
+  std::string annotations_file;
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "--annotations" && i + 1 < args.size()) {
+      annotations_file = args[++i];
+    } else if (a == "--idempotence") {
+      options.enable_idempotence_check = true;
+    } else if (a == "--coach") {
+      options.enable_optimization_coach = true;
+    } else if (a == "--lint") {
+      options.enable_lint = true;
+    } else if (a == "--no-symex") {
+      options.enable_symex = false;
+    } else if (a == "--no-stream") {
+      options.enable_stream_types = false;
+    } else if (!a.empty() && a[0] == '-' && a != "-") {
+      std::fprintf(stderr, "sash analyze: unknown option %s\n", a.c_str());
+      return 2;
+    } else {
+      file = a;
+    }
+  }
+  if (file.empty()) {
+    return Usage();
+  }
+  std::string source;
+  if (!ReadSource(file, &source)) {
+    return 2;
+  }
+  sash::core::Analyzer analyzer(std::move(options));
+  if (!annotations_file.empty()) {
+    std::string annotations_text;
+    if (!ReadSource(annotations_file, &annotations_text)) {
+      return 2;
+    }
+    analyzer.AddAnnotations(sash::annot::ParseAnnotationFile(annotations_text));
+  }
+  sash::core::AnalysisReport report = analyzer.AnalyzeSource(source);
+  std::printf("%s", report.ToString().c_str());
+  return report.CountSeverity(sash::Severity::kWarning) > 0 ? 1 : 0;
+}
+
+int CmdLint(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    return Usage();
+  }
+  std::string source;
+  if (!ReadSource(args[0], &source)) {
+    return 2;
+  }
+  sash::syntax::ParseOutput parsed = sash::syntax::Parse(source);
+  std::vector<sash::Diagnostic> findings = sash::lint::Lint(parsed.program);
+  for (const sash::Diagnostic& d : parsed.diagnostics) {
+    std::printf("%s\n", d.ToString().c_str());
+  }
+  for (const sash::Diagnostic& d : findings) {
+    std::printf("%s\n", d.ToString().c_str());
+  }
+  return findings.empty() && parsed.ok() ? 0 : 1;
+}
+
+int CmdRun(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    return Usage();
+  }
+  std::string source;
+  if (!ReadSource(args[0], &source)) {
+    return 2;
+  }
+  sash::syntax::ParseOutput parsed = sash::syntax::Parse(source);
+  if (!parsed.ok()) {
+    for (const sash::Diagnostic& d : parsed.diagnostics) {
+      std::fprintf(stderr, "%s\n", d.ToString().c_str());
+    }
+    return 2;
+  }
+  sash::fs::FileSystem fs;
+  fs.MakeDir("/tmp", false);
+  fs.MakeDir("/home/user", true);
+  sash::monitor::InterpOptions options;
+  options.script_name = args[0];
+  options.args.assign(args.begin() + 1, args.end());
+  sash::monitor::Interpreter interp(&fs, std::move(options));
+  sash::monitor::InterpResult result = interp.Run(parsed.program);
+  std::fputs(result.out.c_str(), stdout);
+  std::fputs(result.err.c_str(), stderr);
+  return result.exit_code;
+}
+
+int CmdVerify(const std::vector<std::string>& args) {
+  sash::monitor::EffectPolicy policy;
+  std::string file;
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--no-rw" && i + 1 < args.size()) {
+      policy.no_write.push_back(args[++i]);
+    } else if (args[i] == "--no-read" && i + 1 < args.size()) {
+      policy.no_read.push_back(args[++i]);
+    } else {
+      file = args[i];
+    }
+  }
+  if (file.empty()) {
+    return Usage();
+  }
+  std::string source;
+  if (!ReadSource(file, &source)) {
+    return 2;
+  }
+  sash::syntax::ParseOutput parsed = sash::syntax::Parse(source);
+  sash::fs::FileSystem fs;
+  fs.MakeDir("/home/user", true);
+  for (const std::string& p : policy.no_write) {
+    fs.MakeDir(p, true);
+  }
+  sash::monitor::VerifyReport report = sash::monitor::Verify(
+      parsed.program, policy, &fs, sash::monitor::InterpOptions{}, /*execute=*/true);
+  for (const sash::monitor::StaticPolicyFinding& f : report.static_findings) {
+    std::printf("static [%s] %s -> %s\n", f.rule.c_str(), f.command.c_str(), f.path.c_str());
+  }
+  if (report.blocked) {
+    std::printf("BLOCKED: %s\n", report.block_reason.c_str());
+    return 1;
+  }
+  std::printf("verified run completed (exit %d)\n", report.run.exit_code);
+  return report.static_findings.empty() ? 0 : 1;
+}
+
+int CmdMine(const std::vector<std::string>& args) {
+  if (!args.empty()) {
+    sash::mining::MiningOutcome o = sash::mining::MineCommand(args[0]);
+    if (!o.ok) {
+      std::fprintf(stderr, "sash mine: %s\n", o.error.c_str());
+      return 1;
+    }
+    std::printf("%s — %d probes, %d cases, %.1f%% agreement\n%s", o.command.c_str(), o.probes,
+                o.cases, 100.0 * o.validation.Agreement(), o.spec.ToString().c_str());
+    return 0;
+  }
+  for (const sash::mining::MiningOutcome& o : sash::mining::MineAll()) {
+    std::printf("%-10s %s (%d probes, %d cases, %.1f%% agreement)\n", o.command.c_str(),
+                o.ok ? "ok" : o.error.c_str(), o.probes, o.cases,
+                100.0 * o.validation.Agreement());
+  }
+  return 0;
+}
+
+int CmdTypeof(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    return Usage();
+  }
+  sash::syntax::ParseOutput parsed = sash::syntax::Parse(args[0]);
+  if (!parsed.ok() || parsed.program.body == nullptr) {
+    std::fprintf(stderr, "sash typeof: cannot parse pipeline\n");
+    return 2;
+  }
+  sash::rtypes::TypeLibrary lib = sash::rtypes::TypeLibrary::Default();
+  sash::stream::PipelineChecker checker(lib);
+  sash::stream::PipelineReport report = checker.Check(*parsed.program.body);
+  for (const sash::stream::StageReport& s : report.stages) {
+    std::printf("%-30s :: %s%s\n", s.command.c_str(),
+                s.type_display.value_or("(untyped)").c_str(),
+                s.killed_stream ? "   <- DEAD STREAM" : s.type_error ? "   <- TYPE ERROR" : "");
+  }
+  if (report.final_output.has_value()) {
+    std::printf("output line type: %s  (typeOf: %s)\n", report.final_output->pattern().c_str(),
+                sash::rtypes::TypeOf(lib, *report.final_output).c_str());
+  }
+  return report.has_dead_stream || report.has_type_error ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage();
+  }
+  std::string cmd = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  if (cmd == "analyze") {
+    return CmdAnalyze(args);
+  }
+  if (cmd == "lint") {
+    return CmdLint(args);
+  }
+  if (cmd == "run") {
+    return CmdRun(args);
+  }
+  if (cmd == "verify") {
+    return CmdVerify(args);
+  }
+  if (cmd == "mine") {
+    return CmdMine(args);
+  }
+  if (cmd == "typeof") {
+    return CmdTypeof(args);
+  }
+  return Usage();
+}
