@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_steam_bug.dir/bench_fig1_steam_bug.cpp.o"
+  "CMakeFiles/bench_fig1_steam_bug.dir/bench_fig1_steam_bug.cpp.o.d"
+  "bench_fig1_steam_bug"
+  "bench_fig1_steam_bug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_steam_bug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

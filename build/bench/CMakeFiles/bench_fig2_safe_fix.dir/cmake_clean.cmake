@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_safe_fix.dir/bench_fig2_safe_fix.cpp.o"
+  "CMakeFiles/bench_fig2_safe_fix.dir/bench_fig2_safe_fix.cpp.o.d"
+  "bench_fig2_safe_fix"
+  "bench_fig2_safe_fix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_safe_fix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

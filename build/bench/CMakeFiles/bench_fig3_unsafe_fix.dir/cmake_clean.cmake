@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_unsafe_fix.dir/bench_fig3_unsafe_fix.cpp.o"
+  "CMakeFiles/bench_fig3_unsafe_fix.dir/bench_fig3_unsafe_fix.cpp.o.d"
+  "bench_fig3_unsafe_fix"
+  "bench_fig3_unsafe_fix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_unsafe_fix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

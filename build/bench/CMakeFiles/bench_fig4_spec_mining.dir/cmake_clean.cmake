@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_spec_mining.dir/bench_fig4_spec_mining.cpp.o"
+  "CMakeFiles/bench_fig4_spec_mining.dir/bench_fig4_spec_mining.cpp.o.d"
+  "bench_fig4_spec_mining"
+  "bench_fig4_spec_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_spec_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

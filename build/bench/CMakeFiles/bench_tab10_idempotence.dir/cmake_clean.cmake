@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab10_idempotence.dir/bench_tab10_idempotence.cpp.o"
+  "CMakeFiles/bench_tab10_idempotence.dir/bench_tab10_idempotence.cpp.o.d"
+  "bench_tab10_idempotence"
+  "bench_tab10_idempotence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab10_idempotence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

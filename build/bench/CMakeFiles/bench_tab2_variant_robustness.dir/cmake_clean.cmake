@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab2_variant_robustness.dir/bench_tab2_variant_robustness.cpp.o"
+  "CMakeFiles/bench_tab2_variant_robustness.dir/bench_tab2_variant_robustness.cpp.o.d"
+  "bench_tab2_variant_robustness"
+  "bench_tab2_variant_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab2_variant_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab3_fs_contradiction.dir/bench_tab3_fs_contradiction.cpp.o"
+  "CMakeFiles/bench_tab3_fs_contradiction.dir/bench_tab3_fs_contradiction.cpp.o.d"
+  "bench_tab3_fs_contradiction"
+  "bench_tab3_fs_contradiction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab3_fs_contradiction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

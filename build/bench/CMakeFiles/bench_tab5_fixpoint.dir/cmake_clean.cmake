@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab5_fixpoint.dir/bench_tab5_fixpoint.cpp.o"
+  "CMakeFiles/bench_tab5_fixpoint.dir/bench_tab5_fixpoint.cpp.o.d"
+  "bench_tab5_fixpoint"
+  "bench_tab5_fixpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab5_fixpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab7_scaling.dir/bench_tab7_scaling.cpp.o"
+  "CMakeFiles/bench_tab7_scaling.dir/bench_tab7_scaling.cpp.o.d"
+  "bench_tab7_scaling"
+  "bench_tab7_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab7_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

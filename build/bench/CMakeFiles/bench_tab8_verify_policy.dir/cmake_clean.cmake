@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab8_verify_policy.dir/bench_tab8_verify_policy.cpp.o"
+  "CMakeFiles/bench_tab8_verify_policy.dir/bench_tab8_verify_policy.cpp.o.d"
+  "bench_tab8_verify_policy"
+  "bench_tab8_verify_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab8_verify_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/curl_verify.cpp" "examples/CMakeFiles/curl_verify.dir/curl_verify.cpp.o" "gcc" "examples/CMakeFiles/curl_verify.dir/curl_verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/monitor/CMakeFiles/sash_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/sash_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/sash_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtypes/CMakeFiles/sash_rtypes.dir/DependInfo.cmake"
+  "/root/repo/build/src/regex/CMakeFiles/sash_regex.dir/DependInfo.cmake"
+  "/root/repo/build/src/syntax/CMakeFiles/sash_syntax.dir/DependInfo.cmake"
+  "/root/repo/build/src/specs/CMakeFiles/sash_specs.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/sash_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sash_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/curl_verify.dir/curl_verify.cpp.o"
+  "CMakeFiles/curl_verify.dir/curl_verify.cpp.o.d"
+  "curl_verify"
+  "curl_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/curl_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

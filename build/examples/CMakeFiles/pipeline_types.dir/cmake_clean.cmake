@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_types.dir/pipeline_types.cpp.o"
+  "CMakeFiles/pipeline_types.dir/pipeline_types.cpp.o.d"
+  "pipeline_types"
+  "pipeline_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

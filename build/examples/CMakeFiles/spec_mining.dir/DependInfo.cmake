@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/spec_mining.cpp" "examples/CMakeFiles/spec_mining.dir/spec_mining.cpp.o" "gcc" "examples/CMakeFiles/spec_mining.dir/spec_mining.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mining/CMakeFiles/sash_mining.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/sash_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/specs/CMakeFiles/sash_specs.dir/DependInfo.cmake"
+  "/root/repo/build/src/regex/CMakeFiles/sash_regex.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/sash_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sash_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spec_mining.dir/spec_mining.cpp.o"
+  "CMakeFiles/spec_mining.dir/spec_mining.cpp.o.d"
+  "spec_mining"
+  "spec_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spec_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

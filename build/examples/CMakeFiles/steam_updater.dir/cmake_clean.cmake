@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/steam_updater.dir/steam_updater.cpp.o"
+  "CMakeFiles/steam_updater.dir/steam_updater.cpp.o.d"
+  "steam_updater"
+  "steam_updater.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/steam_updater.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for steam_updater.
+# This may be replaced when dependencies are built.

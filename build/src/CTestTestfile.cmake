@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("regex")
+subdirs("syntax")
+subdirs("fs")
+subdirs("specs")
+subdirs("exec")
+subdirs("mining")
+subdirs("symfs")
+subdirs("symex")
+subdirs("rtypes")
+subdirs("stream")
+subdirs("monitor")
+subdirs("annot")
+subdirs("lint")
+subdirs("core")

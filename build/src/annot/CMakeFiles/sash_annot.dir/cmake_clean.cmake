@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sash_annot.dir/annotations.cc.o"
+  "CMakeFiles/sash_annot.dir/annotations.cc.o.d"
+  "libsash_annot.a"
+  "libsash_annot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sash_annot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sash_core.dir/analyzer.cc.o"
+  "CMakeFiles/sash_core.dir/analyzer.cc.o.d"
+  "CMakeFiles/sash_core.dir/deps.cc.o"
+  "CMakeFiles/sash_core.dir/deps.cc.o.d"
+  "libsash_core.a"
+  "libsash_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sash_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sash_exec.dir/commands.cc.o"
+  "CMakeFiles/sash_exec.dir/commands.cc.o.d"
+  "libsash_exec.a"
+  "libsash_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sash_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

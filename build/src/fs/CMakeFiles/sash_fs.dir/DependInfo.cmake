@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fs/filesystem.cc" "src/fs/CMakeFiles/sash_fs.dir/filesystem.cc.o" "gcc" "src/fs/CMakeFiles/sash_fs.dir/filesystem.cc.o.d"
+  "/root/repo/src/fs/glob.cc" "src/fs/CMakeFiles/sash_fs.dir/glob.cc.o" "gcc" "src/fs/CMakeFiles/sash_fs.dir/glob.cc.o.d"
+  "/root/repo/src/fs/path.cc" "src/fs/CMakeFiles/sash_fs.dir/path.cc.o" "gcc" "src/fs/CMakeFiles/sash_fs.dir/path.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sash_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sash_fs.dir/filesystem.cc.o"
+  "CMakeFiles/sash_fs.dir/filesystem.cc.o.d"
+  "CMakeFiles/sash_fs.dir/glob.cc.o"
+  "CMakeFiles/sash_fs.dir/glob.cc.o.d"
+  "CMakeFiles/sash_fs.dir/path.cc.o"
+  "CMakeFiles/sash_fs.dir/path.cc.o.d"
+  "libsash_fs.a"
+  "libsash_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sash_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sash_lint.dir/lint.cc.o"
+  "CMakeFiles/sash_lint.dir/lint.cc.o.d"
+  "libsash_lint.a"
+  "libsash_lint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sash_lint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mining/doc_miner.cc" "src/mining/CMakeFiles/sash_mining.dir/doc_miner.cc.o" "gcc" "src/mining/CMakeFiles/sash_mining.dir/doc_miner.cc.o.d"
+  "/root/repo/src/mining/man_corpus.cc" "src/mining/CMakeFiles/sash_mining.dir/man_corpus.cc.o" "gcc" "src/mining/CMakeFiles/sash_mining.dir/man_corpus.cc.o.d"
+  "/root/repo/src/mining/pipeline.cc" "src/mining/CMakeFiles/sash_mining.dir/pipeline.cc.o" "gcc" "src/mining/CMakeFiles/sash_mining.dir/pipeline.cc.o.d"
+  "/root/repo/src/mining/prober.cc" "src/mining/CMakeFiles/sash_mining.dir/prober.cc.o" "gcc" "src/mining/CMakeFiles/sash_mining.dir/prober.cc.o.d"
+  "/root/repo/src/mining/spec_compiler.cc" "src/mining/CMakeFiles/sash_mining.dir/spec_compiler.cc.o" "gcc" "src/mining/CMakeFiles/sash_mining.dir/spec_compiler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/specs/CMakeFiles/sash_specs.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/sash_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/sash_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sash_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/regex/CMakeFiles/sash_regex.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

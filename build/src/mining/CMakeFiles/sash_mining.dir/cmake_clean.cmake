@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sash_mining.dir/doc_miner.cc.o"
+  "CMakeFiles/sash_mining.dir/doc_miner.cc.o.d"
+  "CMakeFiles/sash_mining.dir/man_corpus.cc.o"
+  "CMakeFiles/sash_mining.dir/man_corpus.cc.o.d"
+  "CMakeFiles/sash_mining.dir/pipeline.cc.o"
+  "CMakeFiles/sash_mining.dir/pipeline.cc.o.d"
+  "CMakeFiles/sash_mining.dir/prober.cc.o"
+  "CMakeFiles/sash_mining.dir/prober.cc.o.d"
+  "CMakeFiles/sash_mining.dir/spec_compiler.cc.o"
+  "CMakeFiles/sash_mining.dir/spec_compiler.cc.o.d"
+  "libsash_mining.a"
+  "libsash_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sash_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sash_monitor.dir/guard.cc.o"
+  "CMakeFiles/sash_monitor.dir/guard.cc.o.d"
+  "CMakeFiles/sash_monitor.dir/interp.cc.o"
+  "CMakeFiles/sash_monitor.dir/interp.cc.o.d"
+  "CMakeFiles/sash_monitor.dir/stream_monitor.cc.o"
+  "CMakeFiles/sash_monitor.dir/stream_monitor.cc.o.d"
+  "libsash_monitor.a"
+  "libsash_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sash_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

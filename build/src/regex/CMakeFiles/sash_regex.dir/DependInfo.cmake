@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/regex/ast.cc" "src/regex/CMakeFiles/sash_regex.dir/ast.cc.o" "gcc" "src/regex/CMakeFiles/sash_regex.dir/ast.cc.o.d"
+  "/root/repo/src/regex/char_set.cc" "src/regex/CMakeFiles/sash_regex.dir/char_set.cc.o" "gcc" "src/regex/CMakeFiles/sash_regex.dir/char_set.cc.o.d"
+  "/root/repo/src/regex/derivative.cc" "src/regex/CMakeFiles/sash_regex.dir/derivative.cc.o" "gcc" "src/regex/CMakeFiles/sash_regex.dir/derivative.cc.o.d"
+  "/root/repo/src/regex/dfa.cc" "src/regex/CMakeFiles/sash_regex.dir/dfa.cc.o" "gcc" "src/regex/CMakeFiles/sash_regex.dir/dfa.cc.o.d"
+  "/root/repo/src/regex/glob.cc" "src/regex/CMakeFiles/sash_regex.dir/glob.cc.o" "gcc" "src/regex/CMakeFiles/sash_regex.dir/glob.cc.o.d"
+  "/root/repo/src/regex/nfa.cc" "src/regex/CMakeFiles/sash_regex.dir/nfa.cc.o" "gcc" "src/regex/CMakeFiles/sash_regex.dir/nfa.cc.o.d"
+  "/root/repo/src/regex/parser.cc" "src/regex/CMakeFiles/sash_regex.dir/parser.cc.o" "gcc" "src/regex/CMakeFiles/sash_regex.dir/parser.cc.o.d"
+  "/root/repo/src/regex/regex.cc" "src/regex/CMakeFiles/sash_regex.dir/regex.cc.o" "gcc" "src/regex/CMakeFiles/sash_regex.dir/regex.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sash_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

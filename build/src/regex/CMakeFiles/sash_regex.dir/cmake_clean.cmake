@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sash_regex.dir/ast.cc.o"
+  "CMakeFiles/sash_regex.dir/ast.cc.o.d"
+  "CMakeFiles/sash_regex.dir/char_set.cc.o"
+  "CMakeFiles/sash_regex.dir/char_set.cc.o.d"
+  "CMakeFiles/sash_regex.dir/derivative.cc.o"
+  "CMakeFiles/sash_regex.dir/derivative.cc.o.d"
+  "CMakeFiles/sash_regex.dir/dfa.cc.o"
+  "CMakeFiles/sash_regex.dir/dfa.cc.o.d"
+  "CMakeFiles/sash_regex.dir/glob.cc.o"
+  "CMakeFiles/sash_regex.dir/glob.cc.o.d"
+  "CMakeFiles/sash_regex.dir/nfa.cc.o"
+  "CMakeFiles/sash_regex.dir/nfa.cc.o.d"
+  "CMakeFiles/sash_regex.dir/parser.cc.o"
+  "CMakeFiles/sash_regex.dir/parser.cc.o.d"
+  "CMakeFiles/sash_regex.dir/regex.cc.o"
+  "CMakeFiles/sash_regex.dir/regex.cc.o.d"
+  "libsash_regex.a"
+  "libsash_regex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sash_regex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsash_regex.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sash_rtypes.dir/types.cc.o"
+  "CMakeFiles/sash_rtypes.dir/types.cc.o.d"
+  "libsash_rtypes.a"
+  "libsash_rtypes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sash_rtypes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sash_rtypes.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/specs/hoare.cc" "src/specs/CMakeFiles/sash_specs.dir/hoare.cc.o" "gcc" "src/specs/CMakeFiles/sash_specs.dir/hoare.cc.o.d"
+  "/root/repo/src/specs/library.cc" "src/specs/CMakeFiles/sash_specs.dir/library.cc.o" "gcc" "src/specs/CMakeFiles/sash_specs.dir/library.cc.o.d"
+  "/root/repo/src/specs/syntax_spec.cc" "src/specs/CMakeFiles/sash_specs.dir/syntax_spec.cc.o" "gcc" "src/specs/CMakeFiles/sash_specs.dir/syntax_spec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sash_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sash_specs.dir/hoare.cc.o"
+  "CMakeFiles/sash_specs.dir/hoare.cc.o.d"
+  "CMakeFiles/sash_specs.dir/library.cc.o"
+  "CMakeFiles/sash_specs.dir/library.cc.o.d"
+  "CMakeFiles/sash_specs.dir/syntax_spec.cc.o"
+  "CMakeFiles/sash_specs.dir/syntax_spec.cc.o.d"
+  "libsash_specs.a"
+  "libsash_specs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sash_specs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sash_stream.dir/dataflow.cc.o"
+  "CMakeFiles/sash_stream.dir/dataflow.cc.o.d"
+  "CMakeFiles/sash_stream.dir/pipeline.cc.o"
+  "CMakeFiles/sash_stream.dir/pipeline.cc.o.d"
+  "CMakeFiles/sash_stream.dir/typing_rules.cc.o"
+  "CMakeFiles/sash_stream.dir/typing_rules.cc.o.d"
+  "libsash_stream.a"
+  "libsash_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sash_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

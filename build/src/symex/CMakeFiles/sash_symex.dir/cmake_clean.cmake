@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sash_symex.dir/builtins.cc.o"
+  "CMakeFiles/sash_symex.dir/builtins.cc.o.d"
+  "CMakeFiles/sash_symex.dir/engine.cc.o"
+  "CMakeFiles/sash_symex.dir/engine.cc.o.d"
+  "CMakeFiles/sash_symex.dir/expand.cc.o"
+  "CMakeFiles/sash_symex.dir/expand.cc.o.d"
+  "CMakeFiles/sash_symex.dir/state.cc.o"
+  "CMakeFiles/sash_symex.dir/state.cc.o.d"
+  "CMakeFiles/sash_symex.dir/value.cc.o"
+  "CMakeFiles/sash_symex.dir/value.cc.o.d"
+  "libsash_symex.a"
+  "libsash_symex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sash_symex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

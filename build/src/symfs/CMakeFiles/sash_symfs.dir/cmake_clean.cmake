@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sash_symfs.dir/symbolic_fs.cc.o"
+  "CMakeFiles/sash_symfs.dir/symbolic_fs.cc.o.d"
+  "libsash_symfs.a"
+  "libsash_symfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sash_symfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

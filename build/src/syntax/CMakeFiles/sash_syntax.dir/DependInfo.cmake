@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/syntax/parser.cc" "src/syntax/CMakeFiles/sash_syntax.dir/parser.cc.o" "gcc" "src/syntax/CMakeFiles/sash_syntax.dir/parser.cc.o.d"
+  "/root/repo/src/syntax/printer.cc" "src/syntax/CMakeFiles/sash_syntax.dir/printer.cc.o" "gcc" "src/syntax/CMakeFiles/sash_syntax.dir/printer.cc.o.d"
+  "/root/repo/src/syntax/word.cc" "src/syntax/CMakeFiles/sash_syntax.dir/word.cc.o" "gcc" "src/syntax/CMakeFiles/sash_syntax.dir/word.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sash_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

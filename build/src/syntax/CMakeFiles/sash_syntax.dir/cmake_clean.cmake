@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sash_syntax.dir/parser.cc.o"
+  "CMakeFiles/sash_syntax.dir/parser.cc.o.d"
+  "CMakeFiles/sash_syntax.dir/printer.cc.o"
+  "CMakeFiles/sash_syntax.dir/printer.cc.o.d"
+  "CMakeFiles/sash_syntax.dir/word.cc.o"
+  "CMakeFiles/sash_syntax.dir/word.cc.o.d"
+  "libsash_syntax.a"
+  "libsash_syntax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sash_syntax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

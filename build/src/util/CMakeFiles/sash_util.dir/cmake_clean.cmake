@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sash_util.dir/diagnostics.cc.o"
+  "CMakeFiles/sash_util.dir/diagnostics.cc.o.d"
+  "CMakeFiles/sash_util.dir/result.cc.o"
+  "CMakeFiles/sash_util.dir/result.cc.o.d"
+  "CMakeFiles/sash_util.dir/source_location.cc.o"
+  "CMakeFiles/sash_util.dir/source_location.cc.o.d"
+  "CMakeFiles/sash_util.dir/strings.cc.o"
+  "CMakeFiles/sash_util.dir/strings.cc.o.d"
+  "libsash_util.a"
+  "libsash_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sash_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/annot_test.dir/annot_test.cc.o"
+  "CMakeFiles/annot_test.dir/annot_test.cc.o.d"
+  "annot_test"
+  "annot_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/annot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

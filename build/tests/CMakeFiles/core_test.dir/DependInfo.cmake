@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_test.cc" "tests/CMakeFiles/core_test.dir/core_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sash_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/annot/CMakeFiles/sash_annot.dir/DependInfo.cmake"
+  "/root/repo/build/src/lint/CMakeFiles/sash_lint.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/sash_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtypes/CMakeFiles/sash_rtypes.dir/DependInfo.cmake"
+  "/root/repo/build/src/symex/CMakeFiles/sash_symex.dir/DependInfo.cmake"
+  "/root/repo/build/src/regex/CMakeFiles/sash_regex.dir/DependInfo.cmake"
+  "/root/repo/build/src/symfs/CMakeFiles/sash_symfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/specs/CMakeFiles/sash_specs.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/sash_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/syntax/CMakeFiles/sash_syntax.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sash_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deps_test.dir/deps_test.cc.o"
+  "CMakeFiles/deps_test.dir/deps_test.cc.o.d"
+  "deps_test"
+  "deps_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/rtypes_test.cc" "tests/CMakeFiles/rtypes_test.dir/rtypes_test.cc.o" "gcc" "tests/CMakeFiles/rtypes_test.dir/rtypes_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rtypes/CMakeFiles/sash_rtypes.dir/DependInfo.cmake"
+  "/root/repo/build/src/regex/CMakeFiles/sash_regex.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sash_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

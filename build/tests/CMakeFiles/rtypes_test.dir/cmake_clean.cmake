@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtypes_test.dir/rtypes_test.cc.o"
+  "CMakeFiles/rtypes_test.dir/rtypes_test.cc.o.d"
+  "rtypes_test"
+  "rtypes_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtypes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

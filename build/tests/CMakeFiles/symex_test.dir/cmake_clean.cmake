@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symex_test.dir/symex_test.cc.o"
+  "CMakeFiles/symex_test.dir/symex_test.cc.o.d"
+  "symex_test"
+  "symex_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

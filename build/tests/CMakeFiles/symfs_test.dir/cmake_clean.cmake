@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symfs_test.dir/symfs_test.cc.o"
+  "CMakeFiles/symfs_test.dir/symfs_test.cc.o.d"
+  "symfs_test"
+  "symfs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syntax_test.dir/syntax_test.cc.o"
+  "CMakeFiles/syntax_test.dir/syntax_test.cc.o.d"
+  "syntax_test"
+  "syntax_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syntax_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sash.dir/sash_main.cpp.o"
+  "CMakeFiles/sash.dir/sash_main.cpp.o.d"
+  "sash"
+  "sash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
