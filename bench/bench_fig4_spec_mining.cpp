@@ -4,6 +4,7 @@
 // ground truth.
 #include "bench_util.h"
 #include "mining/man_corpus.h"
+#include "obs/obs.h"
 #include "mining/pipeline.h"
 #include "mining/prober.h"
 
@@ -13,7 +14,11 @@ void PrintResult() {
   std::vector<std::vector<std::string>> rows;
   rows.push_back({"command", "invocations", "environments", "probes", "cases", "agreement"});
   int total_probes = 0;
-  for (const sash::mining::MiningOutcome& o : sash::mining::MineAll()) {
+  // Route the sweep through the metrics registry so "mining.*" counters land
+  // in this bench's JSON report.
+  sash::obs::Hooks hooks;
+  hooks.metrics = &sash::bench::Metrics();
+  for (const sash::mining::MiningOutcome& o : sash::mining::MineAll(hooks)) {
     if (!o.ok) {
       rows.push_back({o.command, "-", "-", "-", "-", "FAILED: " + o.error});
       continue;

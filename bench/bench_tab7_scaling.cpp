@@ -64,6 +64,9 @@ void PrintResult() {
     rows.push_back({std::to_string(b), std::to_string(1 << b),
                     std::to_string(no_merge.states_peak), std::to_string(merged.states_peak),
                     std::to_string(merged.states_dropped)});
+    std::string suffix = ".b" + std::to_string(b);
+    sash::bench::Metric("t7.peak_states.no_merge" + suffix, no_merge.states_peak);
+    sash::bench::Metric("t7.peak_states.merged" + suffix, merged.states_peak);
   }
   sash::bench::PrintTable(
       "T7a: state explosion control (expected: merge+cap keeps peak states bounded)", rows);
@@ -74,6 +77,8 @@ void PrintResult() {
     sash::symex::EngineStats stats = RunEngine(StraightScript(n), true, 128);
     loc_rows.push_back({std::to_string(n), std::to_string(stats.commands_executed),
                         std::to_string(stats.final_states)});
+    sash::bench::Metric("t7.commands_executed.loc" + std::to_string(n),
+                        stats.commands_executed);
   }
   sash::bench::PrintTable("T7b: straight-line scaling (expected: linear in LoC)", loc_rows);
 }

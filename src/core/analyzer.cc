@@ -26,6 +26,14 @@ size_t AnalysisReport::CountSeverity(Severity severity) const {
   return n;
 }
 
+int64_t AnalysisReport::total_micros() const {
+  int64_t total = 0;
+  for (const PhaseTiming& p : phase_timings_) {
+    total += p.micros;
+  }
+  return total;
+}
+
 std::string AnalysisReport::ToString() const {
   std::string out;
   for (const Diagnostic& d : findings_) {
@@ -36,6 +44,58 @@ std::string AnalysisReport::ToString() const {
     out = "no findings\n";
   }
   return out;
+}
+
+std::string AnalysisReport::ToJson(const obs::Registry* metrics) const {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.KV("schema", kAnalysisSchema);
+  w.KV("parse_ok", parse_ok_);
+  w.KV("clean", Clean());
+  w.Key("findings").BeginArray();
+  for (const Diagnostic& d : findings_) {
+    w.BeginObject();
+    w.KV("severity", SeverityName(d.severity));
+    w.KV("code", d.code);
+    w.KV("line", int64_t{d.range.begin.line});
+    w.KV("column", int64_t{d.range.begin.column});
+    w.KV("offset", static_cast<int64_t>(d.range.begin.offset));
+    w.KV("message", d.message);
+    w.Key("notes").BeginArray();
+    for (const DiagnosticNote& n : d.notes) {
+      w.String(n.message);
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("phases").BeginArray();
+  for (const PhaseTiming& p : phase_timings_) {
+    w.BeginObject();
+    w.KV("name", p.name);
+    w.KV("micros", p.micros);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.KV("total_micros", total_micros());
+  w.Key("stats").BeginObject();
+  w.Key("engine").BeginObject();
+  w.KV("commands_executed", int64_t{engine_stats_.commands_executed});
+  w.KV("forks", int64_t{engine_stats_.forks});
+  w.KV("states_peak", int64_t{engine_stats_.states_peak});
+  w.KV("states_merged", int64_t{engine_stats_.states_merged});
+  w.KV("states_dropped", int64_t{engine_stats_.states_dropped});
+  w.KV("final_states", int64_t{engine_stats_.final_states});
+  w.KV("fs_ops", int64_t{engine_stats_.fs_ops});
+  w.EndObject();
+  w.KV("pipelines_checked", int64_t{pipelines_checked_});
+  w.EndObject();
+  if (metrics != nullptr) {
+    w.Key("metrics");
+    metrics->WriteJson(&w);
+  }
+  w.EndObject();
+  return w.Take();
 }
 
 void Analyzer::AddAnnotations(annot::AnnotationSet annotations) {
@@ -51,16 +111,31 @@ void Analyzer::AddAnnotations(annot::AnnotationSet annotations) {
 }
 
 AnalysisReport Analyzer::AnalyzeSource(std::string_view source) {
+  std::vector<PhaseTiming> front_phases;
+
+  obs::StopWatch parse_watch;
+  obs::Span parse_span(options_.obs.tracer, "parse");
   syntax::ParseOutput parsed = syntax::Parse(source);
+  parse_span.End();
+  front_phases.push_back({"parse", parse_watch.ElapsedMicros()});
+
+  obs::StopWatch annot_watch;
+  obs::Span annot_span(options_.obs.tracer, "annotations");
   DiagnosticSink annot_sink;
   annot::AnnotationSet annotations =
       options_.apply_annotations ? annot::ParseInlineAnnotations(source, &annot_sink)
                                  : annot::AnnotationSet{};
+  annot_span.End();
+  front_phases.push_back({"annotations", annot_watch.ElapsedMicros()});
+
   std::vector<Diagnostic> initial = std::move(parsed.diagnostics);
   for (Diagnostic& d : annot_sink.TakeAll()) {
     initial.push_back(std::move(d));
   }
   AnalysisReport report = Analyze(parsed.program, annotations, std::move(initial));
+  report.phase_timings_.insert(report.phase_timings_.begin(),
+                               std::make_move_iterator(front_phases.begin()),
+                               std::make_move_iterator(front_phases.end()));
   report.parse_ok_ = true;
   for (const Diagnostic& d : report.findings_) {
     if (d.code == "SASH-PARSE" && d.severity == Severity::kError) {
@@ -82,10 +157,26 @@ AnalysisReport Analyzer::Analyze(const syntax::Program& program,
   AnalysisReport report;
   report.findings_ = std::move(initial);
 
+  obs::Tracer* tracer = options_.obs.tracer;
+  obs::Registry* metrics = options_.obs.metrics;
+
+  // Runs `body` as a named, timed phase; the wall time always lands in the
+  // report, the span only when a tracer is attached.
+  auto phase = [&](const char* name, auto&& body) {
+    obs::StopWatch watch;
+    obs::Span span(tracer, name);
+    body();
+    span.End();
+    report.phase_timings_.push_back({name, watch.ElapsedMicros()});
+  };
+
   // Resolve annotations against a working copy of the type library —
   // external (.sasht) directives first, inline ones on top.
   rtypes::TypeLibrary types = options_.types;
   DiagnosticSink sink;
+  if (metrics != nullptr) {
+    sink.CountInto(metrics->counter("diagnostics.warnings_or_worse"), Severity::kWarning);
+  }
   annot::AnnotationSet::Resolved resolved = external_annotations_.ResolveInto(&types, &sink);
   annot::AnnotationSet::Resolved inline_resolved = annotations.ResolveInto(&types, &sink);
   for (auto& ct : inline_resolved.command_types) {
@@ -96,17 +187,22 @@ AnalysisReport Analyzer::Analyze(const syntax::Program& program,
   }
 
   if (options_.enable_lint) {
-    for (Diagnostic& d : lint::Lint(program, options_.lint)) {
-      report.findings_.push_back(std::move(d));
-    }
+    phase("lint", [&] {
+      for (Diagnostic& d : lint::Lint(program, options_.lint)) {
+        report.findings_.push_back(std::move(d));
+      }
+    });
   }
 
   if (options_.enable_stream_types) {
-    stream::PipelineChecker checker(types);
-    for (auto& [name, type] : resolved.command_types) {
-      checker.AddCommandType(name, type);
-    }
-    report.pipelines_checked_ = checker.CheckProgram(program, &sink);
+    phase("stream-typing", [&] {
+      stream::PipelineChecker checker(types);
+      checker.set_metrics(metrics);
+      for (auto& [name, type] : resolved.command_types) {
+        checker.AddCommandType(name, type);
+      }
+      report.pipelines_checked_ = checker.CheckProgram(program, &sink);
+    });
   }
 
   if (options_.enable_symex) {
@@ -114,66 +210,79 @@ AnalysisReport Analyzer::Analyze(const syntax::Program& program,
     for (const auto& [var, lang] : resolved.var_langs) {
       engine_options.var_patterns.emplace_back(var, lang.pattern());
     }
-    symex::Engine engine(engine_options, &sink);
-    std::vector<symex::State> finals = engine.Run(program);
-    report.engine_stats_ = engine.stats();
+    std::vector<symex::State> finals;
+    phase("symex", [&] {
+      symex::Engine engine(engine_options, &sink);
+      finals = engine.Run(program);
+      report.engine_stats_ = engine.stats();
+    });
 
     if (options_.enable_idempotence_check) {
-      // Collect first-run failure locations so only *new* second-run
-      // failures count against idempotence.
-      std::set<size_t> first_run_failures;
-      for (const Diagnostic& d : sink.diagnostics()) {
-        if (d.code == symex::kCodeAlwaysFails) {
-          first_run_failures.insert(d.range.begin.offset);
-        }
-      }
-      int rerun = 0;
-      for (const symex::State& final_state : finals) {
-        // Idempotence is conditioned on a *successful* first run: paths that
-        // already assumed a command failure are out of scope.
-        if (final_state.assumed_failure || final_state.exit.MustFail()) {
-          continue;
-        }
-        if (++rerun > options_.idempotence_state_cap) {
-          break;
-        }
-        // A second run starts with fresh variables but inherits the
-        // file-system facts the first run established.
-        DiagnosticSink second_sink;
-        symex::EngineOptions second_options = engine_options;
-        second_options.report_unset_vars = false;
-        symex::Engine second(second_options, &second_sink);
-        symex::State second_initial = second.MakeInitialState();
-        second_initial.sfs = final_state.sfs;
-        second.RunFrom(std::move(second_initial), program);
-        for (const Diagnostic& d : second_sink.diagnostics()) {
-          if (d.code == symex::kCodeAlwaysFails &&
-              first_run_failures.count(d.range.begin.offset) == 0) {
-            Diagnostic& out = sink.Emit(Severity::kWarning, kCodeNotIdempotent, d.range,
-                                        "script is not idempotent: on a second run, " +
-                                            d.message);
-            out.notes.push_back(DiagnosticNote{
-                {}, "the first run leaves file-system state this command cannot handle"});
+      phase("idempotence", [&] {
+        // Collect first-run failure locations so only *new* second-run
+        // failures count against idempotence.
+        std::set<size_t> first_run_failures;
+        for (const Diagnostic& d : sink.diagnostics()) {
+          if (d.code == symex::kCodeAlwaysFails) {
+            first_run_failures.insert(d.range.begin.offset);
           }
         }
-      }
+        int rerun = 0;
+        for (const symex::State& final_state : finals) {
+          // Idempotence is conditioned on a *successful* first run: paths that
+          // already assumed a command failure are out of scope.
+          if (final_state.assumed_failure || final_state.exit.MustFail()) {
+            continue;
+          }
+          if (++rerun > options_.idempotence_state_cap) {
+            break;
+          }
+          // A second run starts with fresh variables but inherits the
+          // file-system facts the first run established.
+          DiagnosticSink second_sink;
+          symex::EngineOptions second_options = engine_options;
+          second_options.report_unset_vars = false;
+          symex::Engine second(second_options, &second_sink);
+          symex::State second_initial = second.MakeInitialState();
+          second_initial.sfs = final_state.sfs;
+          second.RunFrom(std::move(second_initial), program);
+          for (const Diagnostic& d : second_sink.diagnostics()) {
+            if (d.code == symex::kCodeAlwaysFails &&
+                first_run_failures.count(d.range.begin.offset) == 0) {
+              Diagnostic& out = sink.Emit(Severity::kWarning, kCodeNotIdempotent, d.range,
+                                          "script is not idempotent: on a second run, " +
+                                              d.message);
+              out.notes.push_back(DiagnosticNote{
+                  {}, "the first run leaves file-system state this command cannot handle"});
+            }
+          }
+        }
+      });
     }
   }
 
   if (options_.enable_optimization_coach) {
-    DependencyReport deps = AnalyzeDependencies(program);
-    for (const auto& [i, j] : deps.independent_adjacent) {
-      sink.Emit(Severity::kInfo, kCodeParallelizable,
-                deps.commands[static_cast<size_t>(i)].range,
-                "`" + deps.commands[static_cast<size_t>(i)].display + "` and `" +
-                    deps.commands[static_cast<size_t>(j)].display +
-                    "` share no variables or file-system locations; they can be reordered "
-                    "or run in parallel");
-    }
+    phase("coach", [&] {
+      DependencyReport deps = AnalyzeDependencies(program);
+      for (const auto& [i, j] : deps.independent_adjacent) {
+        sink.Emit(Severity::kInfo, kCodeParallelizable,
+                  deps.commands[static_cast<size_t>(i)].range,
+                  "`" + deps.commands[static_cast<size_t>(i)].display + "` and `" +
+                      deps.commands[static_cast<size_t>(j)].display +
+                      "` share no variables or file-system locations; they can be reordered "
+                      "or run in parallel");
+      }
+    });
   }
 
   for (Diagnostic& d : sink.TakeAll()) {
     report.findings_.push_back(std::move(d));
+  }
+
+  if (metrics != nullptr) {
+    report.engine_stats_.PublishTo(metrics);
+    metrics->counter("analyzer.runs")->Add(1);
+    metrics->counter("analyzer.findings")->Add(static_cast<int64_t>(report.findings_.size()));
   }
 
   // Sort by position, then severity (most severe first), then code; drop

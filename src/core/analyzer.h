@@ -14,6 +14,7 @@
 
 #include "annot/annotations.h"
 #include "lint/lint.h"
+#include "obs/obs.h"
 #include "rtypes/types.h"
 #include "stream/pipeline.h"
 #include "symex/engine.h"
@@ -29,6 +30,9 @@ inline constexpr char kCodeNotIdempotent[] = "SASH-NOT-IDEMPOTENT";
 // §5 "Performance": suggestion-based optimization coaching — independent
 // adjacent commands that could be reordered or parallelized.
 inline constexpr char kCodeParallelizable[] = "SASH-OPT-PARALLEL";
+
+// Schema tag of AnalysisReport::ToJson documents.
+inline constexpr char kAnalysisSchema[] = "sash-analysis-v1";
 
 struct AnalyzerOptions {
   bool enable_lint = false;  // The baseline is off by default; sash's own
@@ -47,6 +51,19 @@ struct AnalyzerOptions {
   symex::EngineOptions engine;
   lint::LintOptions lint;
   rtypes::TypeLibrary types = rtypes::TypeLibrary::Default();
+
+  // Observability: when attached, every phase is traced as a span and the
+  // subsystems publish their counters into the registry. Phase wall times are
+  // always recorded in the report (a handful of clock reads per analysis);
+  // with hooks unset nothing else is paid.
+  obs::Hooks obs;
+};
+
+// Wall time of one analysis phase, in the order the phases ran.
+struct PhaseTiming {
+  std::string name;  // "parse", "annotations", "lint", "stream-typing",
+                     // "symex", "idempotence", "coach".
+  int64_t micros = 0;
 };
 
 class AnalysisReport {
@@ -56,6 +73,10 @@ class AnalysisReport {
   const symex::EngineStats& engine_stats() const { return engine_stats_; }
   int pipelines_checked() const { return pipelines_checked_; }
 
+  // Per-phase wall times (always populated) and their sum.
+  const std::vector<PhaseTiming>& phase_timings() const { return phase_timings_; }
+  int64_t total_micros() const;
+
   bool HasCode(std::string_view code) const;
   size_t CountSeverity(Severity severity) const;
   // Errors or warnings present (parse errors included).
@@ -64,12 +85,18 @@ class AnalysisReport {
   // Human-readable rendering, one finding per paragraph.
   std::string ToString() const;
 
+  // Machine-readable report (schema "sash-analysis-v1"): diagnostics,
+  // per-phase wall times, and engine stats in one JSON document. When
+  // `metrics` is non-null its snapshot is embedded under "metrics".
+  std::string ToJson(const obs::Registry* metrics = nullptr) const;
+
  private:
   friend class Analyzer;
   std::vector<Diagnostic> findings_;
   bool parse_ok_ = false;
   symex::EngineStats engine_stats_;
   int pipelines_checked_ = 0;
+  std::vector<PhaseTiming> phase_timings_;
 };
 
 class Analyzer {

@@ -1,0 +1,11 @@
+// Version of the sash library and CLI, bumped per release.
+#ifndef SASH_CORE_VERSION_H_
+#define SASH_CORE_VERSION_H_
+
+namespace sash::core {
+
+inline constexpr char kVersion[] = "0.2.0";
+
+}  // namespace sash::core
+
+#endif  // SASH_CORE_VERSION_H_

@@ -8,6 +8,7 @@
 
 #include "mining/doc_miner.h"
 #include "mining/spec_compiler.h"
+#include "obs/obs.h"
 #include "specs/library.h"
 
 namespace sash::mining {
@@ -25,11 +26,13 @@ struct MiningOutcome {
   ValidationReport validation;  // Against BuiltinGroundTruth when available.
 };
 
-// Mines one command from the bundled corpus.
-MiningOutcome MineCommand(const std::string& name);
+// Mines one command from the bundled corpus. With hooks attached, each stage
+// (doc-mine, probe, compile) is traced as a span and "mining.*" counters are
+// updated.
+MiningOutcome MineCommand(const std::string& name, const obs::Hooks& hooks = {});
 
 // Mines every documented command; results sorted by name.
-std::vector<MiningOutcome> MineAll();
+std::vector<MiningOutcome> MineAll(const obs::Hooks& hooks = {});
 
 // Registers every successfully mined spec into a library (mined specs
 // replace nothing — the library starts empty).

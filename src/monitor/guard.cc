@@ -269,6 +269,10 @@ VerifyReport Verify(const syntax::Program& program, const EffectPolicy& policy,
                     fs::FileSystem* fs, InterpOptions options, bool execute) {
   VerifyReport report;
   report.static_findings = CheckPolicyStatically(program, policy);
+  if (options.metrics != nullptr) {
+    options.metrics->counter("monitor.static_findings")
+        ->Add(static_cast<int64_t>(report.static_findings.size()));
+  }
   if (!execute) {
     return report;
   }

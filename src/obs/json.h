@@ -1,0 +1,83 @@
+// Minimal JSON support for the observability layer: a streaming writer used
+// to emit machine-readable reports (analysis JSON, bench JSON, Chrome traces)
+// and a small recursive-descent parser used to validate them — no external
+// dependencies, by design (this repo vendors nothing).
+#ifndef SASH_OBS_JSON_H_
+#define SASH_OBS_JSON_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sash::obs {
+
+// Escapes `s` for placement between JSON double quotes.
+std::string JsonEscape(std::string_view s);
+
+// A streaming JSON writer with automatic comma management. Structural calls
+// must balance; keys must precede values inside objects. Misuse is a
+// programming error (unbalanced output), not a runtime check.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+  JsonWriter& Key(std::string_view key);
+  JsonWriter& String(std::string_view value);
+  JsonWriter& Int(int64_t value);
+  JsonWriter& Double(double value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+
+  // Shorthand: Key(k) followed by the value.
+  JsonWriter& KV(std::string_view key, std::string_view value) { return Key(key).String(value); }
+  JsonWriter& KV(std::string_view key, const char* value) { return Key(key).String(value); }
+  JsonWriter& KV(std::string_view key, int64_t value) { return Key(key).Int(value); }
+  JsonWriter& KV(std::string_view key, int value) { return Key(key).Int(value); }
+  JsonWriter& KV(std::string_view key, double value) { return Key(key).Double(value); }
+  JsonWriter& KV(std::string_view key, bool value) { return Key(key).Bool(value); }
+
+  const std::string& str() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  void Comma();
+
+  std::string out_;
+  // One entry per open container: true until the first element is written.
+  std::vector<bool> first_;
+  bool pending_key_ = false;
+};
+
+// A parsed JSON document. Object member order is preserved.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_bool() const { return kind == Kind::kBool; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_object() const { return kind == Kind::kObject; }
+
+  // Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+
+  // Parses a complete document; nullopt on any syntax error or trailing
+  // garbage.
+  static std::optional<JsonValue> Parse(std::string_view text);
+};
+
+}  // namespace sash::obs
+
+#endif  // SASH_OBS_JSON_H_

@@ -1,0 +1,23 @@
+// Umbrella header for the observability subsystem, plus the Hooks bundle the
+// analysis pipeline threads through its layers. Both pointers are optional
+// and non-owning; a default-constructed Hooks disables everything at the cost
+// of one branch per instrumentation site.
+#ifndef SASH_OBS_OBS_H_
+#define SASH_OBS_OBS_H_
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace sash::obs {
+
+struct Hooks {
+  Tracer* tracer = nullptr;
+  Registry* metrics = nullptr;
+
+  bool enabled() const { return tracer != nullptr || metrics != nullptr; }
+};
+
+}  // namespace sash::obs
+
+#endif  // SASH_OBS_OBS_H_

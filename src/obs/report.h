@@ -1,0 +1,39 @@
+// The machine-readable bench report: schema "sash-bench-v1". Each bench
+// binary emits one BENCH_<name>.json so the perf trajectory can be tracked
+// run over run, and a schema validator (pure C++, used from ctest) keeps the
+// emitters honest.
+#ifndef SASH_OBS_REPORT_H_
+#define SASH_OBS_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace sash::obs {
+
+inline constexpr char kBenchSchema[] = "sash-bench-v1";
+
+// One timing-loop result within a bench binary.
+struct BenchRun {
+  std::string name;
+  int64_t iterations = 0;
+  double real_time_ns = 0;  // Wall time per iteration.
+  double cpu_time_ns = 0;
+};
+
+// Serializes {"schema","bench","runs":[...],"metrics":{...}}. `metrics` may
+// be null (emitted as an empty snapshot).
+std::string BenchReportJson(std::string_view bench_name, const std::vector<BenchRun>& runs,
+                            const Registry* metrics);
+
+// Validates a parsed bench report against the schema; returns human-readable
+// problems, empty when the document conforms.
+std::vector<std::string> ValidateBenchReport(const JsonValue& doc);
+
+}  // namespace sash::obs
+
+#endif  // SASH_OBS_REPORT_H_

@@ -1,0 +1,111 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <fstream>
+
+#include "obs/json.h"
+
+namespace sash::obs {
+
+namespace {
+
+// Dense per-thread ids so exported traces have small, stable tid values.
+uint32_t ThisThreadId() {
+  static std::atomic<uint32_t> next{0};
+  thread_local uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+// Per-thread span nesting depth. Indexed implicitly by being thread_local.
+thread_local int tls_span_depth = 0;
+
+}  // namespace
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+int64_t Tracer::NowMicros() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(std::chrono::steady_clock::now() -
+                                                               epoch_)
+      .count();
+}
+
+void Tracer::Record(std::string name, int64_t start_us, int64_t duration_us, uint32_t tid,
+                    int depth) {
+  TraceEvent e;
+  e.name = std::move(name);
+  e.start_us = start_us;
+  e.duration_us = duration_us;
+  e.tid = tid;
+  e.depth = depth;
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(e));
+}
+
+std::vector<TraceEvent> Tracer::Events() const {
+  std::vector<TraceEvent> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = events_;
+  }
+  // Ties (sub-microsecond spans) resolve by depth so a parent precedes the
+  // children that started within the same microsecond.
+  std::stable_sort(out.begin(), out.end(), [](const TraceEvent& a, const TraceEvent& b) {
+    if (a.start_us != b.start_us) {
+      return a.start_us < b.start_us;
+    }
+    return a.depth < b.depth;
+  });
+  return out;
+}
+
+std::string Tracer::ToChromeJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("traceEvents").BeginArray();
+  for (const TraceEvent& e : Events()) {
+    w.BeginObject();
+    w.KV("name", e.name);
+    w.KV("ph", "X");  // Complete event: ts + dur.
+    w.KV("ts", e.start_us);
+    w.KV("dur", e.duration_us);
+    w.KV("pid", int64_t{1});
+    w.KV("tid", static_cast<int64_t>(e.tid));
+    w.Key("args").BeginObject().KV("depth", int64_t{e.depth}).EndObject();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.KV("displayTimeUnit", "ms");
+  w.EndObject();
+  return w.Take();
+}
+
+bool Tracer::WriteChromeJson(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return false;
+  }
+  out << ToChromeJson() << '\n';
+  return static_cast<bool>(out);
+}
+
+Span::Span(Tracer* tracer, std::string_view name) : tracer_(tracer) {
+  if (tracer_ == nullptr) {
+    return;
+  }
+  name_ = name;
+  start_us_ = tracer_->NowMicros();
+  depth_ = tls_span_depth++;
+}
+
+void Span::End() {
+  if (tracer_ == nullptr) {
+    return;
+  }
+  int64_t end_us = tracer_->NowMicros();
+  --tls_span_depth;
+  tracer_->Record(std::move(name_), start_us_, end_us - start_us_, ThisThreadId(), depth_);
+  tracer_ = nullptr;
+}
+
+}  // namespace sash::obs

@@ -1,0 +1,99 @@
+// Span-based tracing with Chrome-tracing JSON export. A Span is an RAII
+// region timed against the monotonic clock; spans nest per thread and the
+// export is loadable by chrome://tracing and Perfetto (ui.perfetto.dev).
+//
+//   obs::Tracer tracer;
+//   {
+//     obs::Span span(&tracer, "symex");   // null tracer -> single branch,
+//     ...                                 // no clock read, nothing recorded
+//   }
+//   tracer.WriteChromeJson("trace.json");
+#ifndef SASH_OBS_TRACE_H_
+#define SASH_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sash::obs {
+
+// One completed span, in microseconds relative to the tracer's epoch.
+struct TraceEvent {
+  std::string name;
+  int64_t start_us = 0;
+  int64_t duration_us = 0;
+  uint32_t tid = 0;   // Stable per-thread id (dense, assigned on first span).
+  int depth = 0;      // Nesting depth within the thread at entry, 0-based.
+};
+
+class Tracer {
+ public:
+  Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // Microseconds since this tracer was constructed (monotonic clock).
+  int64_t NowMicros() const;
+
+  void Record(std::string name, int64_t start_us, int64_t duration_us, uint32_t tid, int depth);
+
+  // Copy of all recorded events, sorted by start time.
+  std::vector<TraceEvent> Events() const;
+
+  // Chrome trace-event format: {"traceEvents":[{"ph":"X",...},...]}.
+  std::string ToChromeJson() const;
+
+  // Writes ToChromeJson() to `path`; false on I/O error.
+  bool WriteChromeJson(const std::string& path) const;
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+// RAII timed region. With a null tracer every member is a no-op (the
+// disabled-path cost is one branch; not even the clock is read).
+class Span {
+ public:
+  Span(Tracer* tracer, std::string_view name);
+  ~Span() { End(); }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  // Ends the span early; subsequent calls (and the destructor) are no-ops.
+  void End();
+
+ private:
+  Tracer* tracer_;
+  std::string name_;
+  int64_t start_us_ = 0;
+  int depth_ = 0;
+};
+
+// A plain monotonic stopwatch for always-on phase timing (independent of any
+// tracer; used where the timing itself is the product, e.g. PhaseTimings).
+class StopWatch {
+ public:
+  StopWatch() : start_(std::chrono::steady_clock::now()) {}
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace sash::obs
+
+#endif  // SASH_OBS_TRACE_H_

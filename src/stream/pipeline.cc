@@ -38,6 +38,9 @@ PipelineReport PipelineChecker::Check(const syntax::Command& cmd, regex::Regex i
     std::optional<rtypes::CommandType> type = TypeOfStage(*stages[i]);
     if (!type.has_value()) {
       stage.untyped = true;
+      if (metrics_ != nullptr) {
+        metrics_->counter("stream.stages_untyped")->Add(1);
+      }
       report.untyped_stages.push_back(static_cast<int>(i));
       current = regex::Regex::AnyLine();  // The stage may emit anything.
       stream_known = false;
@@ -47,6 +50,9 @@ PipelineReport PipelineChecker::Check(const syntax::Command& cmd, regex::Regex i
       continue;
     }
     stage.type_display = type->ToString();
+    if (metrics_ != nullptr) {
+      metrics_->counter("stream.stages_typed")->Add(1);
+    }
     // The stage's declared input expectation: the bound for bounded
     // polymorphic types, the fixed input language for monomorphic ones.
     if (type->polymorphic && type->bound.has_value()) {
@@ -58,6 +64,9 @@ PipelineReport PipelineChecker::Check(const syntax::Command& cmd, regex::Regex i
     rtypes::ApplyResult applied = rtypes::Apply(*type, current);
     if (!applied.ok) {
       stage.type_error = true;
+      if (metrics_ != nullptr) {
+        metrics_->counter("stream.type_errors")->Add(1);
+      }
       stage.error = applied.error;
       report.has_type_error = true;
       current = regex::Regex::AnyLine();  // Recover to keep checking.
@@ -75,6 +84,9 @@ PipelineReport PipelineChecker::Check(const syntax::Command& cmd, regex::Regex i
     if (applied.output_empty && !input_was_empty && stream_known &&
         type->intersect_filter.has_value()) {
       stage.killed_stream = true;
+      if (metrics_ != nullptr) {
+        metrics_->counter("stream.dead_streams")->Add(1);
+      }
       if (!report.has_dead_stream) {
         report.has_dead_stream = true;
         report.dead_stage = static_cast<int>(i);
@@ -93,6 +105,9 @@ int PipelineChecker::CheckProgram(const syntax::Program& program, DiagnosticSink
       return;
     }
     ++checked;
+    if (metrics_ != nullptr) {
+      metrics_->counter("stream.pipelines_checked")->Add(1);
+    }
     PipelineReport report = Check(cmd);
     if (report.has_dead_stream && sink != nullptr) {
       const StageReport& stage = report.stages[static_cast<size_t>(report.dead_stage)];

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "rtypes/types.h"
 #include "syntax/ast.h"
 #include "util/diagnostics.h"
@@ -51,6 +52,9 @@ class PipelineChecker {
     overrides_.emplace_back(std::move(command), std::move(type));
   }
 
+  // Optional observability: typing-rule hit counts ("stream.*") land here.
+  void set_metrics(obs::Registry* metrics) { metrics_ = metrics; }
+
   // Checks one pipeline (or single command) against an input line type.
   PipelineReport Check(const syntax::Command& cmd,
                        regex::Regex input = regex::Regex::AnyLine()) const;
@@ -67,6 +71,7 @@ class PipelineChecker {
 
   rtypes::TypeLibrary lib_;
   std::vector<std::pair<std::string, rtypes::CommandType>> overrides_;
+  obs::Registry* metrics_ = nullptr;
 };
 
 }  // namespace sash::stream

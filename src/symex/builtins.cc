@@ -247,6 +247,7 @@ bool Evaluator::TryBuiltin(const std::string& name, State& st, const syntax::Com
       }
       for (const auto& [key, state] : ref.fs_assume) {
         s.sfs.Assume(key, state);
+        ++stats_->fs_ops;
       }
       s.exit = ExitStatus::Known(truth ? 0 : 1);
       return s;
@@ -297,6 +298,7 @@ std::vector<State> Evaluator::BuiltinCd(State st, const std::vector<Expanded>& a
       std::string newcwd = fs::Absolutize(target.value.concrete(), s.cwd.concrete());
       s.cwd = SymValue::Concrete(newcwd);
       s.sfs.Assume(PathKey::Concrete(newcwd), PathState::kIsDir);
+      ++stats_->fs_ops;
     } else {
       // Unknown target: the new cwd is some canonical absolute directory
       // (possibly "/" — the paper's "//upd.sh" corner case stays in play).
@@ -334,6 +336,7 @@ std::vector<State> Evaluator::BuiltinCd(State st, const std::vector<Expanded>& a
   ok.Assume("assumed `cd " + target.value.Describe() + "` succeeded");
   if (key.has_value()) {
     ok.sfs.Assume(*key, PathState::kIsDir);
+    ++stats_->fs_ops;
   }
   State fail = std::move(st);
   fail.Assume("assumed `cd " + target.value.Describe() + "` failed");
@@ -390,6 +393,7 @@ std::vector<State> Evaluator::BuiltinRealpath(State st, const std::vector<Expand
   ok.Assume("assumed `realpath " + arg.value.Describe() + "` succeeded");
   if (key.has_value()) {
     ok.sfs.Assume(*key, PathState::kExists);
+    ++stats_->fs_ops;
   }
   State fail = std::move(st);
   fail.Assume("assumed `realpath " + arg.value.Describe() + "` failed");

@@ -136,6 +136,19 @@ std::string StateSignature(const State& st) {
 // Engine facade
 // ---------------------------------------------------------------------------
 
+void EngineStats::PublishTo(obs::Registry* registry) const {
+  if (registry == nullptr) {
+    return;
+  }
+  registry->counter("symex.commands_executed")->Add(commands_executed);
+  registry->counter("symex.forks")->Add(forks);
+  registry->counter("symex.states_merged")->Add(states_merged);
+  registry->counter("symex.states_dropped")->Add(states_dropped);
+  registry->counter("symex.final_states")->Add(final_states);
+  registry->counter("symex.fs_ops")->Add(fs_ops);
+  registry->gauge("symex.states_peak")->Max(states_peak);
+}
+
 Engine::Engine(EngineOptions options, DiagnosticSink* sink)
     : options_(std::move(options)), sink_(sink) {}
 
@@ -919,6 +932,7 @@ std::vector<State> Evaluator::ExecExternal(State st, const Command& cmd,
         for (int idx : specs::SelectOperands(pre.sel, static_cast<int>(operands.size()))) {
           if (keys[static_cast<size_t>(idx)].has_value()) {
             s.sfs.Assume(*keys[static_cast<size_t>(idx)], pre.state);
+            ++stats_->fs_ops;
           }
         }
       }
@@ -934,16 +948,20 @@ std::vector<State> Evaluator::ExecExternal(State st, const Command& cmd,
           case specs::EffectKind::kDeleteFile:
           case specs::EffectKind::kDeleteEmptyDir:
             s.sfs.ApplyDeleteTree(*key);
+            ++stats_->fs_ops;
             break;
           case specs::EffectKind::kCreateFile:
           case specs::EffectKind::kTruncateWrite:
             s.sfs.ApplyCreateFile(*key);
+            ++stats_->fs_ops;
             break;
           case specs::EffectKind::kCreateDir:
             s.sfs.ApplyCreateDir(*key);
+            ++stats_->fs_ops;
             break;
           case specs::EffectKind::kWriteUnder:
             s.sfs.Assume(*key, PathState::kExists);
+            ++stats_->fs_ops;
             break;
           case specs::EffectKind::kCopyToLast:
           case specs::EffectKind::kMoveToLast: {
@@ -951,10 +969,12 @@ std::vector<State> Evaluator::ExecExternal(State st, const Command& cmd,
               std::optional<PathKey> dst = keys.back();
               if (dst.has_value()) {
                 s.sfs.Assume(*dst, PathState::kExists);
+                ++stats_->fs_ops;
               }
             }
             if (eff.kind == specs::EffectKind::kMoveToLast) {
               s.sfs.ApplyDeleteTree(*key);
+              ++stats_->fs_ops;
             }
             break;
           }
@@ -1049,6 +1069,7 @@ void Evaluator::ApplyRedirects(State& st, const Command& cmd, int depth) {
         std::optional<PathKey> key = PathKeyOf(st, target);
         if (key.has_value()) {
           st.sfs.ApplyCreateFile(*key);
+          ++stats_->fs_ops;
         }
         break;
       }
@@ -1066,6 +1087,7 @@ void Evaluator::ApplyRedirects(State& st, const Command& cmd, int depth) {
             st.exit = ExitStatus::Known(1);
           } else if (k == Knowledge::kUnknown) {
             st.sfs.Assume(*key, PathState::kIsFile);
+            ++stats_->fs_ops;
           }
         }
         break;

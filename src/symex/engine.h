@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "specs/library.h"
 #include "symex/state.h"
 #include "syntax/ast.h"
@@ -59,6 +60,12 @@ struct EngineStats {
   int states_merged = 0;
   int states_dropped = 0;  // Cap overflow.
   int final_states = 0;
+  int fs_ops = 0;  // Symbolic file-system mutations and assumptions applied.
+
+  // Mirrors every field into the registry under "symex.*" (counters, except
+  // the peak which is a high-watermark gauge). The registry is the
+  // cross-subsystem view; EngineStats stays the cheap per-run struct.
+  void PublishTo(obs::Registry* registry) const;
 };
 
 class Engine {

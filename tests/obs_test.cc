@@ -1,0 +1,277 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "core/analyzer.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+
+namespace sash::obs {
+namespace {
+
+// --- JSON writer / parser -------------------------------------------------
+
+TEST(Json, WriterEmitsValidDocument) {
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("name", "a \"quoted\" \n value");
+  w.KV("count", int64_t{42});
+  w.KV("ratio", 0.5);
+  w.KV("flag", true);
+  w.Key("items").BeginArray().Int(1).Int(2).Int(3).EndArray();
+  w.Key("nested").BeginObject().KV("x", int64_t{-7}).EndObject();
+  w.EndObject();
+  std::optional<JsonValue> doc = JsonValue::Parse(w.str());
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->Find("name")->string, "a \"quoted\" \n value");
+  EXPECT_EQ(doc->Find("count")->number, 42);
+  EXPECT_EQ(doc->Find("flag")->boolean, true);
+  EXPECT_EQ(doc->Find("items")->array.size(), 3u);
+  EXPECT_EQ(doc->Find("nested")->Find("x")->number, -7);
+}
+
+TEST(Json, ParserRejectsGarbage) {
+  EXPECT_FALSE(JsonValue::Parse("{").has_value());
+  EXPECT_FALSE(JsonValue::Parse("{}extra").has_value());
+  EXPECT_FALSE(JsonValue::Parse("{'single':1}").has_value());
+  EXPECT_FALSE(JsonValue::Parse("[1,]").has_value());
+  EXPECT_TRUE(JsonValue::Parse("[1, 2.5, \"s\", null, true, {}]").has_value());
+}
+
+TEST(Json, ParserDecodesEscapes) {
+  std::optional<JsonValue> doc = JsonValue::Parse(R"(["A\t\\\"", "é"])");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->array[0].string, "A\t\\\"");
+  EXPECT_EQ(doc->array[1].string, "\xc3\xa9");
+}
+
+// --- metrics --------------------------------------------------------------
+
+TEST(Metrics, ConcurrentCountersAreExact) {
+  Registry registry;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      // Mixed same-instrument and per-lookup use: lookups must return the
+      // same stable pointer every time.
+      Counter* fast = registry.counter("obs.shared");
+      for (int i = 0; i < kPerThread; ++i) {
+        fast->Add(1);
+        registry.counter("obs.shared")->Add(1);
+        registry.histogram("obs.lat")->Observe(i);
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(registry.counter("obs.shared")->value(), int64_t{2} * kThreads * kPerThread);
+  EXPECT_EQ(registry.histogram("obs.lat")->count(), int64_t{kThreads} * kPerThread);
+}
+
+TEST(Metrics, HistogramBucketing) {
+  EXPECT_EQ(Histogram::BucketIndex(-5), 0);
+  EXPECT_EQ(Histogram::BucketIndex(0), 0);
+  EXPECT_EQ(Histogram::BucketIndex(1), 1);   // [1,2)
+  EXPECT_EQ(Histogram::BucketIndex(2), 2);   // [2,4)
+  EXPECT_EQ(Histogram::BucketIndex(3), 2);
+  EXPECT_EQ(Histogram::BucketIndex(4), 3);   // [4,8)
+  EXPECT_EQ(Histogram::BucketIndex(1023), 10);
+  EXPECT_EQ(Histogram::BucketIndex(1024), 11);
+
+  Histogram h;
+  h.Observe(0);
+  h.Observe(3);
+  h.Observe(3);
+  h.Observe(1000);
+  EXPECT_EQ(h.count(), 4);
+  EXPECT_EQ(h.sum(), 1006);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 1000);
+  EXPECT_EQ(h.bucket(0), 1);
+  EXPECT_EQ(h.bucket(2), 2);
+  EXPECT_EQ(h.bucket(10), 1);
+  // p50 falls in bucket [2,4): upper bound 4. p99 in [512,1024): bound 1024.
+  EXPECT_EQ(h.PercentileUpperBound(50), 4);
+  EXPECT_EQ(h.PercentileUpperBound(99), 1024);
+}
+
+TEST(Metrics, RegistryJsonRoundTrip) {
+  Registry registry;
+  registry.counter("a.count")->Add(7);
+  registry.gauge("b.peak")->Max(12);
+  registry.gauge("b.peak")->Max(9);  // Lower: must not shrink the peak.
+  registry.histogram("c.ns")->Observe(100);
+  std::optional<JsonValue> doc = JsonValue::Parse(registry.ToJson());
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->Find("counters")->Find("a.count")->number, 7);
+  EXPECT_EQ(doc->Find("gauges")->Find("b.peak")->number, 12);
+  const JsonValue* h = doc->Find("histograms")->Find("c.ns");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->Find("count")->number, 1);
+  EXPECT_EQ(h->Find("sum")->number, 100);
+  EXPECT_NE(h->Find("p50"), nullptr);
+  EXPECT_NE(h->Find("p99"), nullptr);
+}
+
+// --- tracing --------------------------------------------------------------
+
+TEST(Trace, SpansNestAndContain) {
+  Tracer tracer;
+  {
+    Span outer(&tracer, "outer");
+    {
+      Span inner(&tracer, "inner");
+    }
+    Span sibling(&tracer, "sibling");
+    sibling.End();
+    sibling.End();  // Second End is a no-op.
+  }
+  std::vector<TraceEvent> events = tracer.Events();
+  ASSERT_EQ(events.size(), 3u);
+  // Sorted by start: outer first, then its children.
+  EXPECT_EQ(events[0].name, "outer");
+  EXPECT_EQ(events[0].depth, 0);
+  EXPECT_EQ(events[1].name, "inner");
+  EXPECT_EQ(events[1].depth, 1);
+  EXPECT_EQ(events[2].name, "sibling");
+  EXPECT_EQ(events[2].depth, 1);
+  // Containment: children start at or after the parent and end within it.
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].start_us, events[0].start_us);
+    EXPECT_LE(events[i].start_us + events[i].duration_us,
+              events[0].start_us + events[0].duration_us);
+  }
+}
+
+TEST(Trace, NullTracerSpansAreNoops) {
+  Span span(nullptr, "nothing");
+  span.End();  // Must not crash; nothing recorded anywhere.
+}
+
+TEST(Trace, ChromeJsonIsWellFormed) {
+  Tracer tracer;
+  { Span span(&tracer, "phase \"x\""); }
+  std::optional<JsonValue> doc = JsonValue::Parse(tracer.ToChromeJson());
+  ASSERT_TRUE(doc.has_value());
+  const JsonValue* events = doc->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->array.size(), 1u);
+  const JsonValue& e = events->array[0];
+  EXPECT_EQ(e.Find("ph")->string, "X");
+  EXPECT_EQ(e.Find("name")->string, "phase \"x\"");
+  EXPECT_NE(e.Find("ts"), nullptr);
+  EXPECT_NE(e.Find("dur"), nullptr);
+  EXPECT_NE(e.Find("pid"), nullptr);
+  EXPECT_NE(e.Find("tid"), nullptr);
+}
+
+// --- bench report ---------------------------------------------------------
+
+TEST(BenchReport, EmitterOutputValidates) {
+  Registry registry;
+  registry.counter("x.ops")->Add(3);
+  registry.histogram("x.ns")->Observe(10);
+  std::vector<BenchRun> runs;
+  runs.push_back({"BM_Thing/64", 1000, 2500.0, 2400.0});
+  std::string json = BenchReportJson("thing", runs, &registry);
+  std::optional<JsonValue> doc = JsonValue::Parse(json);
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_TRUE(ValidateBenchReport(*doc).empty());
+  EXPECT_EQ(doc->Find("schema")->string, kBenchSchema);
+  EXPECT_EQ(doc->Find("bench")->string, "thing");
+  EXPECT_EQ(doc->Find("runs")->array.size(), 1u);
+}
+
+TEST(BenchReport, ValidatorRejectsCorruptedDocuments) {
+  std::optional<JsonValue> missing_schema = JsonValue::Parse(R"({"bench":"x","runs":[]})");
+  ASSERT_TRUE(missing_schema.has_value());
+  EXPECT_FALSE(ValidateBenchReport(*missing_schema).empty());
+
+  std::optional<JsonValue> bad_run = JsonValue::Parse(
+      R"({"schema":"sash-bench-v1","bench":"x","runs":[{"iterations":5}],)"
+      R"("metrics":{"counters":{},"gauges":{},"histograms":{}}})");
+  ASSERT_TRUE(bad_run.has_value());
+  EXPECT_FALSE(ValidateBenchReport(*bad_run).empty());
+}
+
+// --- analyzer integration -------------------------------------------------
+
+// The paper's Fig. 1 shape: unset var expansion feeding rm -rf.
+constexpr char kSteamish[] =
+    "STEAMROOT=\"$(cd \"${0%/*}\" && echo $PWD)\"\n"
+    "rm -rf \"$STEAMROOT/\"*\n";
+
+TEST(AnalyzerIntegration, JsonReportCarriesPhasesAndFindings) {
+  Tracer tracer;
+  Registry registry;
+  core::AnalyzerOptions options;
+  options.obs.tracer = &tracer;
+  options.obs.metrics = &registry;
+  core::Analyzer analyzer(std::move(options));
+  core::AnalysisReport report = analyzer.AnalyzeSource(kSteamish);
+
+  std::optional<JsonValue> doc = JsonValue::Parse(report.ToJson(&registry));
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->Find("schema")->string, core::kAnalysisSchema);
+  EXPECT_EQ(doc->Find("parse_ok")->boolean, true);
+  EXPECT_EQ(doc->Find("clean")->boolean, false);
+
+  const JsonValue* phases = doc->Find("phases");
+  ASSERT_NE(phases, nullptr);
+  bool saw_parse = false;
+  bool saw_symex = false;
+  for (const JsonValue& p : phases->array) {
+    EXPECT_GE(p.Find("micros")->number, 0);
+    if (p.Find("name")->string == "parse") {
+      saw_parse = true;
+    }
+    if (p.Find("name")->string == "symex") {
+      saw_symex = true;
+    }
+  }
+  EXPECT_TRUE(saw_parse);
+  EXPECT_TRUE(saw_symex);
+
+  bool saw_del_root = false;
+  for (const JsonValue& f : doc->Find("findings")->array) {
+    if (f.Find("code")->string == "SASH-DEL-ROOT") {
+      saw_del_root = true;
+      EXPECT_GE(f.Find("line")->number, 1);
+    }
+  }
+  EXPECT_TRUE(saw_del_root);
+
+  // Engine stats made it both into "stats" and the registry.
+  EXPECT_GT(doc->Find("stats")->Find("engine")->Find("commands_executed")->number, 0);
+  const JsonValue* metrics = doc->Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_GT(metrics->Find("counters")->Find("symex.commands_executed")->number, 0);
+  EXPECT_GT(metrics->Find("counters")->Find("diagnostics.warnings_or_worse")->number, 0);
+
+  // The tracer saw the same phases, and its export is Chrome-loadable JSON.
+  EXPECT_FALSE(tracer.Events().empty());
+  std::optional<JsonValue> trace = JsonValue::Parse(tracer.ToChromeJson());
+  ASSERT_TRUE(trace.has_value());
+  EXPECT_FALSE(trace->Find("traceEvents")->array.empty());
+}
+
+TEST(AnalyzerIntegration, PhaseTimingsAlwaysPopulated) {
+  core::Analyzer analyzer;  // No hooks attached.
+  core::AnalysisReport report = analyzer.AnalyzeSource("echo hi\n");
+  ASSERT_FALSE(report.phase_timings().empty());
+  EXPECT_EQ(report.phase_timings()[0].name, "parse");
+  EXPECT_GE(report.total_micros(), 0);
+  // ToJson works without a registry, too.
+  EXPECT_TRUE(JsonValue::Parse(report.ToJson()).has_value());
+}
+
+}  // namespace
+}  // namespace sash::obs

@@ -100,5 +100,41 @@ TEST(Diagnostics, SeverityNames) {
   EXPECT_EQ(SeverityName(Severity::kError), "error");
 }
 
+// Golden rendering: the exact ToString output is part of the CLI's contract
+// (scripts grep it), so pin the full string, notes included.
+TEST(Diagnostics, ToStringGolden) {
+  Diagnostic d;
+  d.severity = Severity::kWarning;
+  d.code = "SASH-DEL-ROOT";
+  d.range = SourceRange{{14, 2, 1}, {36, 2, 23}};
+  d.message = "rm -rf may delete the file system root";
+  d.notes.push_back(DiagnosticNote{{}, "witness: STEAMROOT = ''"});
+  d.notes.push_back(DiagnosticNote{SourceRange{{0, 1, 1}, {13, 1, 14}}, "assigned here"});
+  EXPECT_EQ(d.ToString(),
+            "2:1-2:23 warning[SASH-DEL-ROOT]: rm -rf may delete the file system root\n"
+            "  note: witness: STEAMROOT = ''\n"
+            "  note: assigned here");
+
+  Diagnostic bare;
+  bare.severity = Severity::kError;
+  bare.range = SourceRange{{5, 3, 2}, {5, 3, 2}};
+  bare.message = "plain";
+  EXPECT_EQ(bare.ToString(), "3:2 error: plain");
+}
+
+TEST(Diagnostics, CountIntoBumpsCounterAtThreshold) {
+  obs::Counter counter;
+  DiagnosticSink sink;
+  sink.CountInto(&counter, Severity::kWarning);
+  sink.Emit(Severity::kInfo, "A", {}, "below threshold");
+  EXPECT_EQ(counter.value(), 0);
+  sink.Emit(Severity::kWarning, "B", {}, "at threshold");
+  sink.Emit(Severity::kError, "C", {}, "above threshold");
+  EXPECT_EQ(counter.value(), 2);
+  sink.CountInto(nullptr, Severity::kWarning);
+  sink.Emit(Severity::kError, "D", {}, "detached");
+  EXPECT_EQ(counter.value(), 2);
+}
+
 }  // namespace
 }  // namespace sash

@@ -1,0 +1,119 @@
+// Validates bench reports (BENCH_*.json, schema "sash-bench-v1").
+//
+//   sash_check_bench_json [--selftest] [dir-or-file ...]
+//
+// --selftest validates a known-good and a known-bad document built in
+// memory, so ctest can exercise the schema without benches having run.
+// Directory arguments are scanned for BENCH_*.json; missing directories are
+// fine (benches simply have not run yet). Exit 0 when everything given
+// validates, 1 on any schema violation or parse error, 2 on usage errors.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+
+namespace {
+
+bool ValidateText(const std::string& label, const std::string& text) {
+  std::optional<sash::obs::JsonValue> doc = sash::obs::JsonValue::Parse(text);
+  if (!doc.has_value()) {
+    std::fprintf(stderr, "%s: JSON parse error\n", label.c_str());
+    return false;
+  }
+  std::vector<std::string> problems = sash::obs::ValidateBenchReport(*doc);
+  for (const std::string& p : problems) {
+    std::fprintf(stderr, "%s: %s\n", label.c_str(), p.c_str());
+  }
+  return problems.empty();
+}
+
+bool ValidateFile(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "%s: cannot open\n", path.string().c_str());
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  bool ok = ValidateText(path.string(), buf.str());
+  if (ok) {
+    std::printf("%s: ok\n", path.string().c_str());
+  }
+  return ok;
+}
+
+bool SelfTest() {
+  // A conforming report produced by the real emitter must validate.
+  sash::obs::Registry registry;
+  registry.counter("selftest.ops")->Add(42);
+  registry.histogram("selftest.latency_ns")->Observe(1500);
+  std::vector<sash::obs::BenchRun> runs;
+  runs.push_back({"BM_SelfTest/16", 1000, 1234.5, 1200.0});
+  std::string good = sash::obs::BenchReportJson("selftest", runs, &registry);
+  if (!ValidateText("selftest(good)", good)) {
+    std::fprintf(stderr, "selftest: emitter output failed validation\n");
+    return false;
+  }
+
+  // A corrupted report (runs entry missing its name) must be rejected.
+  std::string bad = R"({"schema":"sash-bench-v1","bench":"x",)"
+                    R"("runs":[{"iterations":1,"real_time_ns":1.0,"cpu_time_ns":1.0}],)"
+                    R"("metrics":{"counters":{},"gauges":{},"histograms":{}}})";
+  std::optional<sash::obs::JsonValue> doc = sash::obs::JsonValue::Parse(bad);
+  if (!doc.has_value() || sash::obs::ValidateBenchReport(*doc).empty()) {
+    std::fprintf(stderr, "selftest: corrupted report was not rejected\n");
+    return false;
+  }
+  std::printf("selftest: ok\n");
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool selftest = false;
+  std::vector<std::filesystem::path> inputs;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--selftest") == 0) {
+      selftest = true;
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "usage: sash_check_bench_json [--selftest] [dir-or-file ...]\n");
+      return 2;
+    } else {
+      inputs.emplace_back(argv[i]);
+    }
+  }
+  if (!selftest && inputs.empty()) {
+    std::fprintf(stderr, "usage: sash_check_bench_json [--selftest] [dir-or-file ...]\n");
+    return 2;
+  }
+
+  bool ok = true;
+  if (selftest) {
+    ok = SelfTest() && ok;
+  }
+  for (const std::filesystem::path& input : inputs) {
+    std::error_code ec;
+    if (std::filesystem::is_directory(input, ec)) {
+      for (const auto& entry : std::filesystem::directory_iterator(input, ec)) {
+        const std::string name = entry.path().filename().string();
+        if (name.rfind("BENCH_", 0) == 0 && entry.path().extension() == ".json") {
+          ok = ValidateFile(entry.path()) && ok;
+        }
+      }
+    } else if (std::filesystem::exists(input, ec)) {
+      ok = ValidateFile(input) && ok;
+    } else {
+      // Not-yet-created output directories are expected before any bench runs.
+      std::printf("%s: absent, skipped\n", input.string().c_str());
+    }
+  }
+  return ok ? 0 : 1;
+}

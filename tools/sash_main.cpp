@@ -1,13 +1,18 @@
 // The sash command-line tool.
 //
-//   sash analyze [--lint] [--no-symex] [--no-stream] <script.sh>
+//   sash analyze [--lint] [--no-symex] [--no-stream] [--stats]
+//                [--format=json] [--trace-out FILE] <script.sh>
 //   sash lint <script.sh>
 //   sash run <script.sh> [args...]        (sandboxed; nothing touches disk)
 //   sash verify --no-rw <path> [--no-read <path>] <script.sh>
 //   sash mine [command]
 //   sash typeof <pipeline string>
+//   sash version
 //
 // Reads from stdin when the script operand is "-".
+//
+// Exit codes: 0 = analysis clean (or command succeeded), 1 = findings at
+// warning severity or above (or a blocked run), 2 = usage or I/O error.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -15,9 +20,11 @@
 #include <sstream>
 
 #include "core/analyzer.h"
+#include "core/version.h"
 #include "mining/pipeline.h"
 #include "monitor/guard.h"
 #include "monitor/interp.h"
+#include "obs/obs.h"
 #include "stream/pipeline.h"
 
 namespace {
@@ -26,13 +33,43 @@ int Usage() {
   std::fprintf(stderr,
                "usage: sash <command> [options]\n"
                "  analyze [--lint] [--no-symex] [--no-stream] [--idempotence] [--coach]\n"
-               "          [--annotations file.sasht] <script.sh>\n"
+               "          [--annotations file.sasht] [--stats] [--format=text|json]\n"
+               "          [--trace-out trace.json] <script.sh>\n"
                "  lint <script.sh>\n"
                "  run <script.sh> [args...]\n"
                "  verify [--no-rw PATH]... [--no-read PATH]... <script.sh>\n"
                "  mine [command]\n"
-               "  typeof '<pipeline>'\n");
+               "  typeof '<pipeline>'\n"
+               "  version\n"
+               "exit codes: 0 clean, 1 findings (warnings or worse), 2 usage/IO error\n");
   return 2;
+}
+
+// Human-readable stats table, written to stderr so it never mixes with the
+// report on stdout.
+void PrintStats(const sash::core::AnalysisReport& report, const sash::obs::Registry& registry) {
+  std::fprintf(stderr, "\n--- phases ---\n");
+  for (const sash::core::PhaseTiming& p : report.phase_timings()) {
+    std::fprintf(stderr, "  %-14s %8lld us\n", p.name.c_str(), static_cast<long long>(p.micros));
+  }
+  std::fprintf(stderr, "  %-14s %8lld us\n", "total",
+               static_cast<long long>(report.total_micros()));
+  sash::obs::MetricsSnapshot snap = registry.Snapshot();
+  if (!snap.counters.empty() || !snap.gauges.empty()) {
+    std::fprintf(stderr, "--- metrics ---\n");
+    for (const auto& [name, value] : snap.counters) {
+      std::fprintf(stderr, "  %-32s %10lld\n", name.c_str(), static_cast<long long>(value));
+    }
+    for (const auto& [name, value] : snap.gauges) {
+      std::fprintf(stderr, "  %-32s %10lld (gauge)\n", name.c_str(),
+                   static_cast<long long>(value));
+    }
+    for (const auto& [name, h] : snap.histograms) {
+      std::fprintf(stderr, "  %-32s count=%lld p50<=%lld p99<=%lld\n", name.c_str(),
+                   static_cast<long long>(h.count), static_cast<long long>(h.p50),
+                   static_cast<long long>(h.p99));
+    }
+  }
 }
 
 bool ReadSource(const std::string& path, std::string* out) {
@@ -57,10 +94,33 @@ int CmdAnalyze(const std::vector<std::string>& args) {
   sash::core::AnalyzerOptions options;
   std::string file;
   std::string annotations_file;
+  std::string trace_out;
+  bool stats = false;
+  bool json = false;
   for (size_t i = 0; i < args.size(); ++i) {
     const std::string& a = args[i];
     if (a == "--annotations" && i + 1 < args.size()) {
       annotations_file = args[++i];
+    } else if (a == "--trace-out" && i + 1 < args.size()) {
+      trace_out = args[++i];
+    } else if (a.rfind("--trace-out=", 0) == 0) {
+      trace_out = a.substr(std::strlen("--trace-out="));
+    } else if (a == "--stats") {
+      stats = true;
+    } else if (a == "--format=json") {
+      json = true;
+    } else if (a == "--format=text") {
+      json = false;
+    } else if (a == "--format" && i + 1 < args.size()) {
+      const std::string& fmt = args[++i];
+      if (fmt == "json") {
+        json = true;
+      } else if (fmt == "text") {
+        json = false;
+      } else {
+        std::fprintf(stderr, "sash analyze: unknown format %s\n", fmt.c_str());
+        return 2;
+      }
     } else if (a == "--idempotence") {
       options.enable_idempotence_check = true;
     } else if (a == "--coach") {
@@ -85,6 +145,18 @@ int CmdAnalyze(const std::vector<std::string>& args) {
   if (!ReadSource(file, &source)) {
     return 2;
   }
+
+  // Observability is opt-in: the tracer only when a trace file was requested,
+  // the metrics registry whenever stats or JSON output will surface it.
+  sash::obs::Tracer tracer;
+  sash::obs::Registry registry;
+  if (!trace_out.empty()) {
+    options.obs.tracer = &tracer;
+  }
+  if (stats || json || !trace_out.empty()) {
+    options.obs.metrics = &registry;
+  }
+
   sash::core::Analyzer analyzer(std::move(options));
   if (!annotations_file.empty()) {
     std::string annotations_text;
@@ -94,7 +166,19 @@ int CmdAnalyze(const std::vector<std::string>& args) {
     analyzer.AddAnnotations(sash::annot::ParseAnnotationFile(annotations_text));
   }
   sash::core::AnalysisReport report = analyzer.AnalyzeSource(source);
-  std::printf("%s", report.ToString().c_str());
+
+  if (json) {
+    std::printf("%s\n", report.ToJson(&registry).c_str());
+  } else {
+    std::printf("%s", report.ToString().c_str());
+  }
+  if (stats) {
+    PrintStats(report, registry);
+  }
+  if (!trace_out.empty() && !tracer.WriteChromeJson(trace_out)) {
+    std::fprintf(stderr, "sash: cannot write %s\n", trace_out.c_str());
+    return 2;
+  }
   return report.CountSeverity(sash::Severity::kWarning) > 0 ? 1 : 0;
 }
 
@@ -251,6 +335,10 @@ int main(int argc, char** argv) {
   }
   if (cmd == "typeof") {
     return CmdTypeof(args);
+  }
+  if (cmd == "version" || cmd == "--version") {
+    std::printf("sash %s\n", sash::core::kVersion);
+    return 0;
   }
   return Usage();
 }
