@@ -1,0 +1,178 @@
+// Experiment B1 (§4): the JIT↔AOT loop as measured reality. A synthetic
+// corpus of 120 scripts is analyzed cold (every file a cache miss), then warm
+// (every file a hash + read); the table reports the end-to-end speedup and
+// the -jN batch scaling. Acceptance targets: warm ≥ 10× faster than cold;
+// -j4 ≥ 2.5× over -j1 on machines with ≥ 4 cores (on fewer cores the jobs
+// rows still print, with the honest numbers).
+#include <chrono>
+#include <filesystem>
+#include <thread>
+
+#include "batch/batch.h"
+#include "batch/cache.h"
+#include "bench_util.h"
+#include "util/sha256.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr int kCorpusSize = 120;
+
+// A varied, non-trivial corpus: loops, pipelines, conditionals, and the
+// occasional hazard, parameterized by index so every file is distinct.
+std::string CorpusScript(int i) {
+  std::string s = "# corpus script " + std::to_string(i) + "\n";
+  s += "PREFIX=/srv/app" + std::to_string(i) + "\n";
+  s += "for f in a b c d; do\n  echo \"$PREFIX/$f\"\ndone\n";
+  if (i % 3 == 0) {
+    s += "if test -d \"$PREFIX\"; then\n  rm -r \"$PREFIX/stale\"\nfi\n";
+  }
+  if (i % 4 == 0) {
+    s += "cat conf" + std::to_string(i) + " | grep key | cut -f2\n";
+  }
+  if (i % 5 == 0) {
+    s += "rm -rf \"$UNSET" + std::to_string(i) + "/\"*\n";
+  }
+  s += "mkdir -p \"$PREFIX/logs\"\ntouch \"$PREFIX/logs/run\"\n";
+  return s;
+}
+
+std::vector<std::pair<std::string, std::string>> Corpus() {
+  std::vector<std::pair<std::string, std::string>> corpus;
+  for (int i = 0; i < kCorpusSize; ++i) {
+    corpus.emplace_back("corpus_" + std::to_string(i) + ".sh", CorpusScript(i));
+  }
+  return corpus;
+}
+
+// A fresh cache root per bench process; removed at exit by the OS tempdir
+// policy, and explicitly before each cold run here.
+fs::path BenchCacheDir() {
+  return fs::temp_directory_path() / "sash_bench_batch_cache";
+}
+
+int64_t TimedRun(sash::batch::BatchDriver* driver,
+                 const std::vector<std::pair<std::string, std::string>>& corpus,
+                 sash::batch::BatchResult* out) {
+  auto start = std::chrono::steady_clock::now();
+  *out = driver->RunSources(corpus);
+  auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(end - start).count();
+}
+
+void PrintResult() {
+  auto corpus = Corpus();
+  fs::remove_all(BenchCacheDir());
+
+  // Cold vs warm, single-threaded: isolates the cache from the pool.
+  sash::batch::BatchOptions options;
+  options.jobs = 1;
+  options.cache_dir = BenchCacheDir();
+  sash::batch::BatchDriver driver(options);
+  sash::batch::BatchResult cold_result;
+  sash::batch::BatchResult warm_result;
+  int64_t cold_us = TimedRun(&driver, corpus, &cold_result);
+  int64_t warm_us = TimedRun(&driver, corpus, &warm_result);
+  sash::bench::CacheMiss(cold_result.cache_misses + warm_result.cache_misses);
+  sash::bench::CacheHit(cold_result.cache_hits + warm_result.cache_hits);
+
+  double warm_speedup = warm_us > 0 ? static_cast<double>(cold_us) / warm_us : 0.0;
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"run", "files", "hits", "misses", "total ms", "per-file us"});
+  rows.push_back({"cold", std::to_string(kCorpusSize), std::to_string(cold_result.cache_hits),
+                  std::to_string(cold_result.cache_misses), std::to_string(cold_us / 1000),
+                  std::to_string(cold_us / kCorpusSize)});
+  rows.push_back({"warm", std::to_string(kCorpusSize), std::to_string(warm_result.cache_hits),
+                  std::to_string(warm_result.cache_misses), std::to_string(warm_us / 1000),
+                  std::to_string(warm_us / kCorpusSize)});
+  sash::bench::PrintTable("B1a: incremental cache, cold vs warm (expected: warm >= 10x)", rows);
+  std::printf("warm speedup: %.1fx (target >= 10x)\n", warm_speedup);
+  sash::bench::Metric("b1.cold_us", cold_us);
+  sash::bench::Metric("b1.warm_us", warm_us);
+  sash::bench::Metric("b1.warm_speedup_x10", static_cast<int64_t>(warm_speedup * 10));
+
+  // -jN scaling, uncached: isolates the pool from the cache.
+  std::vector<std::vector<std::string>> jrows;
+  jrows.push_back({"jobs", "total ms", "speedup vs -j1"});
+  int64_t j1_us = 0;
+  unsigned cores = std::thread::hardware_concurrency();
+  for (int jobs : {1, 2, 4, 8}) {
+    sash::batch::BatchOptions jopt;
+    jopt.jobs = jobs;
+    jopt.use_cache = false;
+    sash::batch::BatchDriver jdriver(jopt);
+    sash::batch::BatchResult r;
+    int64_t us = TimedRun(&jdriver, corpus, &r);
+    if (jobs == 1) {
+      j1_us = us;
+    }
+    double speedup = us > 0 ? static_cast<double>(j1_us) / us : 0.0;
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2fx", speedup);
+    jrows.push_back({std::to_string(jobs), std::to_string(us / 1000), buf});
+    sash::bench::Metric("b1.jobs" + std::to_string(jobs) + "_us", us);
+    sash::bench::Metric("b1.jobs" + std::to_string(jobs) + "_speedup_x100",
+                        static_cast<int64_t>(speedup * 100));
+  }
+  sash::bench::PrintTable(
+      "B1b: batch -jN scaling, cache off (expected: -j4 >= 2.5x with >= 4 cores)", jrows);
+  std::printf("hardware threads: %u%s\n", cores,
+              cores < 4 ? "  (under 4 — parallel target not observable on this machine)" : "");
+  sash::bench::Metric("b1.hardware_threads", cores);
+  sash::bench::Metric("b1.corpus_files", kCorpusSize);
+
+  fs::remove_all(BenchCacheDir());
+}
+
+void BM_AnalyzeCold(benchmark::State& state) {
+  std::string script = CorpusScript(7);
+  sash::batch::BatchOptions options;
+  options.use_cache = false;
+  sash::batch::BatchDriver driver(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(driver.RunSources({{"bm.sh", script}}).files.size());
+  }
+}
+BENCHMARK(BM_AnalyzeCold)->Unit(benchmark::kMillisecond);
+
+void BM_AnalyzeWarm(benchmark::State& state) {
+  std::string script = CorpusScript(7);
+  fs::path dir = fs::temp_directory_path() / "sash_bench_warm_bm";
+  fs::remove_all(dir);
+  sash::batch::BatchOptions options;
+  options.cache_dir = dir;
+  sash::batch::BatchDriver driver(options);
+  driver.RunSources({{"bm.sh", script}});  // Prime the cache.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(driver.RunSources({{"bm.sh", script}}).files.size());
+  }
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_AnalyzeWarm)->Unit(benchmark::kMillisecond);
+
+void BM_Sha256(benchmark::State& state) {
+  std::string data(static_cast<size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sash::util::Sha256Hex(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(1 << 10)->Arg(1 << 16);
+
+void BM_BatchJobs(benchmark::State& state) {
+  auto corpus = Corpus();
+  sash::batch::BatchOptions options;
+  options.jobs = static_cast<int>(state.range(0));
+  options.use_cache = false;
+  for (auto _ : state) {
+    sash::batch::BatchDriver driver(options);
+    benchmark::DoNotOptimize(driver.RunSources(corpus).files.size());
+  }
+  state.SetLabel("jobs=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_BatchJobs)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+
+SASH_BENCH_MAIN(PrintResult)

@@ -62,6 +62,13 @@ inline void Metric(std::string_view name, int64_t value) {
   Metrics().gauge(name)->Set(value);
 }
 
+// Cache-effectiveness counters. The report schema surfaces these as the
+// top-level "cache":{"hits","misses"} object (schema sash-bench-v1); benches
+// that exercise the incremental cache bump them (or pass Metrics() as the
+// batch driver's registry, which maintains the same counters).
+inline void CacheHit(int64_t n = 1) { Metrics().counter("cache.hits")->Add(n); }
+inline void CacheMiss(int64_t n = 1) { Metrics().counter("cache.misses")->Add(n); }
+
 // Console reporter that also collects per-run results for the JSON report.
 // Aggregate rows (mean/median/stddev) are skipped — raw iterations only.
 class RecordingReporter : public benchmark::ConsoleReporter {

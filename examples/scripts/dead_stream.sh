@@ -1,0 +1,3 @@
+# Dead stream (Fig. 5 flavor): grep's pattern can never match the typed
+# output of lsb_release, so the tail of the pipeline is dead.
+lsb_release -a | grep '^Releas:' | cut -f2

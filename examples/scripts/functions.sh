@@ -1,0 +1,22 @@
+# Functions, case dispatch, and command substitution in one script.
+log() {
+  echo "[tool] $1"
+}
+
+main() {
+  case "$1" in
+    start)
+      log "starting"
+      touch /var/run/tool.pid
+      ;;
+    stop)
+      log "stopping"
+      rm /var/run/tool.pid
+      ;;
+    *)
+      log "usage: $0 start|stop"
+      ;;
+  esac
+}
+
+main "$1"

@@ -1,0 +1,6 @@
+# An installation-flavored script: directory setup, config copy, cleanup.
+mkdir /opt/tool
+mkdir /opt/tool/bin
+touch /opt/tool/bin/tool
+cp /opt/tool/bin/tool /usr/local/bin
+rm /tmp/tool-install.log

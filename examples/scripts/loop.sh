@@ -1,0 +1,6 @@
+# Loop + conditional over a fixed word list.
+for name in alpha beta gamma; do
+  if [ -f "/etc/$name.conf" ]; then
+    cat "/etc/$name.conf"
+  fi
+done

@@ -1,0 +1,3 @@
+# A typed stream pipeline: each stage's regular output type must feed the
+# next stage's input type.
+lsb_release -a | grep Release | cut -f2

@@ -1,0 +1,5 @@
+# The guarded variant (Fig. 2): the rm only runs when STEAMROOT is non-empty.
+STEAMROOT="$(cd "${0%/*}" && echo "$PWD")"
+if [ -n "$STEAMROOT" ]; then
+  rm -rf "$STEAMROOT/"*
+fi

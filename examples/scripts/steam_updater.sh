@@ -1,0 +1,4 @@
+# The Steam updater bug (Fig. 1): if STEAMROOT is ever empty, the rm deletes
+# from the file-system root.
+STEAMROOT="$(cd "${0%/*}" && echo "$PWD")"
+rm -rf "$STEAMROOT/"*

@@ -1,0 +1,3 @@
+# Classic unset-variable hazard: TMPDIR is never assigned here.
+rm -r "$TMPDIR/build-cache"
+echo done

@@ -1,0 +1,183 @@
+#include "batch/batch.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "util/thread_pool.h"
+
+namespace sash::batch {
+
+namespace {
+
+bool ReadFile(const std::string& path, std::string* out, std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    *error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+}  // namespace
+
+bool BatchResult::AnyError() const {
+  return std::any_of(files.begin(), files.end(), [](const FileResult& f) { return !f.ok; });
+}
+
+bool BatchResult::AnyFindings() const {
+  return std::any_of(files.begin(), files.end(),
+                     [](const FileResult& f) { return f.ok && f.warnings_or_worse > 0; });
+}
+
+int BatchResult::ExitCode() const {
+  if (AnyError()) {
+    return 2;
+  }
+  return AnyFindings() ? 1 : 0;
+}
+
+std::vector<std::string> ExpandInputs(const std::vector<std::string>& inputs) {
+  std::vector<std::string> out;
+  for (const std::string& input : inputs) {
+    std::error_code ec;
+    if (input != "-" && std::filesystem::is_directory(input, ec)) {
+      std::vector<std::string> found;
+      for (std::filesystem::recursive_directory_iterator it(input, ec), end; !ec && it != end;
+           it.increment(ec)) {
+        if (it->is_regular_file(ec) && it->path().extension() == ".sh") {
+          found.push_back(it->path().string());
+        }
+      }
+      std::sort(found.begin(), found.end());
+      out.insert(out.end(), std::make_move_iterator(found.begin()),
+                 std::make_move_iterator(found.end()));
+    } else {
+      out.push_back(input);
+    }
+  }
+  return out;
+}
+
+BatchDriver::BatchDriver(BatchOptions options) : options_(std::move(options)) {}
+
+FileResult BatchDriver::AnalyzeOne(const std::string& path, const std::string& source,
+                                   Cache* cache) {
+  obs::StopWatch watch;
+  obs::Span span(options_.obs.tracer, "analyze:" + path);
+  FileResult result;
+  result.path = path;
+
+  std::string key;
+  if (cache != nullptr) {
+    key = AnalysisKey(source, options_.analyzer, options_.annotations_text);
+    if (std::optional<std::string> payload = cache->Get("analysis", key); payload.has_value()) {
+      if (std::optional<AnalysisEntry> entry = DecodeAnalysisEntry(*payload); entry.has_value()) {
+        result.ok = true;
+        result.cached = true;
+        result.report_json = std::move(entry->report_json);
+        result.report_text = std::move(entry->report_text);
+        result.warnings_or_worse = entry->warnings_or_worse;
+        result.micros = watch.ElapsedMicros();
+        return result;
+      }
+      // Undecodable entry (foreign version, corruption): fall through and
+      // overwrite it with a fresh analysis.
+    }
+  }
+
+  core::AnalyzerOptions per_file = options_.analyzer;
+  per_file.obs = options_.obs;  // Shared tracer/registry are thread-safe.
+  core::Analyzer analyzer(std::move(per_file));
+  if (!options_.annotations_text.empty()) {
+    analyzer.AddAnnotations(annot::ParseAnnotationFile(options_.annotations_text));
+  }
+  core::AnalysisReport report = analyzer.AnalyzeSource(source);
+  result.ok = true;
+  result.report_json = report.ToJson(nullptr);
+  result.report_text = report.ToString();
+  result.warnings_or_worse = static_cast<int64_t>(report.CountSeverity(Severity::kWarning));
+
+  if (cache != nullptr) {
+    AnalysisEntry entry;
+    entry.report_json = result.report_json;
+    entry.report_text = result.report_text;
+    entry.warnings_or_worse = result.warnings_or_worse;
+    cache->Put("analysis", key, EncodeAnalysisEntry(key, entry));
+  }
+  result.micros = watch.ElapsedMicros();
+  return result;
+}
+
+BatchResult BatchDriver::Run(const std::vector<std::string>& files) {
+  std::vector<std::pair<std::string, std::string>> sources;
+  std::vector<std::string> read_errors(files.size());
+  sources.reserve(files.size());
+  for (size_t i = 0; i < files.size(); ++i) {
+    std::string content;
+    std::string error;
+    if (ReadFile(files[i], &content, &error)) {
+      sources.emplace_back(files[i], std::move(content));
+    } else {
+      sources.emplace_back(files[i], std::string());
+      read_errors[i] = std::move(error);
+    }
+  }
+  BatchResult result = RunSourcesImpl(sources, &read_errors);
+  return result;
+}
+
+BatchResult BatchDriver::RunSources(
+    const std::vector<std::pair<std::string, std::string>>& sources) {
+  return RunSourcesImpl(sources, nullptr);
+}
+
+BatchResult BatchDriver::RunSourcesImpl(
+    const std::vector<std::pair<std::string, std::string>>& sources,
+    const std::vector<std::string>* read_errors) {
+  obs::Registry* metrics = options_.obs.metrics;
+  std::optional<Cache> cache;
+  if (options_.use_cache) {
+    cache.emplace(options_.cache_dir, metrics);
+  }
+
+  BatchResult result;
+  result.files.resize(sources.size());
+
+  util::ThreadPool pool(options_.jobs);
+  for (size_t i = 0; i < sources.size(); ++i) {
+    if (read_errors != nullptr && !(*read_errors)[i].empty()) {
+      result.files[i].path = sources[i].first;
+      result.files[i].error = (*read_errors)[i];
+      continue;
+    }
+    pool.Submit([this, &sources, &result, &cache, i] {
+      result.files[i] =
+          AnalyzeOne(sources[i].first, sources[i].second, cache.has_value() ? &*cache : nullptr);
+    });
+  }
+  pool.Wait();
+
+  for (const FileResult& f : result.files) {
+    if (options_.use_cache && f.ok) {
+      f.cached ? ++result.cache_hits : ++result.cache_misses;
+    }
+  }
+  if (metrics != nullptr) {
+    metrics->counter("batch.files")->Add(static_cast<int64_t>(sources.size()));
+    metrics->counter("batch.steals")->Add(pool.steals());
+    metrics->gauge("batch.jobs")->Set(pool.size());
+    obs::Histogram* h = metrics->histogram("batch.file_micros");
+    for (const FileResult& f : result.files) {
+      if (f.ok) {
+        h->Observe(f.micros);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace sash::batch

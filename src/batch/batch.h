@@ -1,0 +1,95 @@
+// The multi-threaded batch analysis driver: many scripts in, one result set
+// out, a work-stealing pool underneath, and the incremental cache consulted
+// per script. Independent scripts are embarrassingly parallel (the PaSh
+// observation applied to analysis instead of execution); the cache turns the
+// second encounter of any (script, options, corpus, version) combination
+// into a hash plus a read.
+//
+//   sash::batch::BatchOptions opt;
+//   opt.jobs = 8;
+//   sash::batch::BatchDriver driver(opt);
+//   sash::batch::BatchResult r = driver.Run(files);
+//   for (const auto& f : r.files) { ... }    // input order, regardless of jobs
+#ifndef SASH_BATCH_BATCH_H_
+#define SASH_BATCH_BATCH_H_
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "batch/cache.h"
+#include "core/analyzer.h"
+#include "obs/obs.h"
+
+namespace sash::batch {
+
+// Schema tag of the multi-file CLI/JSON document.
+inline constexpr char kBatchSchema[] = "sash-batch-v1";
+
+struct BatchOptions {
+  int jobs = 1;                       // <= 0: hardware concurrency.
+  bool use_cache = true;
+  std::filesystem::path cache_dir;    // Empty: Cache::DefaultRoot().
+  core::AnalyzerOptions analyzer;     // Per-file analyses clone this.
+  // External annotation directives (.sasht text), applied to every file and
+  // folded into the cache key — editing the annotations invalidates entries.
+  std::string annotations_text;
+  obs::Hooks obs;                     // Shared tracer/metrics (thread-safe).
+};
+
+// The outcome for one input file.
+struct FileResult {
+  std::string path;
+  bool ok = false;            // Read and analyzed (possibly from cache).
+  bool cached = false;        // Served from the cache.
+  std::string error;          // Read-failure description when !ok.
+  std::string report_json;    // AnalysisReport::ToJson(nullptr) bytes.
+  std::string report_text;    // AnalysisReport::ToString() bytes.
+  int64_t warnings_or_worse = 0;
+  int64_t micros = 0;         // Wall time spent on this file by the driver.
+};
+
+struct BatchResult {
+  std::vector<FileResult> files;  // Same order as the input list.
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+
+  bool AnyError() const;
+  bool AnyFindings() const;
+  // Partial-batch exit policy (documented in the CLI usage): every input is
+  // processed; 2 when any file could not be read, else 1 when any report has
+  // warnings or worse, else 0.
+  int ExitCode() const;
+};
+
+// Expands a mixed list of files and directories: directories are walked
+// recursively and contribute their *.sh files (sorted for determinism);
+// plain files (and "-") pass through. Nonexistent paths pass through too —
+// they surface as per-file read errors, preserving the partial-batch policy.
+std::vector<std::string> ExpandInputs(const std::vector<std::string>& inputs);
+
+class BatchDriver {
+ public:
+  explicit BatchDriver(BatchOptions options);
+
+  // Analyzes every file (readable inputs always produce a report, whatever
+  // happens to their neighbors). Thread-safe for concurrent calls on
+  // distinct drivers sharing one cache directory; a single driver instance
+  // runs one batch at a time.
+  BatchResult Run(const std::vector<std::string>& files);
+
+  // Analyzes in-memory sources (name, content) — the library entry point the
+  // fuzz and stress harnesses drive.
+  BatchResult RunSources(const std::vector<std::pair<std::string, std::string>>& sources);
+
+ private:
+  FileResult AnalyzeOne(const std::string& path, const std::string& source, Cache* cache);
+  BatchResult RunSourcesImpl(const std::vector<std::pair<std::string, std::string>>& sources,
+                             const std::vector<std::string>* read_errors);
+
+  BatchOptions options_;
+};
+
+}  // namespace sash::batch
+
+#endif  // SASH_BATCH_BATCH_H_

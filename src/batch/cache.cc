@@ -1,0 +1,203 @@
+#include "batch/cache.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "core/version.h"
+#include "mining/man_corpus.h"
+#include "util/sha256.h"
+
+namespace sash::batch {
+
+namespace {
+
+// Key-material framing: length-prefix every component so concatenations
+// cannot collide ("ab"+"c" vs "a"+"bc").
+void Feed(util::Sha256* h, std::string_view part) {
+  std::string len = std::to_string(part.size()) + ":";
+  h->Update(len);
+  h->Update(part);
+}
+
+}  // namespace
+
+std::string OptionsFingerprint(const core::AnalyzerOptions& options) {
+  std::ostringstream s;
+  s << "lint=" << options.enable_lint << ";symex=" << options.enable_symex
+    << ";stream=" << options.enable_stream_types << ";annot=" << options.apply_annotations
+    << ";idem=" << options.enable_idempotence_check
+    << ";idem_cap=" << options.idempotence_state_cap
+    << ";coach=" << options.enable_optimization_coach;
+  const symex::EngineOptions& e = options.engine;
+  s << ";e.max_states=" << e.max_states << ";e.unroll=" << e.loop_unroll
+    << ";e.depth=" << e.max_call_depth << ";e.for=" << e.max_for_iterations
+    << ";e.path=" << e.script_path_pattern << ";e.pos=" << e.positional_params
+    << ";e.unset=" << e.report_unset_vars << ";e.merge=" << e.merge_identical_states
+    << ";e.lib=" << (e.library == nullptr ? "builtin" : "custom");
+  for (const auto& [var, pattern] : e.var_patterns) {
+    s << ";e.var:" << var << "=" << pattern;
+  }
+  const lint::LintOptions& l = options.lint;
+  s << ";l=" << l.unquoted_var << l.rm_var_path << l.cd_no_guard << l.backtick << l.useless_cat
+    << l.echo_sub << l.read_no_r << l.portability;
+  return s.str();
+}
+
+std::string SpecCorpusFingerprint() {
+  // The corpus is a compile-time constant, so hash it once per process.
+  static const std::string fingerprint = [] {
+    util::Sha256 h;
+    for (const auto& [name, text] : mining::ManCorpus()) {
+      Feed(&h, name);
+      Feed(&h, text);
+    }
+    return h.HexDigest();
+  }();
+  return fingerprint;
+}
+
+std::string AnalysisKey(std::string_view script_content, const core::AnalyzerOptions& options,
+                        std::string_view annotations_text) {
+  util::Sha256 h;
+  Feed(&h, "analysis");
+  Feed(&h, core::kVersion);
+  Feed(&h, OptionsFingerprint(options));
+  Feed(&h, annotations_text);
+  Feed(&h, SpecCorpusFingerprint());
+  Feed(&h, script_content);
+  return h.HexDigest();
+}
+
+std::string MineKey(std::string_view command, std::string_view man_text) {
+  util::Sha256 h;
+  Feed(&h, "mine");
+  Feed(&h, core::kVersion);
+  Feed(&h, command);
+  Feed(&h, man_text);
+  return h.HexDigest();
+}
+
+std::string EncodeAnalysisEntry(std::string_view key, const AnalysisEntry& entry) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.KV("schema", kCacheSchema);
+  w.KV("kind", "analysis");
+  w.KV("key", key);
+  w.KV("sash", core::kVersion);
+  w.KV("warnings_or_worse", entry.warnings_or_worse);
+  w.KV("report_text", entry.report_text);
+  w.Key("report").Raw(entry.report_json);
+  w.EndObject();
+  return w.Take();
+}
+
+std::optional<AnalysisEntry> DecodeAnalysisEntry(std::string_view payload) {
+  std::optional<obs::JsonValue> doc = obs::JsonValue::Parse(payload);
+  if (!doc.has_value() || !doc->is_object()) {
+    return std::nullopt;
+  }
+  const obs::JsonValue* schema = doc->Find("schema");
+  if (schema == nullptr || !schema->is_string() || schema->string != kCacheSchema) {
+    return std::nullopt;
+  }
+  const obs::JsonValue* warnings = doc->Find("warnings_or_worse");
+  const obs::JsonValue* text = doc->Find("report_text");
+  const obs::JsonValue* report = doc->Find("report");
+  if (warnings == nullptr || !warnings->is_number() || text == nullptr || !text->is_string() ||
+      report == nullptr || !report->is_object()) {
+    return std::nullopt;
+  }
+  AnalysisEntry entry;
+  entry.warnings_or_worse = static_cast<int64_t>(warnings->number);
+  entry.report_text = text->string;
+  // Re-serialize the report value: WriteJsonValue round-trips the writer's
+  // own output exactly (member order preserved, integral numbers intact), so
+  // the bytes match what the cold run produced.
+  obs::JsonWriter w;
+  obs::WriteJsonValue(*report, &w);
+  entry.report_json = w.Take();
+  return entry;
+}
+
+Cache::Cache(std::filesystem::path root, obs::Registry* metrics)
+    : root_(root.empty() ? DefaultRoot() : std::move(root)), metrics_(metrics) {}
+
+std::filesystem::path Cache::DefaultRoot() {
+  if (const char* dir = std::getenv("SASH_CACHE_DIR"); dir != nullptr && *dir != '\0') {
+    return dir;
+  }
+  if (const char* xdg = std::getenv("XDG_CACHE_HOME"); xdg != nullptr && *xdg != '\0') {
+    return std::filesystem::path(xdg) / "sash";
+  }
+  if (const char* home = std::getenv("HOME"); home != nullptr && *home != '\0') {
+    return std::filesystem::path(home) / ".cache" / "sash";
+  }
+  return std::filesystem::temp_directory_path() / "sash-cache";
+}
+
+std::filesystem::path Cache::EntryPath(std::string_view kind, std::string_view key) const {
+  return root_ / kind / (std::string(key) + ".json");
+}
+
+std::optional<std::string> Cache::Get(std::string_view kind, std::string_view key) {
+  std::ifstream in(EntryPath(kind, key), std::ios::binary);
+  if (!in) {
+    if (metrics_ != nullptr) {
+      metrics_->counter("cache.misses")->Add(1);
+    }
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (metrics_ != nullptr) {
+    metrics_->counter("cache.hits")->Add(1);
+  }
+  return buf.str();
+}
+
+bool Cache::Put(std::string_view kind, std::string_view key, std::string_view payload) {
+  std::filesystem::path path = EntryPath(kind, key);
+  std::error_code ec;
+  std::filesystem::create_directories(path.parent_path(), ec);
+  // Unique temp name per writer: concurrent writers of the same key each
+  // rename their own complete file over the target (last writer wins; all
+  // payloads for one key are identical by construction).
+  static std::atomic<uint64_t> seq{0};
+  std::ostringstream tmp_name;
+  tmp_name << path.filename().string() << ".tmp." << ::getpid() << "."
+           << seq.fetch_add(1, std::memory_order_relaxed);
+  std::filesystem::path tmp = path.parent_path() / tmp_name.str();
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      if (metrics_ != nullptr) {
+        metrics_->counter("cache.write_failures")->Add(1);
+      }
+      return false;
+    }
+    out << payload;
+    out.flush();
+    if (!out) {
+      std::filesystem::remove(tmp, ec);
+      if (metrics_ != nullptr) {
+        metrics_->counter("cache.write_failures")->Add(1);
+      }
+      return false;
+    }
+  }
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    if (metrics_ != nullptr) {
+      metrics_->counter("cache.write_failures")->Add(1);
+    }
+    return false;
+  }
+  return true;
+}
+
+}  // namespace sash::batch

@@ -1,0 +1,91 @@
+// The on-disk incremental analysis cache — the paper's §4 JIT↔AOT loop made
+// concrete. Results computed ahead of time (an analysis report, a mined
+// command spec) are stored content-addressed so an invocation-time (JIT)
+// lookup costs one hash plus one read, and re-analysis happens only when
+// something the result actually depends on changed.
+//
+// Key definition (all SHA-256, hex):
+//   analysis entry: H(kind="analysis" ‖ sash version ‖ options fingerprint ‖
+//                     spec-corpus fingerprint ‖ script content)
+//   mining entry:   H(kind="mine" ‖ sash version ‖ command name ‖ man text)
+// so touching the script, the spec corpus, the analysis flags, or upgrading
+// sash each invalidate exactly the affected entries. Entries are immutable
+// files named <key>.json under <root>/<kind>/; writes go through a temp file
+// and an atomic rename, so concurrent readers never observe a torn entry and
+// concurrent writers of the same key are idempotent.
+#ifndef SASH_BATCH_CACHE_H_
+#define SASH_BATCH_CACHE_H_
+
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/analyzer.h"
+#include "obs/obs.h"
+
+namespace sash::batch {
+
+// Schema tag of cache entry documents.
+inline constexpr char kCacheSchema[] = "sash-cache-v1";
+
+// A stable fingerprint of every AnalyzerOptions field that can change the
+// report. Extend this when AnalyzerOptions grows — a missed field means stale
+// hits, which the differential test guards against for the known fields.
+std::string OptionsFingerprint(const core::AnalyzerOptions& options);
+
+// Fingerprint of the spec corpus analysis depends on: the bundled man-page
+// corpus (mining inputs) — the built-in ground-truth specs are compiled in
+// and covered by the sash version component of every key.
+std::string SpecCorpusFingerprint();
+
+// Cache key for one script's analysis under the given options.
+// `annotations_text` is the external .sasht input ("" when none).
+std::string AnalysisKey(std::string_view script_content, const core::AnalyzerOptions& options,
+                        std::string_view annotations_text = {});
+
+// Cache key for one mined command (content = its man-page text).
+std::string MineKey(std::string_view command, std::string_view man_text);
+
+// One decoded analysis cache entry: everything a warm run needs to reproduce
+// the cold run's output byte-for-byte without re-analyzing.
+struct AnalysisEntry {
+  std::string report_json;  // AnalysisReport::ToJson(nullptr) of the cold run.
+  std::string report_text;  // AnalysisReport::ToString() of the cold run.
+  int64_t warnings_or_worse = 0;  // Drives the exit code.
+};
+
+std::string EncodeAnalysisEntry(std::string_view key, const AnalysisEntry& entry);
+std::optional<AnalysisEntry> DecodeAnalysisEntry(std::string_view payload);
+
+class Cache {
+ public:
+  // `root` empty selects DefaultRoot(). The directory is created lazily on
+  // first Put. Metrics (optional): "cache.hits", "cache.misses",
+  // "cache.write_failures".
+  explicit Cache(std::filesystem::path root, obs::Registry* metrics = nullptr);
+
+  // $SASH_CACHE_DIR, else $XDG_CACHE_HOME/sash, else $HOME/.cache/sash, else
+  // a sash subdirectory of the system temp directory.
+  static std::filesystem::path DefaultRoot();
+
+  const std::filesystem::path& root() const { return root_; }
+
+  // Reads the entry for `key` under `kind` ("analysis", "mine"); nullopt on
+  // miss or an unreadable/undecodable entry (counted as a miss).
+  std::optional<std::string> Get(std::string_view kind, std::string_view key);
+
+  // Atomically installs `payload` for `key`. Returns false on I/O failure
+  // (the cache is best-effort: callers proceed without it).
+  bool Put(std::string_view kind, std::string_view key, std::string_view payload);
+
+ private:
+  std::filesystem::path EntryPath(std::string_view kind, std::string_view key) const;
+
+  std::filesystem::path root_;
+  obs::Registry* metrics_;
+};
+
+}  // namespace sash::batch
+
+#endif  // SASH_BATCH_CACHE_H_

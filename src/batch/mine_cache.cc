@@ -1,0 +1,45 @@
+#include "batch/mine_cache.h"
+
+#include "batch/spec_io.h"
+#include "mining/man_corpus.h"
+
+namespace sash::batch {
+
+mining::MiningOutcome CachedMineCommand(Cache* cache, const std::string& name,
+                                        const obs::Hooks& hooks) {
+  if (cache == nullptr) {
+    return mining::MineCommand(name, hooks);
+  }
+  const auto& corpus = mining::ManCorpus();
+  auto it = corpus.find(name);
+  if (it == corpus.end()) {
+    // Unknown command: MineCommand produces the error outcome; nothing to key
+    // the cache on.
+    return mining::MineCommand(name, hooks);
+  }
+  std::string key = MineKey(name, it->second);
+  if (std::optional<std::string> payload = cache->Get("mine", key); payload.has_value()) {
+    if (std::optional<mining::MiningOutcome> cached = DecodeMiningOutcome(*payload);
+        cached.has_value()) {
+      if (hooks.metrics != nullptr) {
+        hooks.metrics->counter("mining.cache_hits")->Add(1);
+      }
+      return std::move(*cached);
+    }
+  }
+  mining::MiningOutcome outcome = mining::MineCommand(name, hooks);
+  if (outcome.ok) {
+    cache->Put("mine", key, EncodeMiningOutcome(key, outcome));
+  }
+  return outcome;
+}
+
+std::vector<mining::MiningOutcome> CachedMineAll(Cache* cache, const obs::Hooks& hooks) {
+  std::vector<mining::MiningOutcome> out;
+  for (const std::string& name : mining::DocumentedCommands()) {
+    out.push_back(CachedMineCommand(cache, name, hooks));
+  }
+  return out;
+}
+
+}  // namespace sash::batch

@@ -1,0 +1,27 @@
+// Cached front door to the Fig. 4 mining pipeline: the probe sweep for a
+// command runs once per (command, man text, sash version); later requests
+// decode the stored artifact instead of re-probing. Editing a corpus entry
+// invalidates exactly that command's entry.
+#ifndef SASH_BATCH_MINE_CACHE_H_
+#define SASH_BATCH_MINE_CACHE_H_
+
+#include <string>
+#include <vector>
+
+#include "batch/cache.h"
+#include "mining/pipeline.h"
+
+namespace sash::batch {
+
+// Equivalent to mining::MineCommand, consulting `cache` first. A null cache
+// degrades to the uncached call. Failed outcomes (unknown command, guardrail
+// violations) are never cached — they are cheap and may be transient.
+mining::MiningOutcome CachedMineCommand(Cache* cache, const std::string& name,
+                                        const obs::Hooks& hooks = {});
+
+// Equivalent to mining::MineAll with the same cache-first policy per command.
+std::vector<mining::MiningOutcome> CachedMineAll(Cache* cache, const obs::Hooks& hooks = {});
+
+}  // namespace sash::batch
+
+#endif  // SASH_BATCH_MINE_CACHE_H_

@@ -127,6 +127,12 @@ JsonWriter& JsonWriter::Null() {
   return *this;
 }
 
+JsonWriter& JsonWriter::Raw(std::string_view json) {
+  Comma();
+  out_ += json;
+  return *this;
+}
+
 const JsonValue* JsonValue::Find(std::string_view key) const {
   if (kind != Kind::kObject) {
     return nullptr;
@@ -368,6 +374,45 @@ std::optional<JsonValue> JsonValue::Parse(std::string_view text) {
     return std::nullopt;
   }
   return out;
+}
+
+void WriteJsonValue(const JsonValue& value, JsonWriter* w) {
+  switch (value.kind) {
+    case JsonValue::Kind::kNull:
+      w->Null();
+      return;
+    case JsonValue::Kind::kBool:
+      w->Bool(value.boolean);
+      return;
+    case JsonValue::Kind::kNumber: {
+      double d = value.number;
+      int64_t i = static_cast<int64_t>(d);
+      if (static_cast<double>(i) == d) {
+        w->Int(i);
+      } else {
+        w->Double(d);
+      }
+      return;
+    }
+    case JsonValue::Kind::kString:
+      w->String(value.string);
+      return;
+    case JsonValue::Kind::kArray:
+      w->BeginArray();
+      for (const JsonValue& v : value.array) {
+        WriteJsonValue(v, w);
+      }
+      w->EndArray();
+      return;
+    case JsonValue::Kind::kObject:
+      w->BeginObject();
+      for (const auto& [k, v] : value.object) {
+        w->Key(k);
+        WriteJsonValue(v, w);
+      }
+      w->EndObject();
+      return;
+  }
 }
 
 }  // namespace sash::obs

@@ -31,6 +31,10 @@ class JsonWriter {
   JsonWriter& Double(double value);
   JsonWriter& Bool(bool value);
   JsonWriter& Null();
+  // Splices `json` — which must itself be one complete, valid JSON value —
+  // into the output verbatim, with normal comma management. This is how the
+  // batch layer embeds cached report documents byte-identically.
+  JsonWriter& Raw(std::string_view json);
 
   // Shorthand: Key(k) followed by the value.
   JsonWriter& KV(std::string_view key, std::string_view value) { return Key(key).String(value); }
@@ -77,6 +81,11 @@ struct JsonValue {
   // garbage.
   static std::optional<JsonValue> Parse(std::string_view text);
 };
+
+// Re-serializes a parsed value through `w` (member order preserved). Numbers
+// that are integral round-trip without a decimal point.
+void WriteJsonValue(const JsonValue& value, JsonWriter* w);
+
 
 }  // namespace sash::obs
 

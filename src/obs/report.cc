@@ -18,12 +18,19 @@ std::string BenchReportJson(std::string_view bench_name, const std::vector<Bench
     w.EndObject();
   }
   w.EndArray();
+  // Cache effectiveness is a first-class bench result (the warm-path story):
+  // surfaced at the top level, mirroring the registry's cache.* counters.
+  MetricsSnapshot snapshot = metrics != nullptr ? metrics->Snapshot() : MetricsSnapshot{};
+  auto counter_or_zero = [&snapshot](const char* name) {
+    auto it = snapshot.counters.find(name);
+    return it == snapshot.counters.end() ? int64_t{0} : it->second;
+  };
+  w.Key("cache").BeginObject();
+  w.KV("hits", counter_or_zero("cache.hits"));
+  w.KV("misses", counter_or_zero("cache.misses"));
+  w.EndObject();
   w.Key("metrics");
-  if (metrics != nullptr) {
-    metrics->WriteJson(&w);
-  } else {
-    WriteSnapshotJson(MetricsSnapshot{}, &w);
-  }
+  WriteSnapshotJson(snapshot, &w);
   w.EndObject();
   return w.Take();
 }
@@ -73,6 +80,12 @@ std::vector<std::string> ValidateBenchReport(const JsonValue& doc) {
       }
       RequireNumberMembers(run, where, {"iterations", "real_time_ns", "cpu_time_ns"}, &problems);
     }
+  }
+  const JsonValue* cache = doc.Find("cache");
+  if (cache == nullptr || !cache->is_object()) {
+    problems.push_back("cache must be an object");
+  } else {
+    RequireNumberMembers(*cache, "cache", {"hits", "misses"}, &problems);
   }
   const JsonValue* metrics = doc.Find("metrics");
   if (metrics == nullptr || !metrics->is_object()) {

@@ -25,8 +25,10 @@ struct BenchRun {
   double cpu_time_ns = 0;
 };
 
-// Serializes {"schema","bench","runs":[...],"metrics":{...}}. `metrics` may
-// be null (emitted as an empty snapshot).
+// Serializes {"schema","bench","runs":[...],"cache":{"hits","misses"},
+// "metrics":{...}}. The cache object mirrors the registry's "cache.hits" /
+// "cache.misses" counters (zero when absent). `metrics` may be null (emitted
+// as an empty snapshot with a zero cache object).
 std::string BenchReportJson(std::string_view bench_name, const std::vector<BenchRun>& runs,
                             const Registry* metrics);
 

@@ -651,6 +651,12 @@ class Parser {
         Advance();
       }
       item.range.end = Pos();
+      // Error recovery must consume input: a malformed item (e.g. a pattern
+      // starting with '|') can fail every parse above without advancing, and
+      // re-trying the same byte forever accumulates diagnostics unboundedly.
+      if (item.range.end.offset == item.range.begin.offset && !AtEnd()) {
+        Advance();
+      }
       cmd->case_cmd.items.push_back(std::move(item));
     }
     ExpectBareWord("esac", "to close case");

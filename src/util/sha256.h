@@ -1,0 +1,53 @@
+// SHA-256 (FIPS 180-4), self-contained — the content-addressing primitive of
+// the incremental analysis cache. Cache keys must be stable across processes
+// and machines, so a vendored std::hash or pointer-based scheme is not an
+// option; this is the reference algorithm, no dependencies.
+//
+//   sash::util::Sha256 h;
+//   h.Update(script_text);
+//   std::string key = h.HexDigest();          // 64 lowercase hex chars
+//   // or, one-shot:
+//   std::string key = sash::util::Sha256Hex(script_text);
+#ifndef SASH_UTIL_SHA256_H_
+#define SASH_UTIL_SHA256_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace sash::util {
+
+class Sha256 {
+ public:
+  Sha256() { Reset(); }
+
+  void Reset();
+  void Update(const void* data, size_t len);
+  void Update(std::string_view s) { Update(s.data(), s.size()); }
+
+  // Finalizes and returns the 32-byte digest. The object is left finalized;
+  // call Reset() to reuse it.
+  std::array<uint8_t, 32> Digest();
+
+  // Finalizes and returns the digest as 64 lowercase hex characters.
+  std::string HexDigest();
+
+ private:
+  void Compress(const uint8_t block[64]);
+
+  uint32_t state_[8];
+  uint64_t bit_count_ = 0;
+  uint8_t buffer_[64];
+  size_t buffer_len_ = 0;
+  bool finalized_ = false;
+  std::array<uint8_t, 32> digest_{};
+};
+
+// One-shot convenience: hex digest of `data`.
+std::string Sha256Hex(std::string_view data);
+
+}  // namespace sash::util
+
+#endif  // SASH_UTIL_SHA256_H_

@@ -1,0 +1,303 @@
+// Differential tests for the batch driver and the incremental cache: warm
+// results must be byte-identical to the cold run that produced them, fresh
+// runs must agree with cached runs on everything non-volatile, and the cache
+// key must be exactly as sensitive as the analysis itself — touching the
+// script, the options, the annotations, or the corpus flips it; touching
+// nothing reuses it.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "batch/batch.h"
+#include "batch/cache.h"
+#include "batch/mine_cache.h"
+#include "batch/spec_io.h"
+#include "json_normalize.h"
+#include "mining/man_corpus.h"
+#include "util/sha256.h"
+
+namespace sash::batch {
+namespace {
+
+namespace fs = std::filesystem;
+
+// A per-test temp directory, removed on teardown.
+class BatchCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("sash_batch_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path WriteScript(const std::string& name, const std::string& content) {
+    fs::path p = dir_ / name;
+    std::ofstream(p) << content;
+    return p;
+  }
+
+  fs::path CacheDir() const { return dir_ / "cache"; }
+
+  BatchOptions Options(int jobs = 1) {
+    BatchOptions o;
+    o.jobs = jobs;
+    o.cache_dir = CacheDir();
+    return o;
+  }
+
+  fs::path dir_;
+};
+
+// The example corpus shipped in the repo, plus generated variants: every
+// script analyzed warm must reproduce the cold bytes exactly.
+std::vector<std::pair<std::string, std::string>> ExampleCorpus() {
+  std::vector<std::pair<std::string, std::string>> corpus = {
+      {"steam", "STEAMROOT=\"$(cd \"${0%/*}\" && echo \"$PWD\")\"\nrm -rf \"$STEAMROOT/\"*\n"},
+      {"guarded", "if [ -n \"$ROOT\" ]; then\n  rm -r \"$ROOT/tmp\"\nfi\n"},
+      {"pipeline", "lsb_release -a | grep Release | cut -f2\n"},
+      {"install", "mkdir /opt/x\ntouch /opt/x/y\ncp /opt/x/y /opt/z\n"},
+      {"loop", "for f in a b c; do\n  cat \"/etc/$f.conf\"\ndone\n"},
+      {"empty", ""},
+      {"comment_only", "# nothing here\n"},
+      {"parse_error", "if true; then\n"},
+  };
+  // Generated variants: the same scripts with appended no-op lines, so near
+  // -identical content still gets distinct cache entries.
+  size_t base = corpus.size();
+  for (size_t i = 0; i < base; ++i) {
+    corpus.push_back({corpus[i].first + "_v2", corpus[i].second + "\necho variant\n"});
+  }
+  return corpus;
+}
+
+TEST_F(BatchCacheTest, WarmReportsAreByteIdenticalToColdAcrossCorpus) {
+  auto corpus = ExampleCorpus();
+  std::vector<std::string> files;
+  for (const auto& [name, content] : corpus) {
+    files.push_back(WriteScript(name + ".sh", content).string());
+  }
+
+  BatchDriver driver(Options(2));
+  BatchResult cold = driver.Run(files);
+  ASSERT_EQ(cold.files.size(), corpus.size());
+  EXPECT_EQ(cold.cache_hits, 0);
+  EXPECT_EQ(cold.cache_misses, static_cast<int64_t>(corpus.size()));
+
+  BatchResult warm = driver.Run(files);
+  EXPECT_EQ(warm.cache_hits, static_cast<int64_t>(corpus.size()));
+  EXPECT_EQ(warm.cache_misses, 0);
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    ASSERT_TRUE(cold.files[i].ok);
+    ASSERT_TRUE(warm.files[i].ok);
+    EXPECT_FALSE(cold.files[i].cached);
+    EXPECT_TRUE(warm.files[i].cached) << files[i];
+    // The headline property: the cached path reproduces the cold run's bytes.
+    EXPECT_EQ(cold.files[i].report_json, warm.files[i].report_json) << files[i];
+    EXPECT_EQ(cold.files[i].report_text, warm.files[i].report_text) << files[i];
+    EXPECT_EQ(cold.files[i].warnings_or_worse, warm.files[i].warnings_or_worse);
+  }
+
+  // And a cache-disabled re-analysis agrees on everything non-volatile.
+  BatchOptions no_cache = Options(1);
+  no_cache.use_cache = false;
+  BatchDriver fresh(no_cache);
+  BatchResult again = fresh.Run(files);
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    EXPECT_EQ(sash::testing::NormalizeJson(again.files[i].report_json),
+              sash::testing::NormalizeJson(warm.files[i].report_json))
+        << files[i];
+    EXPECT_EQ(again.files[i].report_text, warm.files[i].report_text);
+  }
+}
+
+TEST_F(BatchCacheTest, TouchingScriptInvalidatesExactlyThatEntry) {
+  std::vector<std::string> files = {WriteScript("a.sh", "echo one\n").string(),
+                                    WriteScript("b.sh", "echo two\n").string(),
+                                    WriteScript("c.sh", "echo three\n").string()};
+  BatchDriver driver(Options());
+  driver.Run(files);
+
+  std::ofstream(files[1]) << "echo two\necho touched\n";
+  BatchResult r = driver.Run(files);
+  EXPECT_EQ(r.cache_hits, 2);
+  EXPECT_EQ(r.cache_misses, 1);
+  EXPECT_TRUE(r.files[0].cached);
+  EXPECT_FALSE(r.files[1].cached);
+  EXPECT_TRUE(r.files[2].cached);
+}
+
+TEST_F(BatchCacheTest, ChangingAnalysisFlagsInvalidatesAllEntries) {
+  std::vector<std::string> files = {WriteScript("a.sh", "echo one\n").string(),
+                                    WriteScript("b.sh", "rm -r \"$X/y\"\n").string()};
+  BatchDriver driver(Options());
+  driver.Run(files);
+
+  BatchOptions with_lint = Options();
+  with_lint.analyzer.enable_lint = true;
+  BatchDriver lint_driver(with_lint);
+  BatchResult r = lint_driver.Run(files);
+  EXPECT_EQ(r.cache_hits, 0);
+  EXPECT_EQ(r.cache_misses, 2);
+
+  // The original option set still hits its own entries (distinct keyspace).
+  BatchResult back = driver.Run(files);
+  EXPECT_EQ(back.cache_hits, 2);
+}
+
+TEST_F(BatchCacheTest, ChangingAnnotationsInvalidatesEntries) {
+  std::vector<std::string> files = {WriteScript("a.sh", "tool | grep x\n").string()};
+  BatchDriver driver(Options());
+  driver.Run(files);
+  EXPECT_EQ(driver.Run(files).cache_hits, 1);
+
+  BatchOptions annotated = Options();
+  annotated.annotations_text = "command tool :: /x+/\n";
+  BatchDriver annotated_driver(annotated);
+  BatchResult r = annotated_driver.Run(files);
+  EXPECT_EQ(r.cache_hits, 0);
+  EXPECT_EQ(r.cache_misses, 1);
+}
+
+TEST_F(BatchCacheTest, KeyDependsOnCorpusOptionsVersionAndContent) {
+  core::AnalyzerOptions base;
+  std::string k1 = AnalysisKey("echo hi\n", base);
+  EXPECT_EQ(k1.size(), 64u);
+  EXPECT_EQ(k1, AnalysisKey("echo hi\n", base));  // Deterministic.
+  EXPECT_NE(k1, AnalysisKey("echo ho\n", base));  // Content-sensitive.
+  core::AnalyzerOptions no_symex = base;
+  no_symex.enable_symex = false;
+  EXPECT_NE(k1, AnalysisKey("echo hi\n", no_symex));  // Options-sensitive.
+  EXPECT_NE(k1, AnalysisKey("echo hi\n", base, "command tool :: /x/\n"));  // Annotations.
+}
+
+TEST_F(BatchCacheTest, OptionsFingerprintCoversEngineAndLintKnobs) {
+  core::AnalyzerOptions a;
+  core::AnalyzerOptions b;
+  b.engine.loop_unroll = 7;
+  EXPECT_NE(OptionsFingerprint(a), OptionsFingerprint(b));
+  core::AnalyzerOptions c;
+  c.lint.backtick = false;
+  EXPECT_NE(OptionsFingerprint(a), OptionsFingerprint(c));
+  core::AnalyzerOptions d;
+  d.engine.var_patterns.emplace_back("X", "a+");
+  EXPECT_NE(OptionsFingerprint(a), OptionsFingerprint(d));
+}
+
+TEST_F(BatchCacheTest, PartialBatchReportsErrorsAndKeepsAnalyzing) {
+  std::vector<std::string> files = {(dir_ / "missing.sh").string(),
+                                    WriteScript("ok.sh", "echo fine\n").string()};
+  BatchDriver driver(Options(2));
+  BatchResult r = driver.Run(files);
+  ASSERT_EQ(r.files.size(), 2u);
+  EXPECT_FALSE(r.files[0].ok);
+  EXPECT_FALSE(r.files[0].error.empty());
+  EXPECT_TRUE(r.files[1].ok);
+  EXPECT_EQ(r.ExitCode(), 2);
+
+  std::vector<std::string> clean = {files[1]};
+  EXPECT_EQ(driver.Run(clean).ExitCode(), 0);
+  std::vector<std::string> findings = {
+      WriteScript("bad.sh", "rm -r \"$UNSET_DIR/data\"\n").string()};
+  EXPECT_EQ(driver.Run(findings).ExitCode(), 1);
+}
+
+TEST_F(BatchCacheTest, CorruptCacheEntryIsIgnoredAndRepaired) {
+  std::vector<std::string> files = {WriteScript("a.sh", "echo hi\n").string()};
+  BatchDriver driver(Options());
+  BatchResult cold = driver.Run(files);
+
+  // Corrupt the single entry on disk.
+  fs::path entry;
+  for (const auto& e : fs::directory_iterator(CacheDir() / "analysis")) {
+    entry = e.path();
+  }
+  ASSERT_FALSE(entry.empty());
+  std::ofstream(entry) << "{not json";
+
+  BatchResult repaired = driver.Run(files);
+  ASSERT_TRUE(repaired.files[0].ok);
+  EXPECT_FALSE(repaired.files[0].cached);  // Fell back to a fresh analysis.
+  EXPECT_EQ(repaired.files[0].report_text, cold.files[0].report_text);
+
+  // And the repaired entry serves the next run.
+  EXPECT_TRUE(driver.Run(files).files[0].cached);
+}
+
+TEST_F(BatchCacheTest, AnalysisEntryRoundTripsVerbatim) {
+  AnalysisEntry entry;
+  entry.report_json = R"({"schema":"sash-analysis-v1","parse_ok":true,"n":3,"s":"a\"b\nc"})";
+  entry.report_text = "line one\nline \"two\"\n";
+  entry.warnings_or_worse = 4;
+  std::string payload = EncodeAnalysisEntry("k123", entry);
+  std::optional<AnalysisEntry> back = DecodeAnalysisEntry(payload);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->report_json, entry.report_json);
+  EXPECT_EQ(back->report_text, entry.report_text);
+  EXPECT_EQ(back->warnings_or_worse, 4);
+}
+
+TEST_F(BatchCacheTest, MiningOutcomeRoundTripsAndCaches) {
+  Cache cache(CacheDir());
+  mining::MiningOutcome first = CachedMineCommand(&cache, "rm");
+  ASSERT_TRUE(first.ok);
+  ASSERT_GT(first.probes, 0);
+
+  // Encode/decode round trip preserves the artifact.
+  std::string payload = EncodeMiningOutcome("k", first);
+  std::optional<mining::MiningOutcome> decoded = DecodeMiningOutcome(payload);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->command, first.command);
+  EXPECT_EQ(decoded->probes, first.probes);
+  EXPECT_EQ(decoded->cases, first.cases);
+  EXPECT_EQ(decoded->spec.cases, first.spec.cases);
+  EXPECT_EQ(decoded->spec.ToString(), first.spec.ToString());
+  EXPECT_EQ(decoded->syntax.UsageString(), first.syntax.UsageString());
+  EXPECT_EQ(decoded->validation.configurations, first.validation.configurations);
+  EXPECT_EQ(decoded->validation.agreements, first.validation.agreements);
+
+  // The second mine is served from disk and behaves identically.
+  mining::MiningOutcome second = CachedMineCommand(&cache, "rm");
+  ASSERT_TRUE(second.ok);
+  EXPECT_EQ(second.spec.ToString(), first.spec.ToString());
+  EXPECT_EQ(second.probes, first.probes);
+
+  // Unknown commands fail without touching the cache.
+  mining::MiningOutcome unknown = CachedMineCommand(&cache, "no_such_tool");
+  EXPECT_FALSE(unknown.ok);
+}
+
+TEST_F(BatchCacheTest, Sha256KnownAnswers) {
+  EXPECT_EQ(util::Sha256Hex(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(util::Sha256Hex("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  // Multi-block message (>64 bytes) exercises the streaming path.
+  EXPECT_EQ(util::Sha256Hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+  util::Sha256 h;
+  h.Update("ab");
+  h.Update("c");
+  EXPECT_EQ(h.HexDigest(), util::Sha256Hex("abc"));
+}
+
+TEST_F(BatchCacheTest, ExpandInputsWalksDirectoriesSorted) {
+  fs::create_directories(dir_ / "tree" / "sub");
+  WriteScript("tree/z.sh", "echo z\n");
+  WriteScript("tree/a.sh", "echo a\n");
+  WriteScript("tree/sub/m.sh", "echo m\n");
+  WriteScript("tree/not_a_script.txt", "ignored\n");
+  std::vector<std::string> out = ExpandInputs({(dir_ / "tree").string(), "-"});
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(fs::path(out[0]).filename(), "a.sh");
+  EXPECT_EQ(fs::path(out[1]).filename(), "m.sh");
+  EXPECT_EQ(fs::path(out[2]).filename(), "z.sh");
+  EXPECT_EQ(out[3], "-");
+}
+
+}  // namespace
+}  // namespace sash::batch

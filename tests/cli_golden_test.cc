@@ -1,0 +1,180 @@
+// Golden tests for the sash CLI: each case drives the installed binary the
+// way a user would (argv, stdin-free, exit codes) and diffs its output
+// against a committed golden file. Wall-clock fields are normalized to zero
+// before the diff; everything else — findings, order, cache hit/miss counts,
+// schema shape — must match byte-for-byte.
+//
+// Environment (set by ctest; see tests/CMakeLists.txt):
+//   SASH_BIN          path to the sash binary
+//   SASH_GOLDEN_DIR   source-tree tests/golden directory
+//   SASH_SCRIPTS_DIR  source-tree examples/scripts directory
+// Regenerate goldens with SASH_UPDATE_GOLDENS=1 ctest -R cli_golden.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "json_normalize.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string Env(const char* name) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? std::string() : std::string(v);
+}
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+// Runs `cmd` under /bin/sh with cwd = the example-scripts directory, so the
+// paths the CLI echoes back are short, relative, and machine-independent.
+RunResult RunCli(const std::string& cmd) {
+  std::string full = "cd '" + Env("SASH_SCRIPTS_DIR") + "' && " + cmd;
+  RunResult r;
+  FILE* p = ::popen(full.c_str(), "r");
+  if (p == nullptr) {
+    return r;
+  }
+  char buf[4096];
+  size_t n;
+  while ((n = ::fread(buf, 1, sizeof(buf), p)) > 0) {
+    r.output.append(buf, n);
+  }
+  int status = ::pclose(p);
+  r.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return r;
+}
+
+std::string ReadFile(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+}
+
+// Diffs `actual` against the named golden, or rewrites the golden when
+// SASH_UPDATE_GOLDENS is set.
+void ExpectGolden(const std::string& name, const std::string& actual) {
+  fs::path golden = fs::path(Env("SASH_GOLDEN_DIR")) / name;
+  if (!Env("SASH_UPDATE_GOLDENS").empty()) {
+    std::ofstream(golden, std::ios::binary) << actual;
+    SUCCEED() << "updated " << golden;
+    return;
+  }
+  ASSERT_TRUE(fs::exists(golden)) << golden << " missing; run with SASH_UPDATE_GOLDENS=1";
+  EXPECT_EQ(ReadFile(golden), actual) << "golden mismatch: " << name;
+}
+
+class CliGoldenTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    bin_ = Env("SASH_BIN");
+    if (bin_.empty() || !fs::exists(bin_)) {
+      GTEST_SKIP() << "SASH_BIN not set or missing (binary not built?)";
+    }
+    ASSERT_FALSE(Env("SASH_GOLDEN_DIR").empty());
+    ASSERT_FALSE(Env("SASH_SCRIPTS_DIR").empty());
+    cache_ = fs::temp_directory_path() / ("sash_cli_golden_" + std::to_string(::getpid()));
+    fs::remove_all(cache_);
+  }
+  void TearDown() override {
+    if (!cache_.empty()) {
+      fs::remove_all(cache_);
+    }
+  }
+
+  std::string Sash(const std::string& args) { return "'" + bin_ + "' " + args; }
+  std::string CacheFlag() { return "--cache-dir '" + cache_.string() + "'"; }
+
+  std::string bin_;
+  fs::path cache_;
+};
+
+TEST_F(CliGoldenTest, SingleFileJson) {
+  RunResult r = RunCli(Sash("analyze --format=json --no-cache steam_updater.sh"));
+  EXPECT_EQ(r.exit_code, 1);  // The Fig. 1 bug is a finding.
+  ExpectGolden("single_steam.json", sash::testing::NormalizeJson(r.output));
+}
+
+TEST_F(CliGoldenTest, SingleFileText) {
+  RunResult r = RunCli(Sash("analyze --no-cache steam_updater.sh"));
+  EXPECT_EQ(r.exit_code, 1);
+  ExpectGolden("single_steam.txt", r.output);  // Text output has no timings.
+}
+
+TEST_F(CliGoldenTest, MultiFileText) {
+  RunResult r = RunCli(Sash("analyze --no-cache pipeline.sh unset_var.sh"));
+  EXPECT_EQ(r.exit_code, 1);
+  ExpectGolden("multi_text.txt", r.output);
+}
+
+TEST_F(CliGoldenTest, BatchJsonColdThenWarm) {
+  std::string cmd =
+      Sash("analyze --format=json -j2 " + CacheFlag() +
+           " steam_updater.sh pipeline.sh unset_var.sh");
+  RunResult cold = RunCli(cmd);
+  EXPECT_EQ(cold.exit_code, 1);
+  ExpectGolden("batch_cold.json", sash::testing::NormalizeJson(cold.output));
+
+  // Same command again: identical reports, but served from the cache — the
+  // warm golden differs from the cold one only in cached flags and counters.
+  RunResult warm = RunCli(cmd);
+  EXPECT_EQ(warm.exit_code, 1);
+  ExpectGolden("batch_warm.json", sash::testing::NormalizeJson(warm.output));
+}
+
+TEST_F(CliGoldenTest, BatchJsonNoCache) {
+  RunResult r = RunCli(Sash("analyze --format=json -j2 --no-cache steam_updater.sh pipeline.sh"));
+  EXPECT_EQ(r.exit_code, 1);
+  ExpectGolden("batch_nocache.json", sash::testing::NormalizeJson(r.output));
+}
+
+TEST_F(CliGoldenTest, JobsFlagSpellings) {
+  // -j4, -j 4, --jobs 4, --jobs=4 are all accepted and equivalent mod timing.
+  std::string rest = " --format=json --no-cache pipeline.sh install.sh";
+  std::string a = sash::testing::NormalizeJson(RunCli(Sash("analyze -j4" + rest)).output);
+  std::string b = sash::testing::NormalizeJson(RunCli(Sash("analyze -j 4" + rest)).output);
+  std::string c = sash::testing::NormalizeJson(RunCli(Sash("analyze --jobs 4" + rest)).output);
+  std::string d = sash::testing::NormalizeJson(RunCli(Sash("analyze --jobs=4" + rest)).output);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, c);
+  EXPECT_EQ(a, d);
+}
+
+TEST_F(CliGoldenTest, ExitCodes) {
+  // Clean script → 0.
+  fs::path clean = fs::temp_directory_path() / "sash_cli_clean.sh";
+  std::ofstream(clean) << "echo hello\n";
+  EXPECT_EQ(RunCli(Sash("analyze --no-cache '" + clean.string() + "'")).exit_code, 0);
+  fs::remove(clean);
+
+  // Findings → 1 (covered above too); usage error → 2.
+  EXPECT_EQ(RunCli(Sash("analyze --format=json")).exit_code, 2);       // No inputs.
+  EXPECT_EQ(RunCli(Sash("analyze --bogus-flag x.sh")).exit_code, 2);   // Unknown flag.
+
+  // Partial batch: the unreadable file is reported, the readable one is
+  // still analyzed, and the exit code is 2 (I/O beats findings).
+  RunResult partial =
+      RunCli(Sash("analyze --no-cache /does/not/exist.sh unset_var.sh") + " 2>&1");
+  EXPECT_EQ(partial.exit_code, 2);
+  EXPECT_NE(partial.output.find("exist.sh"), std::string::npos);
+  EXPECT_NE(partial.output.find("unset_var.sh"), std::string::npos);
+}
+
+TEST_F(CliGoldenTest, WarmRunIsByteIdenticalIncludingTimingsStripped) {
+  // The end-to-end spelling of the differential guarantee: cold and warm
+  // single-file JSON runs print the same bytes even BEFORE normalization,
+  // because warm runs replay the cold run's stored report verbatim.
+  std::string cmd = Sash("analyze --format=json " + CacheFlag() + " loop.sh");
+  RunResult cold = RunCli(cmd);
+  RunResult warm = RunCli(cmd);
+  EXPECT_EQ(cold.exit_code, warm.exit_code);
+  EXPECT_EQ(cold.output, warm.output);
+}
+
+}  // namespace

@@ -1,0 +1,245 @@
+// Grammar-based fuzz smoke test: a seeded generator produces syntactically
+// rich (and occasionally mangled) POSIX sh programs, and every one of them is
+// pushed through the full parse → analyze pipeline. The properties under
+// test are the cheap, strong ones:
+//   1. No crash, hang, or sanitizer report on any generated input — this
+//      suite is part of the Sanitize preset run.
+//   2. Determinism: the same seed produces the same script, and analyzing
+//      the same script twice produces identical normalized report JSON.
+// The generator is deterministic by construction (std::mt19937 with a fixed
+// seed per case), so a failure reproduces from the printed seed alone.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "batch/batch.h"
+#include "core/analyzer.h"
+#include "json_normalize.h"
+#include "obs/json.h"
+
+namespace sash {
+namespace {
+
+// A small weighted grammar over the shell constructs sash understands:
+// simple commands, pipelines, and-or lists, compound commands, functions,
+// redirections, quoting, and expansions. Depth-bounded so programs stay
+// readable and generation always terminates.
+class ScriptGenerator {
+ public:
+  explicit ScriptGenerator(uint32_t seed) : rng_(seed) {}
+
+  std::string Program() {
+    std::string out;
+    int lines = Range(1, 8);
+    for (int i = 0; i < lines; ++i) {
+      out += Line(/*depth=*/0);
+      out += "\n";
+    }
+    return out;
+  }
+
+ private:
+  int Range(int lo, int hi) { return std::uniform_int_distribution<int>(lo, hi)(rng_); }
+  bool Chance(int percent) { return Range(1, 100) <= percent; }
+
+  std::string Word() {
+    static const char* kWords[] = {"foo",     "bar",  "baz.txt", "/tmp/x", "a b",
+                                   "$HOME/f", "-rf",  "--help",  "*.log",  "$1",
+                                   "${VAR}",  "file", "'lit'",   "x=y"};
+    std::string w = kWords[Range(0, 13)];
+    if (Chance(30)) {
+      return "\"" + w + "\"";
+    }
+    return w;
+  }
+
+  std::string SimpleCommand() {
+    static const char* kCmds[] = {"echo", "rm",   "grep", "cat",   "mkdir", "cp",
+                                  "mv",   "ls",   "cut",  "touch", "test",  "true",
+                                  "cd",   "read", "exit", ":"};
+    std::string cmd;
+    if (Chance(20)) {
+      cmd += "VAR" + std::to_string(Range(0, 3)) + "=" + Word() + " ";
+    }
+    cmd += kCmds[Range(0, 15)];
+    int args = Range(0, 3);
+    for (int i = 0; i < args; ++i) {
+      cmd += " " + Word();
+    }
+    if (Chance(15)) {
+      static const char* kRedir[] = {" > /tmp/out", " 2>/dev/null", " < /etc/passwd",
+                                     " >> log.txt"};
+      cmd += kRedir[Range(0, 3)];
+    }
+    return cmd;
+  }
+
+  std::string Pipeline(int depth) {
+    std::string p = Command(depth);
+    int stages = Range(0, 2);
+    for (int i = 0; i < stages; ++i) {
+      p += " | " + SimpleCommand();
+    }
+    return p;
+  }
+
+  std::string Command(int depth) {
+    if (depth >= 3) {
+      return SimpleCommand();
+    }
+    switch (Range(0, 9)) {
+      case 0:
+        return "if " + Pipeline(depth + 1) + "; then\n  " + Line(depth + 1) +
+               (Chance(50) ? "\nelse\n  " + Line(depth + 1) : "") + "\nfi";
+      case 1:
+        return "for v in " + Word() + " " + Word() + "; do\n  " + Line(depth + 1) + "\ndone";
+      case 2:
+        return "while " + SimpleCommand() + "; do\n  " + Line(depth + 1) + "\n  break\ndone";
+      case 3:
+        return "case " + Word() + " in\n  a) " + SimpleCommand() + " ;;\n  *) " +
+               SimpleCommand() + " ;;\nesac";
+      case 4:
+        return "( " + Line(depth + 1) + " )";
+      case 5:
+        return "{ " + Line(depth + 1) + "; }";
+      case 6:
+        return "fn" + std::to_string(Range(0, 2)) + "() {\n  " + Line(depth + 1) + "\n}";
+      case 7:
+        return "X=$( " + SimpleCommand() + " )";
+      default:
+        return SimpleCommand();
+    }
+  }
+
+  std::string Line(int depth) {
+    std::string line = Pipeline(depth);
+    if (Chance(25)) {
+      line += (Chance(50) ? " && " : " || ") + SimpleCommand();
+    }
+    if (Chance(10)) {
+      line += " &";
+    }
+    if (Chance(10)) {
+      line = "# comment " + std::to_string(Range(0, 99)) + "\n" + line;
+    }
+    return line;
+  }
+
+  std::mt19937 rng_;
+};
+
+// Deterministic byte-mangler for the garbage half of the corpus: flips,
+// truncates, and splices raw bytes into otherwise valid programs to probe the
+// parser's error paths.
+std::string Mangle(std::string script, std::mt19937* rng) {
+  auto range = [&](int lo, int hi) { return std::uniform_int_distribution<int>(lo, hi)(*rng); };
+  int edits = range(1, 4);
+  for (int i = 0; i < edits && !script.empty(); ++i) {
+    size_t pos = static_cast<size_t>(range(0, static_cast<int>(script.size()) - 1));
+    switch (range(0, 3)) {
+      case 0:
+        script[pos] = static_cast<char>(range(1, 255));
+        break;
+      case 1:
+        script.insert(pos, 1, "\"'`${}()|&;<>\\\n"[range(0, 14)]);
+        break;
+      case 2:
+        script.resize(pos);
+        break;
+      default:
+        script.insert(pos, script.substr(0, std::min<size_t>(16, script.size())));
+        break;
+    }
+  }
+  return script;
+}
+
+core::AnalyzerOptions FuzzOptions() {
+  core::AnalyzerOptions options;
+  options.enable_lint = true;
+  options.enable_idempotence_check = true;
+  options.enable_optimization_coach = true;
+  return options;
+}
+
+std::string AnalyzeNormalized(const std::string& script) {
+  core::Analyzer analyzer(FuzzOptions());
+  core::AnalysisReport report = analyzer.AnalyzeSource(script);
+  return sash::testing::NormalizeJson(report.ToJson(nullptr));
+}
+
+TEST(FuzzParserTest, GeneratedProgramsNeverCrashAnalysis) {
+  constexpr int kCases = 150;
+  for (uint32_t seed = 1; seed <= kCases; ++seed) {
+    ScriptGenerator gen(seed);
+    std::string script = gen.Program();
+    SCOPED_TRACE("seed=" + std::to_string(seed) + "\n" + script);
+    std::string json = AnalyzeNormalized(script);
+    // The report must at least be well-formed JSON with the schema tag.
+    std::optional<obs::JsonValue> doc = obs::JsonValue::Parse(json);
+    ASSERT_TRUE(doc.has_value());
+    ASSERT_TRUE(doc->is_object());
+  }
+}
+
+TEST(FuzzParserTest, MangledProgramsNeverCrashAnalysis) {
+  // SASH_FUZZ_SEED_MIN/MAX narrow the loop when reproducing a failure.
+  const char* min_env = std::getenv("SASH_FUZZ_SEED_MIN");
+  const char* max_env = std::getenv("SASH_FUZZ_SEED_MAX");
+  uint32_t seed_min = min_env != nullptr ? std::atoi(min_env) : 1;
+  uint32_t seed_max = max_env != nullptr ? std::atoi(max_env) : 150;
+  for (uint32_t seed = seed_min; seed <= seed_max; ++seed) {
+    ScriptGenerator gen(seed);
+    std::mt19937 mangler(seed * 2654435761u);
+    std::string script = Mangle(gen.Program(), &mangler);
+    if (std::getenv("SASH_FUZZ_VERBOSE") != nullptr) {
+      std::fprintf(stderr, "seed %u (%zu bytes)\n%s\n----\n", seed, script.size(),
+                   script.c_str());
+    }
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    std::string json = AnalyzeNormalized(script);
+    EXPECT_TRUE(obs::JsonValue::Parse(json).has_value());
+  }
+}
+
+TEST(FuzzParserTest, SameSeedSameScriptSameReport) {
+  for (uint32_t seed : {7u, 42u, 1234u, 99999u}) {
+    ScriptGenerator a(seed);
+    ScriptGenerator b(seed);
+    std::string script_a = a.Program();
+    std::string script_b = b.Program();
+    ASSERT_EQ(script_a, script_b) << "generator not deterministic at seed " << seed;
+    EXPECT_EQ(AnalyzeNormalized(script_a), AnalyzeNormalized(script_b))
+        << "analysis not deterministic at seed " << seed;
+  }
+}
+
+TEST(FuzzParserTest, BatchOverGeneratedCorpusMatchesDirectAnalysis) {
+  // The batch driver (uncached, in-memory) must agree with direct analysis
+  // on every generated program — same engine, same bytes modulo timings.
+  std::vector<std::pair<std::string, std::string>> sources;
+  for (uint32_t seed = 1; seed <= 20; ++seed) {
+    ScriptGenerator gen(seed);
+    sources.emplace_back("gen_" + std::to_string(seed) + ".sh", gen.Program());
+  }
+  batch::BatchOptions options;
+  options.jobs = 4;
+  options.use_cache = false;
+  options.analyzer = FuzzOptions();
+  batch::BatchDriver driver(options);
+  batch::BatchResult result = driver.RunSources(sources);
+  ASSERT_EQ(result.files.size(), sources.size());
+  for (size_t i = 0; i < sources.size(); ++i) {
+    ASSERT_TRUE(result.files[i].ok);
+    EXPECT_EQ(sash::testing::NormalizeJson(result.files[i].report_json),
+              AnalyzeNormalized(sources[i].second))
+        << sources[i].first;
+  }
+}
+
+}  // namespace
+}  // namespace sash

@@ -1,0 +1,56 @@
+// Test-only helper: canonicalizes the volatile fields of sash JSON documents
+// (wall-clock timings, metrics snapshots) so two runs of the same input can
+// be compared byte-for-byte. Everything semantic — findings, stats, cache
+// flags, structure — is preserved.
+#ifndef SASH_TESTS_JSON_NORMALIZE_H_
+#define SASH_TESTS_JSON_NORMALIZE_H_
+
+#include <string>
+#include <string_view>
+
+#include "obs/json.h"
+
+namespace sash::testing {
+
+inline void NormalizeValue(obs::JsonValue* v) {
+  if (v->is_array()) {
+    for (obs::JsonValue& e : v->array) {
+      NormalizeValue(&e);
+    }
+    return;
+  }
+  if (!v->is_object()) {
+    return;
+  }
+  for (auto it = v->object.begin(); it != v->object.end();) {
+    auto& [key, value] = *it;
+    if (key == "metrics") {
+      it = v->object.erase(it);
+      continue;
+    }
+    if (value.is_number() && (key == "micros" || key == "total_micros" ||
+                              key == "real_time_ns" || key == "cpu_time_ns")) {
+      value.number = 0;
+    } else {
+      NormalizeValue(&value);
+    }
+    ++it;
+  }
+}
+
+// Returns the normalized re-serialization, or the input unchanged when it is
+// not valid JSON (callers assert on parse separately where it matters).
+inline std::string NormalizeJson(std::string_view text) {
+  std::optional<obs::JsonValue> doc = obs::JsonValue::Parse(text);
+  if (!doc.has_value()) {
+    return std::string(text);
+  }
+  NormalizeValue(&*doc);
+  obs::JsonWriter w;
+  obs::WriteJsonValue(*doc, &w);
+  return w.Take();
+}
+
+}  // namespace sash::testing
+
+#endif  // SASH_TESTS_JSON_NORMALIZE_H_

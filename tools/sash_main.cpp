@@ -1,24 +1,33 @@
 // The sash command-line tool.
 //
-//   sash analyze [--lint] [--no-symex] [--no-stream] [--stats]
-//                [--format=json] [--trace-out FILE] <script.sh>
+//   sash analyze [-jN] [--cache-dir DIR] [--no-cache] [--lint] [--no-symex]
+//                [--no-stream] [--stats] [--format=json] [--trace-out FILE]
+//                <script.sh|dir>...
 //   sash lint <script.sh>
 //   sash run <script.sh> [args...]        (sandboxed; nothing touches disk)
 //   sash verify --no-rw <path> [--no-read <path>] <script.sh>
-//   sash mine [command]
+//   sash mine [--no-cache] [--cache-dir DIR] [command]
 //   sash typeof <pipeline string>
 //   sash version
 //
-// Reads from stdin when the script operand is "-".
+// Reads from stdin when the script operand is "-". Directory operands expand
+// to their *.sh files, recursively. Multiple operands (or -j > 1) run as a
+// batch over a work-stealing pool, each file consulting the incremental
+// result cache (default ~/.cache/sash; see README "Batch mode & caching").
 //
 // Exit codes: 0 = analysis clean (or command succeeded), 1 = findings at
 // warning severity or above (or a blocked run), 2 = usage or I/O error.
+// Partial-batch failure: every readable input is still analyzed and printed;
+// the batch exits 2 if any input could not be read, else 1 if any file had
+// findings, else 0.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
+#include "batch/batch.h"
+#include "batch/mine_cache.h"
 #include "core/analyzer.h"
 #include "core/version.h"
 #include "mining/pipeline.h"
@@ -32,28 +41,25 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: sash <command> [options]\n"
-               "  analyze [--lint] [--no-symex] [--no-stream] [--idempotence] [--coach]\n"
+               "  analyze [-jN|--jobs N] [--cache-dir DIR] [--no-cache]\n"
+               "          [--lint] [--no-symex] [--no-stream] [--idempotence] [--coach]\n"
                "          [--annotations file.sasht] [--stats] [--format=text|json]\n"
-               "          [--trace-out trace.json] <script.sh>\n"
+               "          [--trace-out trace.json] <script.sh|dir>...\n"
                "  lint <script.sh>\n"
                "  run <script.sh> [args...]\n"
                "  verify [--no-rw PATH]... [--no-read PATH]... <script.sh>\n"
-               "  mine [command]\n"
+               "  mine [--no-cache] [--cache-dir DIR] [command]\n"
                "  typeof '<pipeline>'\n"
                "  version\n"
-               "exit codes: 0 clean, 1 findings (warnings or worse), 2 usage/IO error\n");
+               "exit codes: 0 clean, 1 findings (warnings or worse), 2 usage/IO error\n"
+               "batch: all readable inputs are analyzed; exit 2 if any input was\n"
+               "unreadable, else 1 if any file had findings, else 0\n");
   return 2;
 }
 
 // Human-readable stats table, written to stderr so it never mixes with the
 // report on stdout.
-void PrintStats(const sash::core::AnalysisReport& report, const sash::obs::Registry& registry) {
-  std::fprintf(stderr, "\n--- phases ---\n");
-  for (const sash::core::PhaseTiming& p : report.phase_timings()) {
-    std::fprintf(stderr, "  %-14s %8lld us\n", p.name.c_str(), static_cast<long long>(p.micros));
-  }
-  std::fprintf(stderr, "  %-14s %8lld us\n", "total",
-               static_cast<long long>(report.total_micros()));
+void PrintStats(const sash::obs::Registry& registry) {
   sash::obs::MetricsSnapshot snap = registry.Snapshot();
   if (!snap.counters.empty() || !snap.gauges.empty()) {
     std::fprintf(stderr, "--- metrics ---\n");
@@ -90,11 +96,55 @@ bool ReadSource(const std::string& path, std::string* out) {
   return true;
 }
 
+// Renders the batch result as one machine-readable document (schema
+// "sash-batch-v1"). Per-file reports are spliced in verbatim — the bytes are
+// identical whether the report came from a fresh analysis or the cache.
+std::string BatchJson(const sash::batch::BatchResult& result, int jobs, bool cache_enabled) {
+  sash::obs::JsonWriter w;
+  w.BeginObject();
+  w.KV("schema", sash::batch::kBatchSchema);
+  w.KV("sash", sash::core::kVersion);
+  w.KV("jobs", jobs);
+  w.Key("cache").BeginObject();
+  w.KV("enabled", cache_enabled);
+  w.KV("hits", result.cache_hits);
+  w.KV("misses", result.cache_misses);
+  w.EndObject();
+  w.Key("results").BeginArray();
+  int errors = 0;
+  int with_findings = 0;
+  for (const sash::batch::FileResult& f : result.files) {
+    w.BeginObject();
+    w.KV("file", f.path);
+    w.KV("ok", f.ok);
+    if (f.ok) {
+      w.KV("cached", f.cached);
+      w.KV("warnings_or_worse", f.warnings_or_worse);
+      w.Key("report").Raw(f.report_json);
+      if (f.warnings_or_worse > 0) {
+        ++with_findings;
+      }
+    } else {
+      w.KV("error", f.error);
+      ++errors;
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("summary").BeginObject();
+  w.KV("files", static_cast<int64_t>(result.files.size()));
+  w.KV("errors", errors);
+  w.KV("files_with_findings", with_findings);
+  w.EndObject();
+  w.EndObject();
+  return w.Take();
+}
+
 int CmdAnalyze(const std::vector<std::string>& args) {
-  sash::core::AnalyzerOptions options;
-  std::string file;
+  sash::batch::BatchOptions batch;
   std::string annotations_file;
   std::string trace_out;
+  std::vector<std::string> inputs;
   bool stats = false;
   bool json = false;
   for (size_t i = 0; i < args.size(); ++i) {
@@ -121,28 +171,59 @@ int CmdAnalyze(const std::vector<std::string>& args) {
         std::fprintf(stderr, "sash analyze: unknown format %s\n", fmt.c_str());
         return 2;
       }
+    } else if (a == "-j" || a == "--jobs") {
+      if (i + 1 >= args.size()) {
+        std::fprintf(stderr, "sash analyze: %s requires a count\n", a.c_str());
+        return 2;
+      }
+      batch.jobs = std::atoi(args[++i].c_str());
+    } else if (a.rfind("-j", 0) == 0 && a.size() > 2 &&
+               a.find_first_not_of("0123456789", 2) == std::string::npos) {
+      batch.jobs = std::atoi(a.c_str() + 2);
+    } else if (a.rfind("--jobs=", 0) == 0) {
+      batch.jobs = std::atoi(a.c_str() + std::strlen("--jobs="));
+    } else if (a == "--cache-dir" && i + 1 < args.size()) {
+      batch.cache_dir = args[++i];
+    } else if (a.rfind("--cache-dir=", 0) == 0) {
+      batch.cache_dir = a.substr(std::strlen("--cache-dir="));
+    } else if (a == "--no-cache") {
+      batch.use_cache = false;
     } else if (a == "--idempotence") {
-      options.enable_idempotence_check = true;
+      batch.analyzer.enable_idempotence_check = true;
     } else if (a == "--coach") {
-      options.enable_optimization_coach = true;
+      batch.analyzer.enable_optimization_coach = true;
     } else if (a == "--lint") {
-      options.enable_lint = true;
+      batch.analyzer.enable_lint = true;
     } else if (a == "--no-symex") {
-      options.enable_symex = false;
+      batch.analyzer.enable_symex = false;
     } else if (a == "--no-stream") {
-      options.enable_stream_types = false;
+      batch.analyzer.enable_stream_types = false;
     } else if (!a.empty() && a[0] == '-' && a != "-") {
       std::fprintf(stderr, "sash analyze: unknown option %s\n", a.c_str());
       return 2;
     } else {
-      file = a;
+      inputs.push_back(a);
     }
   }
-  if (file.empty()) {
+  if (inputs.empty()) {
     return Usage();
   }
-  std::string source;
-  if (!ReadSource(file, &source)) {
+
+  if (!annotations_file.empty() && !ReadSource(annotations_file, &batch.annotations_text)) {
+    return 2;
+  }
+
+  std::vector<std::string> files = sash::batch::ExpandInputs(inputs);
+  if (files.empty()) {
+    std::fprintf(stderr, "sash analyze: no .sh files found under the given inputs\n");
+    return 2;
+  }
+  bool has_stdin = false;
+  for (const std::string& f : files) {
+    has_stdin = has_stdin || f == "-";
+  }
+  if (has_stdin && files.size() > 1) {
+    std::fprintf(stderr, "sash analyze: '-' cannot be combined with other inputs\n");
     return 2;
   }
 
@@ -151,35 +232,58 @@ int CmdAnalyze(const std::vector<std::string>& args) {
   sash::obs::Tracer tracer;
   sash::obs::Registry registry;
   if (!trace_out.empty()) {
-    options.obs.tracer = &tracer;
+    batch.obs.tracer = &tracer;
   }
   if (stats || json || !trace_out.empty()) {
-    options.obs.metrics = &registry;
+    batch.obs.metrics = &registry;
   }
 
-  sash::core::Analyzer analyzer(std::move(options));
-  if (!annotations_file.empty()) {
-    std::string annotations_text;
-    if (!ReadSource(annotations_file, &annotations_text)) {
+  sash::batch::BatchDriver driver(batch);
+  sash::batch::BatchResult result;
+  if (has_stdin) {
+    std::string source;
+    if (!ReadSource("-", &source)) {
       return 2;
     }
-    analyzer.AddAnnotations(sash::annot::ParseAnnotationFile(annotations_text));
-  }
-  sash::core::AnalysisReport report = analyzer.AnalyzeSource(source);
-
-  if (json) {
-    std::printf("%s\n", report.ToJson(&registry).c_str());
+    result = driver.RunSources({{"-", std::move(source)}});
   } else {
-    std::printf("%s", report.ToString().c_str());
+    result = driver.Run(files);
+  }
+
+  const bool single = result.files.size() == 1;
+  if (json) {
+    if (single && result.files[0].ok) {
+      // Single-file JSON stays a plain sash-analysis-v1 document; the bytes
+      // are the cold run's whether this run was cold or warm.
+      std::printf("%s\n", result.files[0].report_json.c_str());
+    } else {
+      std::printf("%s\n", BatchJson(result, batch.jobs, batch.use_cache).c_str());
+    }
+  } else {
+    for (const sash::batch::FileResult& f : result.files) {
+      if (!single) {
+        std::printf("== %s ==\n", f.path.c_str());
+      }
+      if (f.ok) {
+        std::printf("%s", f.report_text.c_str());
+      } else {
+        std::printf("error: %s\n", f.error.c_str());
+      }
+    }
+  }
+  for (const sash::batch::FileResult& f : result.files) {
+    if (!f.ok) {
+      std::fprintf(stderr, "sash: %s\n", f.error.c_str());
+    }
   }
   if (stats) {
-    PrintStats(report, registry);
+    PrintStats(registry);
   }
   if (!trace_out.empty() && !tracer.WriteChromeJson(trace_out)) {
     std::fprintf(stderr, "sash: cannot write %s\n", trace_out.c_str());
     return 2;
   }
-  return report.CountSeverity(sash::Severity::kWarning) > 0 ? 1 : 0;
+  return result.ExitCode();
 }
 
 int CmdLint(const std::vector<std::string>& args) {
@@ -268,8 +372,31 @@ int CmdVerify(const std::vector<std::string>& args) {
 }
 
 int CmdMine(const std::vector<std::string>& args) {
-  if (!args.empty()) {
-    sash::mining::MiningOutcome o = sash::mining::MineCommand(args[0]);
+  bool use_cache = true;
+  std::filesystem::path cache_dir;
+  std::string command;
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "--no-cache") {
+      use_cache = false;
+    } else if (a == "--cache-dir" && i + 1 < args.size()) {
+      cache_dir = args[++i];
+    } else if (a.rfind("--cache-dir=", 0) == 0) {
+      cache_dir = a.substr(std::strlen("--cache-dir="));
+    } else if (!a.empty() && a[0] == '-') {
+      std::fprintf(stderr, "sash mine: unknown option %s\n", a.c_str());
+      return 2;
+    } else {
+      command = a;
+    }
+  }
+  std::optional<sash::batch::Cache> cache;
+  if (use_cache) {
+    cache.emplace(cache_dir);
+  }
+  sash::batch::Cache* cache_ptr = cache.has_value() ? &*cache : nullptr;
+  if (!command.empty()) {
+    sash::mining::MiningOutcome o = sash::batch::CachedMineCommand(cache_ptr, command);
     if (!o.ok) {
       std::fprintf(stderr, "sash mine: %s\n", o.error.c_str());
       return 1;
@@ -278,7 +405,7 @@ int CmdMine(const std::vector<std::string>& args) {
                 o.cases, 100.0 * o.validation.Agreement(), o.spec.ToString().c_str());
     return 0;
   }
-  for (const sash::mining::MiningOutcome& o : sash::mining::MineAll()) {
+  for (const sash::mining::MiningOutcome& o : sash::batch::CachedMineAll(cache_ptr)) {
     std::printf("%-10s %s (%d probes, %d cases, %.1f%% agreement)\n", o.command.c_str(),
                 o.ok ? "ok" : o.error.c_str(), o.probes, o.cases,
                 100.0 * o.validation.Agreement());
