@@ -16,6 +16,10 @@
 #include <string>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "obs/metrics.h"
 #include "obs/report.h"
 
@@ -98,6 +102,32 @@ class RecordingReporter : public benchmark::ConsoleReporter {
   std::vector<obs::BenchRun> collected_;
 };
 
+// Peak resident set of this process in KiB, from VmHWM in /proc/self/status
+// (Linux), falling back to getrusage (ru_maxrss is KiB on Linux, bytes on
+// macOS). Returns 0 when neither source is available.
+inline int64_t PeakRssKb() {
+#if defined(__linux__)
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      return std::strtoll(line.c_str() + 6, nullptr, 10);
+    }
+  }
+#endif
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+#if defined(__APPLE__)
+    return static_cast<int64_t>(usage.ru_maxrss) / 1024;
+#else
+    return static_cast<int64_t>(usage.ru_maxrss);
+#endif
+  }
+#endif
+  return 0;
+}
+
 // Bench name from argv[0]: basename, "bench_" prefix stripped.
 inline std::string BenchNameFromArgv0(const char* argv0) {
   std::string name = std::filesystem::path(argv0).filename().string();
@@ -122,7 +152,7 @@ inline void WriteBenchReport(const std::string& bench_name,
     std::fprintf(stderr, "bench: cannot write %s\n", path.string().c_str());
     return;
   }
-  out << obs::BenchReportJson(bench_name, runs, &Metrics()) << '\n';
+  out << obs::BenchReportJson(bench_name, runs, &Metrics(), PeakRssKb()) << '\n';
   std::printf("wrote %s\n", path.string().c_str());
 }
 

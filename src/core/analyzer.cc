@@ -5,6 +5,9 @@
 #include <algorithm>
 #include <set>
 
+#include "regex/regex.h"
+#include "util/intern.h"
+
 namespace sash::core {
 
 bool AnalysisReport::HasCode(std::string_view code) const {
@@ -283,6 +286,14 @@ AnalysisReport Analyzer::Analyze(const syntax::Program& program,
     report.engine_stats_.PublishTo(metrics);
     metrics->counter("analyzer.runs")->Add(1);
     metrics->counter("analyzer.findings")->Add(static_cast<int64_t>(report.findings_.size()));
+    // Hot-path gauges are process-wide (interner and pattern cache are
+    // shared across analyses), so publish current totals rather than deltas.
+    metrics->gauge("hotpath.intern.size")
+        ->Max(static_cast<int64_t>(util::Interner::size()));
+    metrics->gauge("hotpath.dfa_cache.hits")
+        ->Max(static_cast<int64_t>(regex::PatternCache::Hits()));
+    metrics->gauge("hotpath.dfa_cache.misses")
+        ->Max(static_cast<int64_t>(regex::PatternCache::Misses()));
   }
 
   // Sort by position, then severity (most severe first), then code; drop

@@ -258,13 +258,13 @@ DependencyReport AnalyzeDependencies(const syntax::Program& program) {
     }
     if (plain_sequence) {
       for (const syntax::CommandPtr& c : program.body->list.commands) {
-        sequence.push_back(c.get());
+        sequence.push_back(c);
       }
     } else {
-      sequence.push_back(program.body.get());
+      sequence.push_back(program.body);
     }
   } else {
-    sequence.push_back(program.body.get());
+    sequence.push_back(program.body);
   }
 
   for (size_t i = 0; i < sequence.size(); ++i) {

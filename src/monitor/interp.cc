@@ -226,7 +226,7 @@ int Interpreter::ExecCommand(const Command& cmd, ExecContext ctx) {
       return 0;
     }
     case CommandKind::kFunctionDef:
-      functions_[cmd.function.name] = cmd.function.body.get();
+      functions_[cmd.function.name] = cmd.function.body;
       last_exit_ = 0;
       return 0;
   }

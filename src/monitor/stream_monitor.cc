@@ -7,7 +7,7 @@ MonitoredRun StreamMonitor::Run(const syntax::Program& program, fs::FileSystem* 
   MonitoredRun run;
 
   // Identify the pipeline and compute boundary expectations.
-  const syntax::Command* pipe = program.body.get();
+  const syntax::Command* pipe = program.body;
   std::vector<std::optional<regex::Regex>> boundary_expect;
   std::vector<std::string> stage_names;
   if (pipe != nullptr && pipe->kind == syntax::CommandKind::kPipeline) {

@@ -3,7 +3,7 @@
 namespace sash::obs {
 
 std::string BenchReportJson(std::string_view bench_name, const std::vector<BenchRun>& runs,
-                            const Registry* metrics) {
+                            const Registry* metrics, int64_t peak_rss_kb) {
   JsonWriter w;
   w.BeginObject();
   w.KV("schema", kBenchSchema);
@@ -29,6 +29,7 @@ std::string BenchReportJson(std::string_view bench_name, const std::vector<Bench
   w.KV("hits", counter_or_zero("cache.hits"));
   w.KV("misses", counter_or_zero("cache.misses"));
   w.EndObject();
+  w.KV("peak_rss_kb", peak_rss_kb);
   w.Key("metrics");
   WriteSnapshotJson(snapshot, &w);
   w.EndObject();
@@ -86,6 +87,10 @@ std::vector<std::string> ValidateBenchReport(const JsonValue& doc) {
     problems.push_back("cache must be an object");
   } else {
     RequireNumberMembers(*cache, "cache", {"hits", "misses"}, &problems);
+  }
+  const JsonValue* rss = doc.Find("peak_rss_kb");
+  if (rss == nullptr || !rss->is_number()) {
+    problems.push_back("peak_rss_kb must be a number");
   }
   const JsonValue* metrics = doc.Find("metrics");
   if (metrics == nullptr || !metrics->is_object()) {

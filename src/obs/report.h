@@ -26,11 +26,12 @@ struct BenchRun {
 };
 
 // Serializes {"schema","bench","runs":[...],"cache":{"hits","misses"},
-// "metrics":{...}}. The cache object mirrors the registry's "cache.hits" /
-// "cache.misses" counters (zero when absent). `metrics` may be null (emitted
-// as an empty snapshot with a zero cache object).
+// "peak_rss_kb":N,"metrics":{...}}. The cache object mirrors the registry's
+// "cache.hits" / "cache.misses" counters (zero when absent). `metrics` may be
+// null (emitted as an empty snapshot with a zero cache object). `peak_rss_kb`
+// is the process peak resident set in KiB (0 when unknown).
 std::string BenchReportJson(std::string_view bench_name, const std::vector<BenchRun>& runs,
-                            const Registry* metrics);
+                            const Registry* metrics, int64_t peak_rss_kb = 0);
 
 // Validates a parsed bench report against the schema; returns human-readable
 // problems, empty when the document conforms.

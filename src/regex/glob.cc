@@ -4,7 +4,14 @@
 
 namespace sash::regex {
 
+// Memoization hooks implemented by the pattern cache in regex.cc.
+std::optional<Regex> PatternCacheLookupGlob(std::string_view pattern);
+void PatternCacheStoreGlob(std::string_view pattern, const Regex& regex);
+
 Regex GlobLanguage(std::string_view pattern) {
+  if (std::optional<Regex> cached = PatternCacheLookupGlob(pattern)) {
+    return *std::move(cached);
+  }
   std::vector<NodePtr> parts;
   size_t i = 0;
   while (i < pattern.size()) {
@@ -61,7 +68,9 @@ Regex GlobLanguage(std::string_view pattern) {
       ++i;
     }
   }
-  return Regex::FromAst(MakeConcat(std::move(parts)));
+  Regex regex = Regex::FromAst(MakeConcat(std::move(parts)));
+  PatternCacheStoreGlob(pattern, regex);
+  return regex;
 }
 
 }  // namespace sash::regex

@@ -1,10 +1,101 @@
 #include "regex/regex.h"
 
+#include <atomic>
 #include <mutex>
+#include <unordered_map>
 
 #include "regex/parser.h"
 
 namespace sash::regex {
+
+namespace {
+
+// See PatternCache in regex.h. Keys are domain-prefixed ("p:", "s:", "g:")
+// because the three constructors give the same pattern text different
+// languages. Values are Regex copies; copying shares the LazyDfa.
+struct PatternCacheImpl {
+  std::mutex mu;
+  std::unordered_map<std::string, Regex> entries;
+  std::atomic<bool> enabled{true};
+  std::atomic<uint64_t> hits{0};
+  std::atomic<uint64_t> misses{0};
+  static constexpr size_t kMaxEntries = 8192;
+};
+
+PatternCacheImpl& pattern_cache() {
+  static PatternCacheImpl* c = new PatternCacheImpl();
+  return *c;
+}
+
+std::optional<Regex> PatternCacheLookup(char domain, std::string_view pattern) {
+  PatternCacheImpl& c = pattern_cache();
+  if (!c.enabled.load(std::memory_order_relaxed)) {
+    return std::nullopt;
+  }
+  std::string key;
+  key.reserve(pattern.size() + 2);
+  key += domain;
+  key += ':';
+  key += pattern;
+  std::lock_guard<std::mutex> lock(c.mu);
+  auto it = c.entries.find(key);
+  if (it == c.entries.end()) {
+    c.misses.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  c.hits.fetch_add(1, std::memory_order_relaxed);
+  return it->second;
+}
+
+void PatternCacheStore(char domain, std::string_view pattern, const Regex& regex) {
+  PatternCacheImpl& c = pattern_cache();
+  if (!c.enabled.load(std::memory_order_relaxed)) {
+    return;
+  }
+  std::string key;
+  key.reserve(pattern.size() + 2);
+  key += domain;
+  key += ':';
+  key += pattern;
+  std::lock_guard<std::mutex> lock(c.mu);
+  if (c.entries.size() >= PatternCacheImpl::kMaxEntries) {
+    return;  // Full: later patterns compile uncached rather than evicting.
+  }
+  c.entries.emplace(std::move(key), regex);
+}
+
+}  // namespace
+
+void PatternCache::SetEnabled(bool enabled) {
+  pattern_cache().enabled.store(enabled, std::memory_order_relaxed);
+}
+bool PatternCache::Enabled() {
+  return pattern_cache().enabled.load(std::memory_order_relaxed);
+}
+uint64_t PatternCache::Hits() {
+  return pattern_cache().hits.load(std::memory_order_relaxed);
+}
+uint64_t PatternCache::Misses() {
+  return pattern_cache().misses.load(std::memory_order_relaxed);
+}
+size_t PatternCache::Size() {
+  PatternCacheImpl& c = pattern_cache();
+  std::lock_guard<std::mutex> lock(c.mu);
+  return c.entries.size();
+}
+void PatternCache::Clear() {
+  PatternCacheImpl& c = pattern_cache();
+  std::lock_guard<std::mutex> lock(c.mu);
+  c.entries.clear();
+}
+
+// Cache hook for glob.cc (not part of the public header).
+std::optional<Regex> PatternCacheLookupGlob(std::string_view pattern) {
+  return PatternCacheLookup('g', pattern);
+}
+void PatternCacheStoreGlob(std::string_view pattern, const Regex& regex) {
+  PatternCacheStore('g', pattern, regex);
+}
 
 struct Regex::LazyDfa {
   std::once_flag once;
@@ -21,18 +112,26 @@ Regex::Regex(std::string pattern, Dfa dfa)
 }
 
 std::optional<Regex> Regex::FromPattern(std::string_view pattern, std::string* error_out) {
+  if (std::optional<Regex> cached = PatternCacheLookup('p', pattern)) {
+    return cached;
+  }
   ParseResult result = ParsePattern(pattern);
   if (!result.ok()) {
     if (error_out != nullptr) {
       *error_out = "at offset " + std::to_string(result.error->offset) + ": " +
                    result.error->message;
     }
-    return std::nullopt;
+    return std::nullopt;  // Errors are not cached (rare, and carry messages).
   }
-  return Regex(std::string(pattern), std::move(result.node));
+  Regex regex(std::string(pattern), std::move(result.node));
+  PatternCacheStore('p', pattern, regex);
+  return regex;
 }
 
 std::optional<Regex> Regex::FromSearchPattern(std::string_view pattern, std::string* error_out) {
+  if (std::optional<Regex> cached = PatternCacheLookup('s', pattern)) {
+    return cached;
+  }
   bool anchor_start = false;
   bool anchor_end = false;
   std::string_view body = pattern;
@@ -61,7 +160,9 @@ std::optional<Regex> Regex::FromSearchPattern(std::string_view pattern, std::str
     node = MakeConcat2(std::move(node), any);
   }
   std::string display = ToPattern(node);
-  return Regex(std::move(display), std::move(node));
+  Regex regex(std::move(display), std::move(node));
+  PatternCacheStore('s', pattern, regex);
+  return regex;
 }
 
 Regex Regex::Literal(std::string_view text) {

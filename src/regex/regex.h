@@ -20,6 +20,24 @@
 
 namespace sash::regex {
 
+// Process-wide memoization of compiled patterns (FromPattern,
+// FromSearchPattern, and glob.h's GlobLanguage). A cache hit returns a copy
+// of the cached Regex, which shares its lazily-built minimal DFA — so each
+// distinct pattern is parsed once and determinized at most once per process.
+// Entries are immutable (a pattern IS its language), so there is no
+// invalidation: the cache only grows, capped at a fixed entry count after
+// which new patterns compile uncached. Disable (benchmarks A/B the cold
+// path) with SetEnabled(false).
+class PatternCache {
+ public:
+  static void SetEnabled(bool enabled);
+  static bool Enabled();
+  static uint64_t Hits();
+  static uint64_t Misses();
+  static size_t Size();
+  static void Clear();
+};
+
 class Regex {
  public:
   // Parses an anchored (whole-string) pattern. Returns nullopt on error;

@@ -1,22 +1,29 @@
 #include "specs/library.h"
 
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
 namespace sash::specs {
 
 void SpecLibrary::Register(CommandSpec spec) {
-  specs_[spec.command()] = std::move(spec);
-}
-
-const CommandSpec* SpecLibrary::Find(const std::string& command) const {
-  auto it = specs_.find(command);
-  return it == specs_.end() ? nullptr : &it->second;
+  util::Symbol sym = util::Symbol::Intern(spec.command());
+  if (index_.count(sym) > 0) {
+    std::fprintf(stderr, "specs: duplicate registration of command '%s'\n",
+                 spec.command().c_str());
+    std::abort();
+  }
+  specs_.push_back(std::move(spec));
+  index_.emplace(sym, &specs_.back());
 }
 
 std::vector<std::string> SpecLibrary::CommandNames() const {
   std::vector<std::string> out;
   out.reserve(specs_.size());
-  for (const auto& [name, spec] : specs_) {
-    out.push_back(name);
+  for (const CommandSpec& spec : specs_) {
+    out.push_back(spec.command());
   }
+  std::sort(out.begin(), out.end());
   return out;
 }
 

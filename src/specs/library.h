@@ -6,20 +6,37 @@
 #ifndef SASH_SPECS_LIBRARY_H_
 #define SASH_SPECS_LIBRARY_H_
 
-#include <map>
+#include <deque>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "specs/hoare.h"
+#include "util/intern.h"
 
 namespace sash::specs {
 
 class SpecLibrary {
  public:
+  // Registering the same command twice aborts (always, not just in debug
+  // builds): a duplicate used to silently shadow the earlier spec, which is
+  // a corpus bug that must not pass unnoticed.
   void Register(CommandSpec spec);
-  const CommandSpec* Find(const std::string& command) const;
+
+  // Dispatch is one hash probe on the interned command name, with the index
+  // built at registration time. The string overload uses a non-inserting
+  // symbol lookup, so probing arbitrary runtime command names never grows
+  // the interner.
+  const CommandSpec* Find(util::Symbol command) const {
+    auto it = index_.find(command);
+    return it == index_.end() ? nullptr : it->second;
+  }
+  const CommandSpec* Find(const std::string& command) const {
+    auto sym = util::Symbol::Find(command);
+    return sym.has_value() ? Find(*sym) : nullptr;
+  }
   bool Has(const std::string& command) const { return Find(command) != nullptr; }
-  std::vector<std::string> CommandNames() const;
+  std::vector<std::string> CommandNames() const;  // Sorted.
   size_t size() const { return specs_.size(); }
 
   // The hand-written ground truth for the built-in command set: rm, rmdir,
@@ -29,7 +46,8 @@ class SpecLibrary {
   static const SpecLibrary& BuiltinGroundTruth();
 
  private:
-  std::map<std::string, CommandSpec> specs_;
+  std::deque<CommandSpec> specs_;  // Deque: Find() pointers stay stable.
+  std::unordered_map<util::Symbol, const CommandSpec*> index_;
 };
 
 }  // namespace sash::specs

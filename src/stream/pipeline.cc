@@ -24,7 +24,7 @@ PipelineReport PipelineChecker::Check(const syntax::Command& cmd, regex::Regex i
   std::vector<const syntax::Command*> stages;
   if (cmd.kind == syntax::CommandKind::kPipeline) {
     for (const syntax::CommandPtr& c : cmd.pipeline.commands) {
-      stages.push_back(c.get());
+      stages.push_back(c);
     }
   } else {
     stages.push_back(&cmd);

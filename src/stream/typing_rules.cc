@@ -2,7 +2,9 @@
 
 #include <map>
 #include <set>
+#include <unordered_map>
 
+#include "util/intern.h"
 #include "util/strings.h"
 
 namespace sash::stream {
@@ -145,21 +147,144 @@ std::optional<CommandType> TypeOfSedScript(const std::string& script) {
   return std::nullopt;
 }
 
+namespace {
+
+// One entry per built-in typing rule; dispatch is a single hash probe on the
+// interned command name instead of a chain of string compares.
+enum class Rule {
+  kIdentity,  // cat, tee, head, tail: sub-multiset of input lines.
+  kUniq,
+  kSort,
+  kGrep,
+  kEgrep,
+  kFgrep,
+  kSed,
+  kCut,
+  kWc,
+  kTr,
+  kLsbRelease,
+  kLs,
+  kEcho,
+  kNoOutput,  // true, ':'.
+};
+
+const std::unordered_map<util::Symbol, Rule>& RuleIndex() {
+  static const auto* index = new std::unordered_map<util::Symbol, Rule>{
+      {util::Symbol::Intern("cat"), Rule::kIdentity},
+      {util::Symbol::Intern("tee"), Rule::kIdentity},
+      {util::Symbol::Intern("head"), Rule::kIdentity},
+      {util::Symbol::Intern("tail"), Rule::kIdentity},
+      {util::Symbol::Intern("uniq"), Rule::kUniq},
+      {util::Symbol::Intern("sort"), Rule::kSort},
+      {util::Symbol::Intern("grep"), Rule::kGrep},
+      {util::Symbol::Intern("egrep"), Rule::kEgrep},
+      {util::Symbol::Intern("fgrep"), Rule::kFgrep},
+      {util::Symbol::Intern("sed"), Rule::kSed},
+      {util::Symbol::Intern("cut"), Rule::kCut},
+      {util::Symbol::Intern("wc"), Rule::kWc},
+      {util::Symbol::Intern("tr"), Rule::kTr},
+      {util::Symbol::Intern("lsb_release"), Rule::kLsbRelease},
+      {util::Symbol::Intern("ls"), Rule::kLs},
+      {util::Symbol::Intern("echo"), Rule::kEcho},
+      {util::Symbol::Intern("true"), Rule::kNoOutput},
+      {util::Symbol::Intern(":"), Rule::kNoOutput},
+  };
+  return *index;
+}
+
+}  // namespace
+
 std::optional<CommandType> TypeOfCommand(const std::vector<std::string>& argv,
                                          const rtypes::TypeLibrary& lib) {
   if (argv.empty()) {
     return std::nullopt;
   }
   const std::string& name = argv[0];
+  // Build the index before the non-inserting lookup: RuleIndex() interns the
+  // rule names, after which a Find() miss proves the command is untyped —
+  // and probing arbitrary command names never grows the interner.
+  const auto& index = RuleIndex();
+  auto name_sym = util::Symbol::Find(name);
+  if (!name_sym.has_value()) {
+    return std::nullopt;
+  }
+  auto rule = index.find(*name_sym);
+  if (rule == index.end()) {
+    return std::nullopt;  // Untyped: gradual boundary.
+  }
   ScannedArgs args = ScanArgs(argv);
 
-  if (name == "cat" || name == "tee") {
-    return Identity();
+  switch (rule->second) {
+    case Rule::kIdentity:
+      return Identity();
+    case Rule::kUniq:
+      break;
+    case Rule::kSort:
+      return TypeSort(args);
+    case Rule::kGrep:
+      return TypeGrep(args);
+    case Rule::kEgrep:
+      args.flags.insert('E');
+      return TypeGrep(args);
+    case Rule::kFgrep:
+      args.flags.insert('F');
+      return TypeGrep(args);
+    case Rule::kSed: {
+      std::vector<std::string> scripts;
+      if (auto it = args.flag_values.find('e'); it != args.flag_values.end()) {
+        scripts.push_back(it->second);
+      } else if (!args.positional.empty()) {
+        scripts.push_back(args.positional[0]);
+      }
+      if (scripts.size() == 1) {
+        return TypeOfSedScript(scripts[0]);
+      }
+      return std::nullopt;
+    }
+    case Rule::kCut: {
+      // Output: one field — no tabs (or no delimiter chars) inside.
+      std::string delim = "\t";
+      if (auto it = args.flag_values.find('d');
+          it != args.flag_values.end() && !it->second.empty()) {
+        delim = it->second;
+      }
+      std::string cls = delim == "\t" ? "\\t" : std::string(1, delim[0]);
+      std::optional<regex::Regex> field = regex::Regex::FromPattern("[^" + cls + "\\n]*");
+      if (field.has_value()) {
+        return FixedOutput(*field);
+      }
+      return std::nullopt;
+    }
+    case Rule::kWc:
+      return FixedOutput(*regex::Regex::FromPattern(" *\\d+( +\\d+)*( .*)?"));
+    case Rule::kTr:
+      return FixedOutput(regex::Regex::AnyLine());
+    case Rule::kLsbRelease: {
+      const regex::Regex* lsb = lib.Find("lsbline");
+      if (lsb != nullptr) {
+        return FixedOutput(*lsb);
+      }
+      return std::nullopt;
+    }
+    case Rule::kLs: {
+      if (args.flags.count('l') > 0) {
+        const regex::Regex* longlist = lib.Find("longlist");
+        if (longlist != nullptr) {
+          return FixedOutput(*longlist);
+        }
+      }
+      return FixedOutput(regex::Regex::AnyLine());
+    }
+    case Rule::kEcho: {
+      std::string text = Join(args.positional, " ");
+      return FixedOutput(regex::Regex::Literal(text));
+    }
+    case Rule::kNoOutput:
+      return FixedOutput(regex::Regex::Nothing());
   }
-  if (name == "head" || name == "tail") {
-    return Identity();  // A sub-multiset of input lines; same line type.
-  }
-  if (name == "uniq") {
+
+  // Rule::kUniq falls through to here.
+  {
     if (args.flags.count('c') > 0) {
       // uniq -c :: ∀α. α → " *N α".
       CommandType t;
@@ -171,74 +296,7 @@ std::optional<CommandType> TypeOfCommand(const std::vector<std::string>& argv,
     }
     return Identity();
   }
-  if (name == "sort") {
-    return TypeSort(args);
-  }
-  if (name == "grep" || name == "egrep" || name == "fgrep") {
-    ScannedArgs adjusted = args;
-    if (name == "egrep") {
-      adjusted.flags.insert('E');
-    }
-    if (name == "fgrep") {
-      adjusted.flags.insert('F');
-    }
-    return TypeGrep(adjusted);
-  }
-  if (name == "sed") {
-    std::vector<std::string> scripts;
-    if (auto it = args.flag_values.find('e'); it != args.flag_values.end()) {
-      scripts.push_back(it->second);
-    } else if (!args.positional.empty()) {
-      scripts.push_back(args.positional[0]);
-    }
-    if (scripts.size() == 1) {
-      return TypeOfSedScript(scripts[0]);
-    }
-    return std::nullopt;
-  }
-  if (name == "cut") {
-    // Output: one field — no tabs (or no delimiter chars) inside.
-    std::string delim = "\t";
-    if (auto it = args.flag_values.find('d'); it != args.flag_values.end() && !it->second.empty()) {
-      delim = it->second;
-    }
-    std::string cls = delim == "\t" ? "\\t" : std::string(1, delim[0]);
-    std::optional<regex::Regex> field = regex::Regex::FromPattern("[^" + cls + "\\n]*");
-    if (field.has_value()) {
-      return FixedOutput(*field);
-    }
-    return std::nullopt;
-  }
-  if (name == "wc") {
-    return FixedOutput(*regex::Regex::FromPattern(" *\\d+( +\\d+)*( .*)?"));
-  }
-  if (name == "tr") {
-    return FixedOutput(regex::Regex::AnyLine());
-  }
-  if (name == "lsb_release") {
-    const regex::Regex* lsb = lib.Find("lsbline");
-    if (lsb != nullptr) {
-      return FixedOutput(*lsb);
-    }
-    return std::nullopt;
-  }
-  if (name == "ls") {
-    if (args.flags.count('l') > 0) {
-      const regex::Regex* longlist = lib.Find("longlist");
-      if (longlist != nullptr) {
-        return FixedOutput(*longlist);
-      }
-    }
-    return FixedOutput(regex::Regex::AnyLine());
-  }
-  if (name == "echo") {
-    std::string text = Join(args.positional, " ");
-    return FixedOutput(regex::Regex::Literal(text));
-  }
-  if (name == "true" || name == ":") {
-    return FixedOutput(regex::Regex::Nothing());
-  }
-  return std::nullopt;  // Untyped: gradual boundary.
+  return std::nullopt;  // Unreachable; switch covers every rule.
 }
 
 std::optional<CommandType> TypeOfSimpleCommand(const syntax::Command& cmd,

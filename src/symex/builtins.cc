@@ -2,9 +2,11 @@
 // read, shift, pwd, basename, dirname, and a value-precise realpath model.
 // These behave like primitive functions of the shell "language" (§3).
 #include <cctype>
+#include <unordered_set>
 
 #include "fs/path.h"
 #include "symex/evaluator.h"
+#include "util/intern.h"
 #include "util/strings.h"
 
 namespace sash::symex {
@@ -58,9 +60,37 @@ std::optional<PathKey> Evaluator::PathKeyOf(const State& st, const Expanded& e) 
   return std::nullopt;
 }
 
+namespace {
+
+// Every name TryBuiltin handles. The interned-set probe rejects external
+// commands in one hash lookup instead of walking the whole compare chain.
+bool IsBuiltinName(const std::string& name) {
+  static const auto* builtins = new std::unordered_set<util::Symbol>{
+      util::Symbol::Intern("."),        util::Symbol::Intern(":"),
+      util::Symbol::Intern("["),        util::Symbol::Intern("basename"),
+      util::Symbol::Intern("cd"),       util::Symbol::Intern("dirname"),
+      util::Symbol::Intern("echo"),     util::Symbol::Intern("eval"),
+      util::Symbol::Intern("exit"),     util::Symbol::Intern("export"),
+      util::Symbol::Intern("false"),    util::Symbol::Intern("local"),
+      util::Symbol::Intern("printf"),   util::Symbol::Intern("pwd"),
+      util::Symbol::Intern("read"),     util::Symbol::Intern("readonly"),
+      util::Symbol::Intern("realpath"), util::Symbol::Intern("return"),
+      util::Symbol::Intern("set"),      util::Symbol::Intern("shift"),
+      util::Symbol::Intern("source"),   util::Symbol::Intern("test"),
+      util::Symbol::Intern("true"),     util::Symbol::Intern("unset"),
+  };
+  auto sym = util::Symbol::Find(name);
+  return sym.has_value() && builtins->count(*sym) > 0;
+}
+
+}  // namespace
+
 bool Evaluator::TryBuiltin(const std::string& name, State& st, const syntax::Command& cmd,
                            const std::vector<Expanded>& argv, int depth, std::vector<State>* out) {
   (void)depth;  // Builtins are leaves; the budget only constrains recursion.
+  if (!IsBuiltinName(name)) {
+    return false;
+  }
   auto args_from = [&](size_t i) {
     return std::vector<Expanded>(argv.begin() + static_cast<long>(i), argv.end());
   };

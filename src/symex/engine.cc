@@ -110,14 +110,31 @@ std::vector<std::string> AssignedNames(const Command& cmd) {
   return out;
 }
 
-// A cheap structural signature for merging indistinguishable states.
-std::string StateSignature(const State& st) {
+// Exact value key for the legacy signature: concrete text or the language's
+// display pattern, domain-tagged (mirrors SymValue::Digest's separation).
+std::string ValueKey(const SymValue& v) {
+  return v.is_concrete() ? "c:" + v.concrete() : "l:" + v.lang().pattern();
+}
+
+// The legacy rendered-string signature for merging indistinguishable states.
+// The hot path compares State::Digest() instead; this stays as the slow
+// ground truth for paranoid-merge cross-checks and the digest-vs-legacy
+// differential. Languages are keyed by their display pattern (matching the
+// digest), not by Describe(), whose >48-char sampling fallback could alias
+// distinct languages with identical samples.
+std::string StateSignature(const State& st, bool describe_rendering = false) {
+  // describe_rendering reproduces the pre-overhaul signature exactly —
+  // Describe() per value, sampling included — so the bench can measure the
+  // seed-commit merge cost. Everything else uses the ValueKey form.
+  auto key = [describe_rendering](const SymValue& v) {
+    return describe_rendering ? v.Describe() : ValueKey(v);
+  };
   std::string sig;
   sig += st.terminated ? "T" : "A";
   sig += st.exit.known ? "k" + std::to_string(st.exit.code) : "u";
-  sig += "|cwd=" + st.cwd.Describe();
-  for (const auto& [name, value] : st.vars) {
-    sig += "|" + name + "=" + value.Describe();
+  sig += "|cwd=" + key(st.cwd);
+  for (const auto& [name, value] : st.vars()) {
+    sig += "|" + name.str() + "=" + key(value);
     if (st.MaybeUnset(name)) {
       sig += "?";
     }
@@ -125,7 +142,7 @@ std::string StateSignature(const State& st) {
   sig += "|fs:" + st.sfs.ToString();
   sig += "|out:" + std::to_string(st.stdout_lines.size());
   for (const SymValue& v : st.stdout_lines) {
-    sig += "," + v.Describe();
+    sig += "," + key(v);
   }
   return sig;
 }
@@ -147,6 +164,7 @@ void EngineStats::PublishTo(obs::Registry* registry) const {
   registry->counter("symex.final_states")->Add(final_states);
   registry->counter("symex.fs_ops")->Add(fs_ops);
   registry->gauge("symex.states_peak")->Max(states_peak);
+  registry->counter("symex.digest_collisions")->Add(digest_collisions);
 }
 
 Engine::Engine(EngineOptions options, DiagnosticSink* sink)
@@ -240,7 +258,7 @@ std::vector<State> Evaluator::Exec(State st, const Command& cmd, int depth) {
     case CommandKind::kCase:
       return ExecCase(std::move(st), cmd, depth);
     case CommandKind::kFunctionDef:
-      st.functions[cmd.function.name] = cmd.function.body.get();
+      st.functions[cmd.function.sym()] = cmd.function.body;
       st.exit = ExitStatus::Known(0);
       return {std::move(st)};
   }
@@ -277,22 +295,57 @@ void Evaluator::ForkOnExit(std::vector<State> states, std::string_view context,
 
 std::vector<State> Evaluator::Control(std::vector<State> states) {
   if (options_.merge_identical_states && states.size() > 1) {
-    std::map<std::string, size_t> seen;
     std::vector<State> merged;
-    for (State& s : states) {
-      std::string sig = StateSignature(s);
-      auto it = seen.find(sig);
-      if (it == seen.end()) {
-        seen.emplace(std::move(sig), merged.size());
-        merged.push_back(std::move(s));
-      } else {
+    merged.reserve(states.size());
+    if (options_.digest_merge) {
+      // Hot path: compare 64-bit digests, keep the first occurrence (same
+      // survivor rule as the legacy loop). Under paranoid merging, every
+      // digest hit is cross-checked against the legacy signature; a
+      // mismatch is a collision — counted, and the state kept separate.
+      std::unordered_map<uint64_t, size_t> seen;
+      seen.reserve(states.size() * 2);
+      for (State& s : states) {
+        uint64_t digest = s.Digest();
+        auto [it, inserted] = seen.emplace(digest, merged.size());
+        if (inserted) {
+          merged.push_back(std::move(s));
+          continue;
+        }
+        if (paranoid_merge_ &&
+            StateSignature(s) != StateSignature(merged[it->second])) {
+          ++stats_->digest_collisions;
+          merged.push_back(std::move(s));
+          continue;
+        }
         ++stats_->states_merged;
+      }
+    } else {
+      std::map<std::string, size_t> seen;
+      for (State& s : states) {
+        std::string sig = StateSignature(s, options_.legacy_describe_signature);
+        auto it = seen.find(sig);
+        if (it == seen.end()) {
+          seen.emplace(std::move(sig), merged.size());
+          merged.push_back(std::move(s));
+        } else {
+          ++stats_->states_merged;
+        }
       }
     }
     states = std::move(merged);
   }
   if (static_cast<int>(states.size()) > options_.max_states) {
+    // Overflow drop. Order the victims by digest (stable: arrival order
+    // breaks ties) so which states survive does not depend on exploration
+    // order — merging on/off or batch parallelism must not change which
+    // diagnostic survives a truncation. Only sorts when overflowing:
+    // downstream execution order is observable in witness notes, so the
+    // common (non-overflow) path must preserve arrival order.
     stats_->states_dropped += static_cast<int>(states.size()) - options_.max_states;
+    std::stable_sort(states.begin(), states.end(),
+                     [](const State& a, const State& b) {
+                       return a.Digest() < b.Digest();
+                     });
     states.resize(static_cast<size_t>(options_.max_states));
   }
   stats_->states_peak = std::max(stats_->states_peak, static_cast<int>(states.size()));
@@ -509,7 +562,7 @@ std::vector<State> Evaluator::ExecFor(State st, const Command& cmd, int depth) {
           next.push_back(std::move(s));
           continue;
         }
-        s.Bind(cmd.for_cmd.var, item.value);
+        s.Bind(cmd.for_cmd.var_sym(), item.value);
         if (cmd.for_cmd.body == nullptr) {
           next.push_back(std::move(s));
           continue;
@@ -525,7 +578,7 @@ std::vector<State> Evaluator::ExecFor(State st, const Command& cmd, int depth) {
     // Symbolic iteration: one pass with the variable unknown, then widen.
     std::vector<State> next;
     for (State& s : cur) {
-      s.Bind(cmd.for_cmd.var, SymValue::UnknownLine());
+      s.Bind(cmd.for_cmd.var_sym(), SymValue::UnknownLine());
       s.Assume("for-loop over a dynamic list (analyzed one symbolic iteration)");
       if (cmd.for_cmd.body == nullptr) {
         next.push_back(std::move(s));
@@ -656,10 +709,8 @@ std::vector<State> Evaluator::ExecSubshell(State st, const Command& cmd, int dep
   std::vector<State> results = Exec(std::move(st), *cmd.subshell.body, depth + 1);
   // Variable/cwd changes do not escape the subshell; FS effects and exit do.
   for (State& r : results) {
-    r.vars = parent.vars;
-    r.maybe_unset = parent.maybe_unset;
+    r.RestoreScopeFrom(parent);
     r.cwd = parent.cwd;
-    r.functions = parent.functions;
     r.terminated = false;  // `exit` in a subshell only exits the subshell.
     ApplyRedirects(r, cmd, depth);
   }
@@ -715,7 +766,7 @@ std::vector<State> Evaluator::ExecSimple(State st, const Command& cmd, int depth
       return {std::move(st)};
     }
     Expanded v = ExpandWord(st, a.value, depth);
-    st.Bind(a.name, v.value);
+    st.Bind(a.sym(), v.value);
   }
   if (st.terminated) {
     return {std::move(st)};
@@ -766,14 +817,20 @@ std::vector<State> Evaluator::ExecSimple(State st, const Command& cmd, int depth
   }
   const std::string name = argv[0].value.concrete();
 
-  // User-defined functions shadow everything else here.
-  auto fn = st.functions.find(name);
-  if (fn != st.functions.end() && fn->second != nullptr) {
-    std::vector<State> results = CallFunction(std::move(st), fn->second, argv, depth);
-    for (State& r : results) {
-      ApplyRedirects(r, cmd, depth);
+  // User-defined functions shadow everything else here. Find() is
+  // non-inserting: a name never interned was never defined.
+  if (!st.functions.empty()) {
+    auto name_sym = util::Symbol::Find(name);
+    if (name_sym.has_value()) {
+      auto fn = st.functions.find(*name_sym);
+      if (fn != st.functions.end() && fn->second != nullptr) {
+        std::vector<State> results = CallFunction(std::move(st), fn->second, argv, depth);
+        for (State& r : results) {
+          ApplyRedirects(r, cmd, depth);
+        }
+        return Control(std::move(results));
+      }
     }
-    return Control(std::move(results));
   }
 
   std::vector<State> out;
@@ -1024,6 +1081,12 @@ void Evaluator::CheckDangerousDelete(const State& st, const Command& cmd,
   if (inv.command != "rm") {
     return;
   }
+  // Both branches below emit kCodeDeleteRoot at cmd.range; once one fired,
+  // re-running the language intersections and witness search for every
+  // surviving state is pure waste.
+  if (AlreadyEmitted(kCodeDeleteRoot, cmd.range, Severity::kError)) {
+    return;
+  }
   const bool recursive = inv.HasFlag('r') || inv.HasFlag('R');
   for (const Expanded& op : operands) {
     // Dangerous shapes: the operand may expand to the root or a root glob.
@@ -1101,10 +1164,21 @@ void Evaluator::ApplyRedirects(State& st, const Command& cmd, int depth) {
   }
 }
 
+namespace {
+std::string EmitKey(const char* code, SourceRange range, Severity severity) {
+  return std::string(code) + "@" + std::to_string(range.begin.offset) + "@" +
+         std::to_string(static_cast<int>(severity));
+}
+}  // namespace
+
+bool Evaluator::AlreadyEmitted(const char* code, SourceRange range,
+                               Severity severity) const {
+  return options_.emit_dedup_early_out && emitted_.count(EmitKey(code, range, severity)) > 0;
+}
+
 void Evaluator::Emit(Severity severity, const char* code, SourceRange range, std::string message,
                      const State& st, std::vector<std::string> extra_notes) {
-  std::string key = std::string(code) + "@" + std::to_string(range.begin.offset) + "@" +
-                    std::to_string(static_cast<int>(severity));
+  std::string key = EmitKey(code, range, severity);
   if (!emitted_.insert(key).second) {
     return;
   }

@@ -5,9 +5,11 @@
 #ifndef SASH_SYMEX_EVALUATOR_H_
 #define SASH_SYMEX_EVALUATOR_H_
 
+#include <cstdlib>
 #include <optional>
 #include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "symex/engine.h"
@@ -43,7 +45,10 @@ struct TestOutcome {
 class Evaluator {
  public:
   Evaluator(const EngineOptions& options, DiagnosticSink* sink, EngineStats* stats)
-      : options_(options), sink_(sink), stats_(stats) {}
+      : options_(options),
+        sink_(sink),
+        stats_(stats),
+        paranoid_merge_(options.paranoid_merge || ParanoidMergeFromEnv()) {}
 
   State MakeInitialState() const;
 
@@ -104,9 +109,20 @@ class Evaluator {
   }
   int NewStateId() { return ++next_state_id_; }
 
+  // Whether a diagnostic with this identity was already emitted — lets hot
+  // paths skip building expensive messages (value rendering, witnesses) for
+  // duplicates. `code` must be the same literal later passed to Emit.
+  bool AlreadyEmitted(const char* code, SourceRange range, Severity severity) const;
+
+  static bool ParanoidMergeFromEnv() {
+    const char* v = std::getenv("SASH_PARANOID_MERGE");
+    return v != nullptr && std::string_view(v) != "0";
+  }
+
   const EngineOptions& options_;
   DiagnosticSink* sink_;
   EngineStats* stats_;
+  const bool paranoid_merge_ = false;
   int next_state_id_ = 0;
   std::set<std::string> emitted_;  // Dedup key: code@offset@severity.
 

@@ -238,6 +238,7 @@ Expanded Evaluator::ExpandWord(State& st, const Word& word, int depth) {
 
 SymValue Evaluator::ExpandParam(State& st, const WordPart& part, int depth) {
   const std::string& name = part.param_name;
+  const util::Symbol name_sym = part.param_sym();  // Cached on the AST node.
 
   // --- resolve the raw value ---
   SymValue raw;
@@ -256,14 +257,14 @@ SymValue Evaluator::ExpandParam(State& st, const WordPart& part, int depth) {
   } else if (name == "-") {
     raw = SymValue::UnknownLine();
   } else if (name == "0") {
-    if (const SymValue* v = st.Lookup("0"); v != nullptr) {
+    if (const SymValue* v = st.Lookup(name_sym); v != nullptr) {
       raw = *v;
     } else {
       raw = SymValue::UnknownLine();
     }
-  } else if (const SymValue* v = st.Lookup(name); v != nullptr) {
+  } else if (const SymValue* v = st.Lookup(name_sym); v != nullptr) {
     raw = *v;
-    maybe_unset = st.MaybeUnset(name);
+    maybe_unset = st.MaybeUnset(name_sym);
   } else {
     is_set = false;
     raw = SymValue::Concrete("");
@@ -322,7 +323,7 @@ SymValue Evaluator::ExpandParam(State& st, const WordPart& part, int depth) {
         SymValue kept = part.param_colon ? raw.RestrictNonEmpty() : raw;
         result = kept.UnionWith(def);
       }
-      st.Bind(name, result);
+      st.Bind(name_sym, result);
       return result;
     }
 
@@ -344,7 +345,7 @@ SymValue Evaluator::ExpandParam(State& st, const WordPart& part, int depth) {
         // the script may abort here on other paths.
         st.Assume("${" + name + ":?} did not fail (value non-empty)");
         SymValue refined = part.param_colon ? raw.RestrictNonEmpty() : raw;
-        st.Bind(name, refined);
+        st.Bind(name_sym, refined);
         return refined;
       }
       return raw;

@@ -15,4 +15,19 @@ SymValue State::JoinedStdout() const {
   return out;
 }
 
+uint64_t State::Digest() const {
+  uint64_t h = 0x73746174653a0000ull;  // "state:" seed
+  h = util::FnvMix64(h, terminated ? 2 : 1);
+  h = util::FnvMix64(h, exit.known ? static_cast<uint64_t>(exit.code) + 2 : 1);
+  h = util::FnvMix64(h, cwd.Digest());
+  h = util::FnvMix64(h, vars_digest_.value());
+  h = util::FnvMix64(h, sfs.Digest());
+  // stdout is a sequence: mix order-dependently, length included.
+  h = util::FnvMix64(h, stdout_lines.size());
+  for (const SymValue& line : stdout_lines) {
+    h = util::FnvMix64(h, line.Digest());
+  }
+  return h;
+}
+
 }  // namespace sash::symex

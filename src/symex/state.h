@@ -1,9 +1,16 @@
 // Execution state for the symbolic engine: variable store, working directory,
 // exit status, symbolic file system, accumulated stdout, and the path
 // condition (as human-readable assumptions used in witness notes).
+//
+// The variable store is keyed by interned symbols and every mutation keeps a
+// running 64-bit digest in sync, so `State::Digest()` — the key the merge
+// loop compares — costs a handful of integer mixes instead of rendering the
+// whole state to a string. Digests hash content (names, values, facts),
+// never intern ids, so they are stable across runs and thread schedules.
 #ifndef SASH_SYMEX_STATE_H_
 #define SASH_SYMEX_STATE_H_
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <set>
@@ -13,6 +20,8 @@
 #include "symex/value.h"
 #include "symfs/symbolic_fs.h"
 #include "syntax/ast.h"
+#include "util/hash.h"
+#include "util/intern.h"
 
 namespace sash::symex {
 
@@ -41,12 +50,9 @@ struct Provenance {
 };
 
 struct State {
-  int id = 0;
+  using VarMap = std::map<util::Symbol, SymValue>;
 
-  // Variable store. Missing name = unset. `maybe_unset` marks names whose
-  // set-ness is environment-dependent (positional parameters, inherited env).
-  std::map<std::string, SymValue> vars;
-  std::set<std::string> maybe_unset;
+  int id = 0;
 
   SymValue cwd = SymValue::Concrete("/");
   ExitStatus exit;
@@ -71,30 +77,79 @@ struct State {
   bool assumed_failure = false;
 
   // Visible function definitions (AST owned by the analyzed Program).
-  std::map<std::string, const syntax::Command*> functions;
+  std::map<util::Symbol, const syntax::Command*> functions;
 
   // ----- variable helpers -----
-  bool IsSet(const std::string& name) const { return vars.count(name) > 0; }
-  bool MaybeUnset(const std::string& name) const { return maybe_unset.count(name) > 0; }
+  // The store is private so every mutation maintains `vars_digest_`; all
+  // writes go through Bind/BindMaybeUnset/Unset/RestoreScopeFrom. String
+  // overloads intern (the population is bounded by script text).
 
+  bool IsSet(util::Symbol name) const { return vars_.count(name) > 0; }
+  bool IsSet(const std::string& name) const {
+    auto sym = util::Symbol::Find(name);
+    return sym.has_value() && IsSet(*sym);
+  }
+
+  bool MaybeUnset(util::Symbol name) const { return maybe_unset_.count(name) > 0; }
+  bool MaybeUnset(const std::string& name) const {
+    auto sym = util::Symbol::Find(name);
+    return sym.has_value() && MaybeUnset(*sym);
+  }
+
+  const SymValue* Lookup(util::Symbol name) const {
+    auto it = vars_.find(name);
+    return it == vars_.end() ? nullptr : &it->second;
+  }
   const SymValue* Lookup(const std::string& name) const {
-    auto it = vars.find(name);
-    return it == vars.end() ? nullptr : &it->second;
+    // Non-inserting: a name that was never interned was never bound.
+    auto sym = util::Symbol::Find(name);
+    return sym.has_value() ? Lookup(*sym) : nullptr;
   }
 
+  void Bind(util::Symbol name, SymValue value) {
+    RemoveBindingDigest(name);
+    maybe_unset_.erase(name);
+    SymValue& slot = vars_[name];
+    slot = std::move(value);
+    vars_digest_.Add(BindingHash(name, slot, /*maybe_unset=*/false));
+  }
   void Bind(const std::string& name, SymValue value) {
-    vars[name] = std::move(value);
-    maybe_unset.erase(name);
+    Bind(util::Symbol::Intern(name), std::move(value));
   }
 
+  void BindMaybeUnset(util::Symbol name, SymValue value) {
+    RemoveBindingDigest(name);
+    maybe_unset_.insert(name);
+    SymValue& slot = vars_[name];
+    slot = std::move(value);
+    vars_digest_.Add(BindingHash(name, slot, /*maybe_unset=*/true));
+  }
   void BindMaybeUnset(const std::string& name, SymValue value) {
-    vars[name] = std::move(value);
-    maybe_unset.insert(name);
+    BindMaybeUnset(util::Symbol::Intern(name), std::move(value));
   }
 
+  void Unset(util::Symbol name) {
+    RemoveBindingDigest(name);
+    vars_.erase(name);
+    maybe_unset_.erase(name);
+  }
   void Unset(const std::string& name) {
-    vars.erase(name);
-    maybe_unset.erase(name);
+    auto sym = util::Symbol::Find(name);
+    if (sym.has_value()) {
+      Unset(*sym);
+    }
+  }
+
+  const VarMap& vars() const { return vars_; }
+  const std::set<util::Symbol>& maybe_unset() const { return maybe_unset_; }
+
+  // Subshell semantics: adopt the parent's variable/function scope (the
+  // subshell result keeps its own exit/stdout/sfs).
+  void RestoreScopeFrom(const State& parent) {
+    vars_ = parent.vars_;
+    maybe_unset_ = parent.maybe_unset_;
+    vars_digest_ = parent.vars_digest_;
+    functions = parent.functions;
   }
 
   void Assume(std::string note) { assumptions.push_back(std::move(note)); }
@@ -102,6 +157,36 @@ struct State {
   // Joined stdout as a single value ("" when no output) with trailing
   // newline stripped — command-substitution semantics.
   SymValue JoinedStdout() const;
+
+  // 64-bit digest of everything the legacy merge signature compared:
+  // terminated, exit, cwd, variable bindings (with their maybe-unset marks),
+  // filesystem facts, and the stdout line sequence. Excludes — exactly as
+  // the string signature did — id, assumptions, assumed_failure, functions,
+  // and stdout provenance. The variable component is maintained
+  // incrementally; the rest are cached per part, so a call is O(stdout).
+  uint64_t Digest() const;
+
+ private:
+  static uint64_t BindingHash(util::Symbol name, const SymValue& value,
+                              bool maybe_unset) {
+    uint64_t h = util::FnvMix64(0x7661723a00000000ull, name.hash());  // "var:"
+    h = util::FnvMix64(h, value.Digest());
+    return util::FnvMix64(h, maybe_unset ? 2 : 1);
+  }
+
+  void RemoveBindingDigest(util::Symbol name) {
+    auto it = vars_.find(name);
+    if (it != vars_.end()) {
+      vars_digest_.Remove(
+          BindingHash(name, it->second, maybe_unset_.count(name) > 0));
+    }
+  }
+
+  // Variable store. Missing name = unset. `maybe_unset_` marks names whose
+  // set-ness is environment-dependent (positional parameters, inherited env).
+  VarMap vars_;
+  std::set<util::Symbol> maybe_unset_;
+  util::CommutativeDigest vars_digest_;
 };
 
 }  // namespace sash::symex

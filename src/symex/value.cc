@@ -1,5 +1,8 @@
 #include "symex/value.h"
 
+#include <atomic>
+
+#include "util/hash.h"
 #include "util/strings.h"
 
 namespace sash::symex {
@@ -136,26 +139,60 @@ std::optional<std::string> SymValue::Witness() const {
   return lang().Witness();
 }
 
+namespace {
+std::atomic<bool> g_describe_cache_enabled{true};
+}  // namespace
+
+void SymValue::SetDescribeCacheEnabled(bool enabled) {
+  g_describe_cache_enabled.store(enabled, std::memory_order_relaxed);
+}
+
 std::string SymValue::Describe() const {
+  const bool cache = g_describe_cache_enabled.load(std::memory_order_relaxed);
+  if (cache && describe_cache_ != nullptr) {
+    return *describe_cache_;
+  }
+  std::string out;
   if (is_concrete()) {
-    return "'" + EscapeForDisplay(*concrete_) + "'";
+    out = "'" + EscapeForDisplay(*concrete_) + "'";
+  } else {
+    // Derived languages accumulate unreadable synthesized patterns; fall back
+    // to a few sample members, which is what a user needs to see anyway.
+    const std::string& pattern = lang().pattern();
+    if (pattern.size() <= 48) {
+      out = "⟨" + pattern + "⟩";
+    } else {
+      std::vector<std::string> samples = lang().Samples(3);
+      if (samples.empty()) {
+        out = "⟨unsatisfiable⟩";
+      } else {
+        out = "⟨strings like";
+        for (const std::string& s : samples) {
+          out += " '" + EscapeForDisplay(s) + "'";
+        }
+        out += " ...⟩";
+      }
+    }
   }
-  // Derived languages accumulate unreadable synthesized patterns; fall back
-  // to a few sample members, which is what a user needs to see anyway.
-  const std::string& pattern = lang().pattern();
-  if (pattern.size() <= 48) {
-    return "⟨" + pattern + "⟩";
+  if (cache) {
+    describe_cache_ = std::make_shared<const std::string>(out);
   }
-  std::vector<std::string> samples = lang().Samples(3);
-  if (samples.empty()) {
-    return "⟨unsatisfiable⟩";
-  }
-  std::string out = "⟨strings like";
-  for (const std::string& s : samples) {
-    out += " '" + EscapeForDisplay(s) + "'";
-  }
-  out += " ...⟩";
   return out;
+}
+
+uint64_t SymValue::Digest() const {
+  if (digest_ != 0) {
+    return digest_;
+  }
+  // Domain tags keep the two forms from ever colliding structurally.
+  uint64_t h = is_concrete()
+                   ? util::Fnv1a(*concrete_, 0x636f6e633a000000ull)  // "conc:"
+                   : util::Fnv1a(lang().pattern(), 0x6c616e673a000000ull);  // "lang:"
+  if (h == 0) {
+    h = 1;  // Reserve 0 as the "not computed" sentinel.
+  }
+  digest_ = h;
+  return h;
 }
 
 }  // namespace sash::symex

@@ -6,6 +6,8 @@
 #ifndef SASH_SYMEX_VALUE_H_
 #define SASH_SYMEX_VALUE_H_
 
+#include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -62,9 +64,26 @@ class SymValue {
   // "'text'" for concrete values, "⟨pattern⟩" for languages.
   std::string Describe() const;
 
+  // Process-wide switch for the Describe() memo (default on). Off restores
+  // the pre-overhaul recompute-every-call behavior; only the hot-path bench
+  // flips it, to measure what the cache buys.
+  static void SetDescribeCacheEnabled(bool enabled);
+
+  // 64-bit content digest, domain-separated between the concrete and
+  // language forms (concrete "a" never equals language /a/). For languages
+  // it hashes the display pattern — a finer key than structural language
+  // equality, which is exactly what the merge digest needs (states it calls
+  // equal must render identical reports). Computed once, cached; copies of
+  // an undigested value recompute (cheap: one FNV pass).
+  uint64_t Digest() const;
+
  private:
   std::optional<std::string> concrete_;
   mutable std::optional<regex::Regex> lang_;  // Cache for concrete values.
+  mutable uint64_t digest_ = 0;               // 0 = not yet computed.
+  // Describe() can be expensive for long synthesized patterns (it samples
+  // the DFA); the result is immutable, so copies share it.
+  mutable std::shared_ptr<const std::string> describe_cache_;
 };
 
 }  // namespace sash::symex

@@ -88,12 +88,37 @@ std::vector<PathKey> Ancestors(const PathKey& key) {
 
 }  // namespace
 
+uint64_t SymbolicFs::FactHash(const PathKey& key, PathState state) {
+  uint64_t h = util::Fnv1a(key.base, 0x5f73666b65793a00ull);  // "_sfskey:" tag
+  h = util::Fnv1a("\x1f", h);  // Separator: ("a","b/c") != ("ab","/c").
+  h = util::Fnv1a(key.rel, h);
+  return util::FnvMix64(h, static_cast<uint64_t>(state));
+}
+
+void SymbolicFs::SetFact(const PathKey& key, PathState state) {
+  auto [it, inserted] = facts_.try_emplace(key, state);
+  if (!inserted) {
+    if (it->second == state) {
+      return;
+    }
+    digest_.Remove(FactHash(it->first, it->second));
+    it->second = state;
+  }
+  digest_.Add(FactHash(key, state));
+}
+
+std::map<PathKey, PathState>::iterator SymbolicFs::EraseFact(
+    std::map<PathKey, PathState>::iterator it) {
+  digest_.Remove(FactHash(it->first, it->second));
+  return facts_.erase(it);
+}
+
 void SymbolicFs::Assume(const PathKey& key, PathState state) {
   if (state == PathState::kAbsent) {
     // Every recorded descendant is gone too.
     for (auto it = facts_.begin(); it != facts_.end();) {
       if (key.IsAncestorOf(it->first)) {
-        it = facts_.erase(it);
+        it = EraseFact(it);
       } else {
         ++it;
       }
@@ -102,10 +127,10 @@ void SymbolicFs::Assume(const PathKey& key, PathState state) {
   if (state == PathState::kIsFile || state == PathState::kIsDir || state == PathState::kExists) {
     // Everything above an existing path is a directory.
     for (const PathKey& parent : Ancestors(key)) {
-      facts_[parent] = PathState::kIsDir;
+      SetFact(parent, PathState::kIsDir);
     }
   }
-  facts_[key] = state;
+  SetFact(key, state);
 }
 
 PathState SymbolicFs::Query(const PathKey& key) const {

@@ -12,12 +12,14 @@
 #ifndef SASH_SYMFS_SYMBOLIC_FS_H_
 #define SASH_SYMFS_SYMBOLIC_FS_H_
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "specs/hoare.h"
+#include "util/hash.h"
 
 namespace sash::symfs {
 
@@ -82,8 +84,21 @@ class SymbolicFs {
   // Debug rendering, one "path: state" per line.
   std::string ToString() const;
 
+  // Order-independent 64-bit digest of the fact set, maintained
+  // incrementally on every mutation (all of which funnel through Assume).
+  // Content-based (hashes path strings and states), so it is stable across
+  // runs and thread interleavings; used by the state-merge digest.
+  uint64_t Digest() const { return digest_.value(); }
+
  private:
+  static uint64_t FactHash(const PathKey& key, PathState state);
+  // The only writers of facts_; they keep digest_ in sync.
+  void SetFact(const PathKey& key, PathState state);
+  std::map<PathKey, PathState>::iterator EraseFact(
+      std::map<PathKey, PathState>::iterator it);
+
   std::map<PathKey, PathState> facts_;
+  util::CommutativeDigest digest_;
 };
 
 }  // namespace sash::symfs

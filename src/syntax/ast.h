@@ -11,18 +11,35 @@
 #include <vector>
 
 #include "syntax/word.h"
+#include "util/arena.h"
+#include "util/intern.h"
 #include "util/source_location.h"
 
 namespace sash::syntax {
 
 struct Command;
-using CommandPtr = std::unique_ptr<Command>;
+
+// AST nodes are arena-owned: the parser allocates every Command out of the
+// Program's arena, so child pointers are plain (non-owning) pointers and the
+// whole tree tears down with the arena instead of a recursive unique_ptr
+// chain. Null still means "absent".
+using CommandPtr = Command*;
 
 // v=value prefix assignment on a simple command (or a bare assignment).
 struct Assignment {
   std::string name;
   Word value;
   SourceRange range;
+
+  // Interned `name`, cached on first use. Lazy so hand-built nodes (tests)
+  // work; not thread-safe on first call, but an AST is single-threaded.
+  util::Symbol sym() const {
+    if (sym_cache.empty() && !name.empty()) {
+      sym_cache = util::Symbol::Intern(name);
+    }
+    return sym_cache;
+  }
+  mutable util::Symbol sym_cache;
 };
 
 enum class RedirOp {
@@ -69,35 +86,44 @@ struct List {
 };
 
 struct Subshell {
-  CommandPtr body;
+  CommandPtr body = nullptr;
 };
 
 struct BraceGroup {
-  CommandPtr body;
+  CommandPtr body = nullptr;
 };
 
 struct If {
-  CommandPtr condition;
-  CommandPtr then_body;
-  CommandPtr else_body;  // Null when absent; elif chains nest here.
+  CommandPtr condition = nullptr;
+  CommandPtr then_body = nullptr;
+  CommandPtr else_body = nullptr;  // Null when absent; elif chains nest here.
 };
 
 struct Loop {
   bool until = false;  // false: while.
-  CommandPtr condition;
-  CommandPtr body;
+  CommandPtr condition = nullptr;
+  CommandPtr body = nullptr;
 };
 
 struct For {
   std::string var;
   bool has_in = false;       // `for x in words...` vs `for x` ("$@").
   std::vector<Word> words;
-  CommandPtr body;
+  CommandPtr body = nullptr;
+
+  // Interned loop variable, cached on first use (see Assignment::sym).
+  util::Symbol var_sym() const {
+    if (var_sym_cache.empty() && !var.empty()) {
+      var_sym_cache = util::Symbol::Intern(var);
+    }
+    return var_sym_cache;
+  }
+  mutable util::Symbol var_sym_cache;
 };
 
 struct CaseItem {
   std::vector<Word> patterns;
-  CommandPtr body;  // May be null for an empty item.
+  CommandPtr body = nullptr;  // May be null for an empty item.
   SourceRange range;
 };
 
@@ -108,7 +134,16 @@ struct Case {
 
 struct FunctionDef {
   std::string name;
-  CommandPtr body;
+  CommandPtr body = nullptr;
+
+  // Interned function name, cached on first use (see Assignment::sym).
+  util::Symbol sym() const {
+    if (sym_cache.empty() && !name.empty()) {
+      sym_cache = util::Symbol::Intern(name);
+    }
+    return sym_cache;
+  }
+  mutable util::Symbol sym_cache;
 };
 
 enum class CommandKind {
@@ -145,8 +180,16 @@ struct Command {
 
 // A whole script (or the inside of a command substitution).
 struct Program {
-  CommandPtr body;  // Null for an empty program.
+  CommandPtr body = nullptr;  // Null for an empty program.
   SourceRange range;
+  // Owns every Command reachable from `body`. Each Program — including every
+  // command-substitution sub-program — owns its own arena: a sub-Program is
+  // held by a word part living in the enclosing arena, so sharing the
+  // enclosing arena would be a shared_ptr cycle. Shared (not unique) so a
+  // sub-program copied out of a word part can outlive the enclosing tree.
+  // Null only for hand-built trees whose nodes outlive the Program by other
+  // means (tests).
+  std::shared_ptr<util::Arena> arena;
 };
 
 // Renders the AST back to shell syntax (normalized whitespace). Primarily for

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <set>
+#include <utility>
 
 #include "util/strings.h"
 
@@ -31,10 +32,15 @@ struct StopSpec {
 
 class Parser {
  public:
-  explicit Parser(std::string_view src) : src_(src) {}
+  explicit Parser(std::string_view src,
+                  std::shared_ptr<util::Arena> arena = nullptr)
+      : src_(src),
+        arena_(arena != nullptr ? std::move(arena)
+                                : std::make_shared<util::Arena>()) {}
 
   ParseOutput Run() {
     ParseOutput out;
+    out.program.arena = arena_;
     StopSpec stop;  // Nothing stops the top level but EOF.
     out.program.range.begin = Pos();
     out.program.body = ParseList(stop);
@@ -55,11 +61,17 @@ class Parser {
   // Exposed via friend helper below.
   std::shared_ptr<Program> ParseSubstitutionBody() {
     auto prog = std::make_shared<Program>();
+    // The sub-Program is owned by a word part that lives in the enclosing
+    // arena; sharing that arena would make Program → Arena → node → Program
+    // a shared_ptr cycle. Swap in a fresh arena for the body instead.
+    std::shared_ptr<util::Arena> saved = std::exchange(arena_, std::make_shared<util::Arena>());
+    prog->arena = arena_;
     prog->range.begin = Pos();
     StopSpec stop;
     stop.at_rparen = true;
     prog->body = ParseList(stop);
     prog->range.end = Pos();
+    arena_ = std::move(saved);
     return prog;
   }
 
@@ -236,7 +248,7 @@ class Parser {
 
   // list := and_or ((';' | '&' | '\n')+ and_or)*
   CommandPtr ParseList(const StopSpec& stop) {
-    auto list = std::make_unique<Command>();
+    auto list = NewCommand();
     list->kind = CommandKind::kList;
     list->range.begin = Pos();
 
@@ -291,7 +303,7 @@ class Parser {
     if (AtEnd() || !((Cur() == '&' && At(1) == '&') || (Cur() == '|' && At(1) == '|'))) {
       return first;
     }
-    auto list = std::make_unique<Command>();
+    auto list = NewCommand();
     list->kind = CommandKind::kList;
     list->range.begin = first->range.begin;
     list->list.commands.push_back(std::move(first));
@@ -341,7 +353,7 @@ class Parser {
     if (!negated && (AtEnd() || Cur() != '|' || At(1) == '|')) {
       return first;  // Single command, no wrapper needed.
     }
-    auto pipe = std::make_unique<Command>();
+    auto pipe = NewCommand();
     pipe->kind = CommandKind::kPipeline;
     pipe->range.begin = first->range.begin;
     pipe->pipeline.negated = negated;
@@ -405,7 +417,7 @@ class Parser {
         Advance();
         Advance();
         SkipAllSpace();
-        auto fn = std::make_unique<Command>();
+        auto fn = NewCommand();
         fn->kind = CommandKind::kFunctionDef;
         fn->range.begin = begin;
         fn->function.name = bare;
@@ -413,7 +425,7 @@ class Parser {
         if (fn->function.body == nullptr) {
           Error("expected a function body");
         }
-        ParseTrailingRedirects(fn.get());
+        ParseTrailingRedirects(fn);
         fn->range.end = Pos();
         return fn;
       }
@@ -425,7 +437,7 @@ class Parser {
   }
 
   CommandPtr ParseSubshell() {
-    auto cmd = std::make_unique<Command>();
+    auto cmd = NewCommand();
     cmd->kind = CommandKind::kSubshell;
     cmd->range.begin = Pos();
     Advance();  // '('
@@ -438,13 +450,13 @@ class Parser {
     } else {
       Error("expected ')' to close subshell");
     }
-    ParseTrailingRedirects(cmd.get());
+    ParseTrailingRedirects(cmd);
     cmd->range.end = Pos();
     return cmd;
   }
 
   CommandPtr ParseBraceGroup() {
-    auto cmd = std::make_unique<Command>();
+    auto cmd = NewCommand();
     cmd->kind = CommandKind::kBraceGroup;
     cmd->range.begin = Pos();
     ConsumeBareWord("{");
@@ -452,13 +464,13 @@ class Parser {
     stop.words.insert("}");
     cmd->brace.body = ParseList(stop);
     ExpectBareWord("}", "to close group");
-    ParseTrailingRedirects(cmd.get());
+    ParseTrailingRedirects(cmd);
     cmd->range.end = Pos();
     return cmd;
   }
 
   CommandPtr ParseIf() {
-    auto cmd = std::make_unique<Command>();
+    auto cmd = NewCommand();
     cmd->kind = CommandKind::kIf;
     cmd->range.begin = Pos();
     ConsumeBareWord("if");
@@ -476,7 +488,7 @@ class Parser {
       SkipLineSpace();
       SourcePos elif_begin = Pos();
       ConsumeBareWord("elif");
-      auto nested = std::make_unique<Command>();
+      auto nested = NewCommand();
       nested->kind = CommandKind::kIf;
       nested->range.begin = elif_begin;
       nested->if_cmd.condition = ParseList(cond_stop);
@@ -487,7 +499,7 @@ class Parser {
       nested->range.end = Pos();
       cmd->if_cmd.else_body = std::move(nested);
       cmd->range.end = Pos();
-      ParseTrailingRedirects(cmd.get());
+      ParseTrailingRedirects(cmd);
       return cmd;
     }
     if (next == "else") {
@@ -497,7 +509,7 @@ class Parser {
       cmd->if_cmd.else_body = ParseList(else_stop);
     }
     ExpectBareWord("fi", "to close if");
-    ParseTrailingRedirects(cmd.get());
+    ParseTrailingRedirects(cmd);
     cmd->range.end = Pos();
     return cmd;
   }
@@ -510,7 +522,7 @@ class Parser {
       SkipLineSpace();
       SourcePos begin = Pos();
       ConsumeBareWord("elif");
-      auto nested = std::make_unique<Command>();
+      auto nested = NewCommand();
       nested->kind = CommandKind::kIf;
       nested->range.begin = begin;
       StopSpec cond_stop;
@@ -535,7 +547,7 @@ class Parser {
   }
 
   CommandPtr ParseLoop(bool until) {
-    auto cmd = std::make_unique<Command>();
+    auto cmd = NewCommand();
     cmd->kind = CommandKind::kLoop;
     cmd->range.begin = Pos();
     ConsumeBareWord(until ? "until" : "while");
@@ -548,13 +560,13 @@ class Parser {
     body_stop.words.insert("done");
     cmd->loop.body = ParseList(body_stop);
     ExpectBareWord("done", "to close loop");
-    ParseTrailingRedirects(cmd.get());
+    ParseTrailingRedirects(cmd);
     cmd->range.end = Pos();
     return cmd;
   }
 
   CommandPtr ParseFor() {
-    auto cmd = std::make_unique<Command>();
+    auto cmd = NewCommand();
     cmd->kind = CommandKind::kFor;
     cmd->range.begin = Pos();
     ConsumeBareWord("for");
@@ -590,13 +602,13 @@ class Parser {
     body_stop.words.insert("done");
     cmd->for_cmd.body = ParseList(body_stop);
     ExpectBareWord("done", "to close for");
-    ParseTrailingRedirects(cmd.get());
+    ParseTrailingRedirects(cmd);
     cmd->range.end = Pos();
     return cmd;
   }
 
   CommandPtr ParseCase() {
-    auto cmd = std::make_unique<Command>();
+    auto cmd = NewCommand();
     cmd->kind = CommandKind::kCase;
     cmd->range.begin = Pos();
     ConsumeBareWord("case");
@@ -660,13 +672,13 @@ class Parser {
       cmd->case_cmd.items.push_back(std::move(item));
     }
     ExpectBareWord("esac", "to close case");
-    ParseTrailingRedirects(cmd.get());
+    ParseTrailingRedirects(cmd);
     cmd->range.end = Pos();
     return cmd;
   }
 
   CommandPtr ParseSimple() {
-    auto cmd = std::make_unique<Command>();
+    auto cmd = NewCommand();
     cmd->kind = CommandKind::kSimple;
     SkipLineSpace();
     cmd->range.begin = Pos();
@@ -1329,8 +1341,9 @@ class Parser {
       Advance();  // Closing '`'.
     }
     p.command_text = inner;
-    // Re-parse the unescaped inner text as its own program. Positions inside
-    // refer to the extracted text, not the original source.
+    // Re-parse the unescaped inner text as its own program (own arena too —
+    // sharing ours from an arena-resident node would be a shared_ptr cycle).
+    // Positions inside refer to the extracted text, not the original source.
     Parser sub(inner);
     ParseOutput sub_out = sub.Run();
     for (Diagnostic& d : sub_out.diagnostics) {
@@ -1347,7 +1360,11 @@ class Parser {
     bool strip_tabs = false;
   };
 
+  // All Commands are allocated here; the Program keeps it alive.
+  Command* NewCommand() { return arena_->New<Command>(); }
+
   std::string_view src_;
+  std::shared_ptr<util::Arena> arena_;
   size_t pos_ = 0;
   int line_ = 1;
   int col_ = 1;

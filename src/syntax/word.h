@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "util/intern.h"
 #include "util/source_location.h"
 
 namespace sash::syntax {
@@ -66,6 +67,16 @@ struct WordPart {
   ParamOp param_op = ParamOp::kPlain;
   bool param_colon = false;            // The ':' variant (treats empty as unset).
   std::shared_ptr<Word> param_arg;     // Operator argument word (may be null).
+
+  // Interned `param_name`, cached on first use. Lazy so hand-built parts
+  // (tests) work; first call is not thread-safe, but ASTs are per-thread.
+  util::Symbol param_sym() const {
+    if (param_sym_cache.empty() && !param_name.empty()) {
+      param_sym_cache = util::Symbol::Intern(param_name);
+    }
+    return param_sym_cache;
+  }
+  mutable util::Symbol param_sym_cache;
 
   // kDoubleQuoted: nested parts (literal/param/command-sub/arith).
   std::vector<WordPart> children;

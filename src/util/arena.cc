@@ -1,0 +1,27 @@
+#include "util/arena.h"
+
+namespace sash::util {
+
+void Arena::Grow(size_t min_size) {
+  size_t size = next_block_size_;
+  if (size < min_size) {
+    size = min_size;
+  }
+  blocks_.emplace_back(new char[size]);
+  cursor_ = reinterpret_cast<uintptr_t>(blocks_.back().get());
+  limit_ = cursor_ + size;
+  // Geometric growth, capped: big parses amortize, small ones stay small.
+  if (next_block_size_ < kMaxBlockSize) {
+    next_block_size_ *= 2;
+  }
+}
+
+void Arena::DestroyAll() {
+  // Reverse construction order, mirroring what nested unique_ptrs did.
+  for (auto it = dtors_.rbegin(); it != dtors_.rend(); ++it) {
+    it->fn(it->obj);
+  }
+  dtors_.clear();
+}
+
+}  // namespace sash::util

@@ -1,0 +1,83 @@
+// Bump-pointer arena with destructor registration.
+//
+// The parser allocates every AST node out of one arena per parse, so a
+// finished analysis tears the tree down without walking parent/child
+// unique_ptr chains: block memory is released in O(blocks) frees, preceded
+// by one linear sweep over the registered destructors (AST nodes own
+// strings/vectors, so dtors can't be skipped wholesale — but the sweep is a
+// flat array walk, not a pointer chase, and trivially-destructible types
+// skip registration entirely).
+//
+// Not thread-safe: one arena belongs to one parse/analysis. The batch
+// driver gives each worker its own parses, so this is never contended.
+#ifndef SASH_UTIL_ARENA_H_
+#define SASH_UTIL_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace sash::util {
+
+class Arena {
+ public:
+  Arena() = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  ~Arena() { DestroyAll(); }
+
+  // Allocates and constructs a T. The object lives until the arena dies;
+  // never delete it manually.
+  template <class T, class... Args>
+  T* New(Args&&... args) {
+    void* mem = Allocate(sizeof(T), alignof(T));
+    T* obj = new (mem) T(std::forward<Args>(args)...);
+    if constexpr (!std::is_trivially_destructible_v<T>) {
+      dtors_.push_back(Dtor{obj, [](void* p) { static_cast<T*>(p)->~T(); }});
+    }
+    return obj;
+  }
+
+  // Raw aligned allocation (no destructor runs).
+  void* Allocate(size_t size, size_t align) {
+    uintptr_t p = (cursor_ + (align - 1)) & ~(uintptr_t{align} - 1);
+    if (p + size > limit_) {
+      Grow(size + align);
+      p = (cursor_ + (align - 1)) & ~(uintptr_t{align} - 1);
+    }
+    cursor_ = p + size;
+    bytes_used_ += size;
+    return reinterpret_cast<void*>(p);
+  }
+
+  // Total bytes handed out (excludes block slack).
+  size_t BytesAllocated() const { return bytes_used_; }
+  size_t Blocks() const { return blocks_.size(); }
+
+ private:
+  struct Dtor {
+    void* obj;
+    void (*fn)(void*);
+  };
+
+  void Grow(size_t min_size);
+  void DestroyAll();
+
+  static constexpr size_t kFirstBlockSize = 4096;
+  static constexpr size_t kMaxBlockSize = 256 * 1024;
+
+  std::vector<std::unique_ptr<char[]>> blocks_;
+  std::vector<Dtor> dtors_;
+  uintptr_t cursor_ = 0;
+  uintptr_t limit_ = 0;
+  size_t bytes_used_ = 0;
+  size_t next_block_size_ = kFirstBlockSize;
+};
+
+}  // namespace sash::util
+
+#endif  // SASH_UTIL_ARENA_H_

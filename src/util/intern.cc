@@ -1,0 +1,101 @@
+#include "util/intern.h"
+
+#include <atomic>
+#include <cassert>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "util/hash.h"
+
+namespace sash::util {
+namespace {
+
+struct Entry {
+  std::string text;
+  uint64_t content_hash = 0;
+};
+
+// Entries live in fixed-size slabs so `str()`/`hash()` can read them without
+// a lock: a slab, once its pointer is release-published, is never moved, and
+// an id is only handed out after its entry is fully constructed under the
+// writer mutex (the id then reaches other threads via ordinary program
+// synchronization).
+constexpr size_t kSlabBits = 12;
+constexpr size_t kSlabSize = size_t{1} << kSlabBits;  // 4096 entries per slab
+constexpr size_t kMaxSlabs = 1 << 12;                 // capacity ~16.7M symbols
+
+struct Table {
+  std::mutex mu;
+  std::unordered_map<std::string_view, uint32_t> ids;  // keys point into slabs
+  std::atomic<Entry*> slabs[kMaxSlabs] = {};
+  std::atomic<uint32_t> count{0};
+  std::vector<std::unique_ptr<Entry[]>> owned;
+
+  Table() {
+    // Pre-intern "" as id 0 so the default Symbol is valid.
+    InternLocked("");
+  }
+
+  // Requires mu held (or constructor).
+  uint32_t InternLocked(std::string_view text) {
+    auto it = ids.find(text);
+    if (it != ids.end()) {
+      return it->second;
+    }
+    uint32_t id = count.load(std::memory_order_relaxed);
+    size_t slab = id >> kSlabBits;
+    assert(slab < kMaxSlabs && "interner capacity exhausted");
+    Entry* block = slabs[slab].load(std::memory_order_relaxed);
+    if (block == nullptr) {
+      owned.push_back(std::make_unique<Entry[]>(kSlabSize));
+      block = owned.back().get();
+      slabs[slab].store(block, std::memory_order_release);
+    }
+    Entry& e = block[id & (kSlabSize - 1)];
+    e.text.assign(text);
+    e.content_hash = Fnv1a(e.text);
+    ids.emplace(std::string_view(e.text), id);
+    count.store(id + 1, std::memory_order_release);
+    return id;
+  }
+};
+
+Table& table() {
+  static Table* t = new Table();  // intentionally leaked: symbols outlive statics
+  return *t;
+}
+
+const Entry& entry(uint32_t id) {
+  Entry* slab = table().slabs[id >> kSlabBits].load(std::memory_order_acquire);
+  return slab[id & (kSlabSize - 1)];
+}
+
+}  // namespace
+
+Symbol Symbol::Intern(std::string_view text) {
+  Table& t = table();
+  std::lock_guard<std::mutex> lock(t.mu);
+  return Symbol(t.InternLocked(text));
+}
+
+std::optional<Symbol> Symbol::Find(std::string_view text) {
+  Table& t = table();
+  std::lock_guard<std::mutex> lock(t.mu);
+  auto it = t.ids.find(text);
+  if (it == t.ids.end()) {
+    return std::nullopt;
+  }
+  return Symbol(it->second);
+}
+
+const std::string& Symbol::str() const { return entry(id_).text; }
+
+uint64_t Symbol::hash() const { return entry(id_).content_hash; }
+
+size_t Interner::size() {
+  return table().count.load(std::memory_order_acquire);
+}
+
+}  // namespace sash::util

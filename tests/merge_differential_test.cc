@@ -1,0 +1,141 @@
+// Merge differential suite: over the shared fuzz-grammar corpus, the state
+// merging strategy must be invisible in the report. Digest-based merging,
+// the legacy string signatures it replaced, paranoid cross-checked merging
+// (SASH_PARANOID_MERGE), and no merging at all must produce identical
+// sash-analysis-v1 findings — the digest and legacy paths byte-identical
+// documents outright, merging on/off identical findings (engine stats differ
+// by construction there: that is what merging does).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+#include "core/analyzer.h"
+#include "json_normalize.h"
+#include "obs/json.h"
+#include "script_generator.h"
+
+namespace sash {
+namespace {
+
+constexpr uint32_t kSeeds = 60;
+
+core::AnalyzerOptions DifferentialOptions() {
+  core::AnalyzerOptions options;
+  options.enable_lint = true;
+  options.enable_idempotence_check = true;
+  options.enable_optimization_coach = true;
+  return options;
+}
+
+struct RunResult {
+  std::string json;            // Normalized full document.
+  std::string findings;        // Normalized findings array only.
+  std::string findings_no_notes;  // Findings with witness notes stripped.
+  int digest_collisions = 0;
+};
+
+RunResult Analyze(const std::string& script, bool merge, bool digest, bool legacy_render,
+                  int max_states = 0) {
+  core::AnalyzerOptions options = DifferentialOptions();
+  options.engine.merge_identical_states = merge;
+  options.engine.digest_merge = digest;
+  options.engine.legacy_describe_signature = legacy_render;
+  if (max_states > 0) {
+    options.engine.max_states = max_states;
+  }
+  core::Analyzer analyzer(options);
+  core::AnalysisReport report = analyzer.AnalyzeSource(script);
+  RunResult out;
+  out.json = sash::testing::NormalizeJson(report.ToJson(nullptr));
+  out.digest_collisions = report.engine_stats().digest_collisions;
+  std::optional<obs::JsonValue> doc = obs::JsonValue::Parse(out.json);
+  if (doc.has_value() && doc->is_object()) {
+    if (const obs::JsonValue* findings = doc->Find("findings")) {
+      obs::JsonWriter w;
+      obs::WriteJsonValue(*findings, &w);
+      out.findings = w.Take();
+      obs::JsonValue stripped = *findings;
+      for (obs::JsonValue& f : stripped.array) {
+        if (f.is_object()) {
+          f.object.erase(
+              std::remove_if(f.object.begin(), f.object.end(),
+                             [](const auto& kv) { return kv.first == "notes"; }),
+              f.object.end());
+        }
+      }
+      obs::JsonWriter w2;
+      obs::WriteJsonValue(stripped, &w2);
+      out.findings_no_notes = w2.Take();
+    }
+  }
+  return out;
+}
+
+TEST(MergeDifferentialTest, DigestMatchesLegacySignaturesByteForByte) {
+  // Same merge decisions → same states → same stats → same document.
+  for (uint32_t seed = 1; seed <= kSeeds; ++seed) {
+    testing::ScriptGenerator gen(seed);
+    std::string script = gen.Program();
+    SCOPED_TRACE("seed=" + std::to_string(seed) + "\n" + script);
+    RunResult digest = Analyze(script, /*merge=*/true, /*digest=*/true, false);
+    RunResult legacy = Analyze(script, /*merge=*/true, /*digest=*/false, false);
+    EXPECT_EQ(digest.json, legacy.json);
+  }
+}
+
+TEST(MergeDifferentialTest, DigestMatchesSeedDescribeSignatures) {
+  // The pre-overhaul Describe()-rendered signatures partition states the
+  // same way (Describe sampling could in principle alias two languages, but
+  // the findings must agree regardless).
+  for (uint32_t seed = 1; seed <= kSeeds; ++seed) {
+    testing::ScriptGenerator gen(seed);
+    std::string script = gen.Program();
+    SCOPED_TRACE("seed=" + std::to_string(seed) + "\n" + script);
+    RunResult digest = Analyze(script, /*merge=*/true, /*digest=*/true, false);
+    RunResult describe = Analyze(script, /*merge=*/true, /*digest=*/false, true);
+    EXPECT_EQ(digest.findings, describe.findings);
+  }
+}
+
+TEST(MergeDifferentialTest, MergingNeverChangesFindings) {
+  // Two deliberate relaxations, both inherent to what merging IS:
+  //   - the state cap is lifted (merging exists to preserve coverage under
+  //     the cap; an unmerged run at the default cap drops paths outright,
+  //     legitimately losing findings);
+  //   - witness notes are stripped (assumptions are deliberately not part
+  //     of state identity, so merging may pick a representative whose
+  //     example path differs).
+  // The diagnostics themselves (severity, code, location, message) must
+  // not move.
+  for (uint32_t seed = 1; seed <= kSeeds; ++seed) {
+    testing::ScriptGenerator gen(seed);
+    std::string script = gen.Program();
+    SCOPED_TRACE("seed=" + std::to_string(seed) + "\n" + script);
+    RunResult merged = Analyze(script, /*merge=*/true, /*digest=*/true, false, 1 << 16);
+    RunResult unmerged = Analyze(script, /*merge=*/false, /*digest=*/true, false, 1 << 16);
+    ASSERT_FALSE(merged.findings_no_notes.empty());
+    EXPECT_EQ(merged.findings_no_notes, unmerged.findings_no_notes);
+  }
+}
+
+TEST(MergeDifferentialTest, ParanoidMergeIsByteIdenticalAndCollisionFree) {
+  // SASH_PARANOID_MERGE cross-checks every digest merge against the legacy
+  // signature; on this corpus no 64-bit collision may fire, and the report
+  // must not move a byte.
+  for (uint32_t seed = 1; seed <= kSeeds; ++seed) {
+    testing::ScriptGenerator gen(seed);
+    std::string script = gen.Program();
+    SCOPED_TRACE("seed=" + std::to_string(seed) + "\n" + script);
+    RunResult plain = Analyze(script, /*merge=*/true, /*digest=*/true, false);
+    ASSERT_EQ(setenv("SASH_PARANOID_MERGE", "1", /*overwrite=*/1), 0);
+    RunResult paranoid = Analyze(script, /*merge=*/true, /*digest=*/true, false);
+    ASSERT_EQ(unsetenv("SASH_PARANOID_MERGE"), 0);
+    EXPECT_EQ(plain.json, paranoid.json);
+    EXPECT_EQ(paranoid.digest_collisions, 0);
+  }
+}
+
+}  // namespace
+}  // namespace sash

@@ -1,0 +1,151 @@
+// Test-only shared grammar fuzzer: a seeded generator of syntactically rich
+// (and optionally byte-mangled) POSIX sh programs. Used by the fuzz smoke
+// suite and the merge differential suite, so both walk the same corpus and a
+// failure in either reproduces from the printed seed alone.
+#ifndef SASH_TESTS_SCRIPT_GENERATOR_H_
+#define SASH_TESTS_SCRIPT_GENERATOR_H_
+
+#include <algorithm>
+#include <random>
+#include <string>
+
+namespace sash::testing {
+
+// A small weighted grammar over the shell constructs sash understands:
+// simple commands, pipelines, and-or lists, compound commands, functions,
+// redirections, quoting, and expansions. Depth-bounded so programs stay
+// readable and generation always terminates. Deterministic by construction
+// (std::mt19937 with a fixed seed per case).
+class ScriptGenerator {
+ public:
+  explicit ScriptGenerator(uint32_t seed) : rng_(seed) {}
+
+  std::string Program() {
+    std::string out;
+    int lines = Range(1, 8);
+    for (int i = 0; i < lines; ++i) {
+      out += Line(/*depth=*/0);
+      out += "\n";
+    }
+    return out;
+  }
+
+ private:
+  int Range(int lo, int hi) { return std::uniform_int_distribution<int>(lo, hi)(rng_); }
+  bool Chance(int percent) { return Range(1, 100) <= percent; }
+
+  std::string Word() {
+    static const char* kWords[] = {"foo",     "bar",  "baz.txt", "/tmp/x", "a b",
+                                   "$HOME/f", "-rf",  "--help",  "*.log",  "$1",
+                                   "${VAR}",  "file", "'lit'",   "x=y"};
+    std::string w = kWords[Range(0, 13)];
+    if (Chance(30)) {
+      return "\"" + w + "\"";
+    }
+    return w;
+  }
+
+  std::string SimpleCommand() {
+    static const char* kCmds[] = {"echo", "rm",   "grep", "cat",   "mkdir", "cp",
+                                  "mv",   "ls",   "cut",  "touch", "test",  "true",
+                                  "cd",   "read", "exit", ":"};
+    std::string cmd;
+    if (Chance(20)) {
+      cmd += "VAR" + std::to_string(Range(0, 3)) + "=" + Word() + " ";
+    }
+    cmd += kCmds[Range(0, 15)];
+    int args = Range(0, 3);
+    for (int i = 0; i < args; ++i) {
+      cmd += " " + Word();
+    }
+    if (Chance(15)) {
+      static const char* kRedir[] = {" > /tmp/out", " 2>/dev/null", " < /etc/passwd",
+                                     " >> log.txt"};
+      cmd += kRedir[Range(0, 3)];
+    }
+    return cmd;
+  }
+
+  std::string Pipeline(int depth) {
+    std::string p = Command(depth);
+    int stages = Range(0, 2);
+    for (int i = 0; i < stages; ++i) {
+      p += " | " + SimpleCommand();
+    }
+    return p;
+  }
+
+  std::string Command(int depth) {
+    if (depth >= 3) {
+      return SimpleCommand();
+    }
+    switch (Range(0, 9)) {
+      case 0:
+        return "if " + Pipeline(depth + 1) + "; then\n  " + Line(depth + 1) +
+               (Chance(50) ? "\nelse\n  " + Line(depth + 1) : "") + "\nfi";
+      case 1:
+        return "for v in " + Word() + " " + Word() + "; do\n  " + Line(depth + 1) + "\ndone";
+      case 2:
+        return "while " + SimpleCommand() + "; do\n  " + Line(depth + 1) + "\n  break\ndone";
+      case 3:
+        return "case " + Word() + " in\n  a) " + SimpleCommand() + " ;;\n  *) " +
+               SimpleCommand() + " ;;\nesac";
+      case 4:
+        return "( " + Line(depth + 1) + " )";
+      case 5:
+        return "{ " + Line(depth + 1) + "; }";
+      case 6:
+        return "fn" + std::to_string(Range(0, 2)) + "() {\n  " + Line(depth + 1) + "\n}";
+      case 7:
+        return "X=$( " + SimpleCommand() + " )";
+      default:
+        return SimpleCommand();
+    }
+  }
+
+  std::string Line(int depth) {
+    std::string line = Pipeline(depth);
+    if (Chance(25)) {
+      line += (Chance(50) ? " && " : " || ") + SimpleCommand();
+    }
+    if (Chance(10)) {
+      line += " &";
+    }
+    if (Chance(10)) {
+      line = "# comment " + std::to_string(Range(0, 99)) + "\n" + line;
+    }
+    return line;
+  }
+
+  std::mt19937 rng_;
+};
+
+// Deterministic byte-mangler for the garbage half of the corpus: flips,
+// truncates, and splices raw bytes into otherwise valid programs to probe the
+// parser's error paths.
+inline std::string Mangle(std::string script, std::mt19937* rng) {
+  auto range = [&](int lo, int hi) { return std::uniform_int_distribution<int>(lo, hi)(*rng); };
+  int edits = range(1, 4);
+  for (int i = 0; i < edits && !script.empty(); ++i) {
+    size_t pos = static_cast<size_t>(range(0, static_cast<int>(script.size()) - 1));
+    switch (range(0, 3)) {
+      case 0:
+        script[pos] = static_cast<char>(range(1, 255));
+        break;
+      case 1:
+        script.insert(pos, 1, "\"'`${}()|&;<>\\\n"[range(0, 14)]);
+        break;
+      case 2:
+        script.resize(pos);
+        break;
+      default:
+        script.insert(pos, script.substr(0, std::min<size_t>(16, script.size())));
+        break;
+    }
+  }
+  return script;
+}
+
+}  // namespace sash::testing
+
+#endif  // SASH_TESTS_SCRIPT_GENERATOR_H_

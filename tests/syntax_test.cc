@@ -152,10 +152,10 @@ TEST(Parser, ElifChain) {
   Program p = Parsed("if a; then x; elif b; then y; elif c; then z; else w; fi");
   const Command& c = Body(p);
   ASSERT_EQ(c.kind, CommandKind::kIf);
-  const Command* elif1 = c.if_cmd.else_body.get();
+  const Command* elif1 = c.if_cmd.else_body;
   ASSERT_NE(elif1, nullptr);
   ASSERT_EQ(elif1->kind, CommandKind::kIf);
-  const Command* elif2 = elif1->if_cmd.else_body.get();
+  const Command* elif2 = elif1->if_cmd.else_body;
   ASSERT_NE(elif2, nullptr);
   ASSERT_EQ(elif2->kind, CommandKind::kIf);
   EXPECT_NE(elif2->if_cmd.else_body, nullptr);

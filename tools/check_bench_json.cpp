@@ -1,12 +1,27 @@
-// Validates bench reports (BENCH_*.json, schema "sash-bench-v1").
+// Validates bench reports (BENCH_*.json, schema "sash-bench-v1") and,
+// optionally, compares them against a committed performance baseline.
 //
-//   sash_check_bench_json [--selftest] [dir-or-file ...]
+//   sash_check_bench_json [--selftest] [--baseline FILE] [dir-or-file ...]
 //
 // --selftest validates a known-good and a known-bad document built in
 // memory, so ctest can exercise the schema without benches having run.
 // Directory arguments are scanned for BENCH_*.json; missing directories are
-// fine (benches simply have not run yet). Exit 0 when everything given
-// validates, 1 on any schema violation or parse error, 2 on usage errors.
+// fine (benches simply have not run yet).
+//
+// --baseline FILE loads a "sash-bench-baseline-v1" document:
+//   {"schema":"sash-bench-baseline-v1","tolerance":1.5,
+//    "benches":{"hotpath":{
+//      "regress":{"hotpath.ns_per_script.full": 260000},  // fail if current
+//                                                         // > value*tolerance
+//      "min":{"hotpath.speedup_x100.full": 200}}}}        // fail if current
+//                                                         // < value
+// "regress" entries guard timing metrics against machine-relative slowdowns
+// (the tolerance absorbs host variance); "min" entries are hard floors for
+// machine-independent ratios and invariants. Metric names are looked up in
+// the report's metrics gauges, then counters.
+//
+// Exit 0 when everything given validates, 1 on any schema violation, parse
+// error, or baseline regression, 2 on usage errors.
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -21,6 +36,80 @@
 
 namespace {
 
+// The parsed --baseline document, when given.
+std::optional<sash::obs::JsonValue> g_baseline;
+
+// Finds `metric` in the report's metrics.gauges, then metrics.counters.
+const sash::obs::JsonValue* FindMetric(const sash::obs::JsonValue& report,
+                                       const std::string& metric) {
+  const sash::obs::JsonValue* metrics = report.Find("metrics");
+  if (metrics == nullptr) {
+    return nullptr;
+  }
+  for (const char* section : {"gauges", "counters"}) {
+    if (const sash::obs::JsonValue* sec = metrics->Find(section)) {
+      if (const sash::obs::JsonValue* v = sec->Find(metric); v != nullptr && v->is_number()) {
+        return v;
+      }
+    }
+  }
+  return nullptr;
+}
+
+// Compares one validated report against its baseline entry (if any).
+bool CheckBaseline(const std::string& label, const sash::obs::JsonValue& report) {
+  if (!g_baseline.has_value()) {
+    return true;
+  }
+  const sash::obs::JsonValue* bench = report.Find("bench");
+  if (bench == nullptr || !bench->is_string()) {
+    return true;  // Schema validation already flagged this.
+  }
+  double tolerance = 1.5;
+  if (const sash::obs::JsonValue* t = g_baseline->Find("tolerance"); t != nullptr && t->is_number()) {
+    tolerance = t->number;
+  }
+  const sash::obs::JsonValue* benches = g_baseline->Find("benches");
+  const sash::obs::JsonValue* entry =
+      benches != nullptr ? benches->Find(bench->string) : nullptr;
+  if (entry == nullptr) {
+    return true;  // No baseline committed for this bench.
+  }
+  bool ok = true;
+  if (const sash::obs::JsonValue* regress = entry->Find("regress")) {
+    for (const auto& [metric, base] : regress->object) {
+      const sash::obs::JsonValue* cur = FindMetric(report, metric);
+      if (cur == nullptr) {
+        std::fprintf(stderr, "%s: baseline metric '%s' missing from report\n", label.c_str(),
+                     metric.c_str());
+        ok = false;
+        continue;
+      }
+      double limit = base.number * tolerance;
+      if (cur->number > limit) {
+        std::fprintf(stderr, "%s: REGRESSION %s = %.0f > %.0f (baseline %.0f x tolerance %.2f)\n",
+                     label.c_str(), metric.c_str(), cur->number, limit, base.number, tolerance);
+        ok = false;
+      }
+    }
+  }
+  if (const sash::obs::JsonValue* mins = entry->Find("min")) {
+    for (const auto& [metric, base] : mins->object) {
+      const sash::obs::JsonValue* cur = FindMetric(report, metric);
+      if (cur == nullptr || cur->number < base.number) {
+        std::fprintf(stderr, "%s: FLOOR VIOLATION %s = %s < required %.0f\n", label.c_str(),
+                     metric.c_str(), cur == nullptr ? "absent" : std::to_string(cur->number).c_str(),
+                     base.number);
+        ok = false;
+      }
+    }
+  }
+  if (ok) {
+    std::printf("%s: baseline ok (%s)\n", label.c_str(), bench->string.c_str());
+  }
+  return ok;
+}
+
 bool ValidateText(const std::string& label, const std::string& text) {
   std::optional<sash::obs::JsonValue> doc = sash::obs::JsonValue::Parse(text);
   if (!doc.has_value()) {
@@ -31,7 +120,7 @@ bool ValidateText(const std::string& label, const std::string& text) {
   for (const std::string& p : problems) {
     std::fprintf(stderr, "%s: %s\n", label.c_str(), p.c_str());
   }
-  return problems.empty();
+  return problems.empty() && CheckBaseline(label, *doc);
 }
 
 bool ValidateFile(const std::filesystem::path& path) {
@@ -83,15 +172,29 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--selftest") == 0) {
       selftest = true;
+    } else if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
+      std::ifstream in(argv[++i]);
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      g_baseline = sash::obs::JsonValue::Parse(buf.str());
+      const sash::obs::JsonValue* schema =
+          g_baseline.has_value() ? g_baseline->Find("schema") : nullptr;
+      if (!in || schema == nullptr || !schema->is_string() ||
+          schema->string != "sash-bench-baseline-v1") {
+        std::fprintf(stderr, "%s: not a sash-bench-baseline-v1 document\n", argv[i]);
+        return 2;
+      }
     } else if (argv[i][0] == '-') {
-      std::fprintf(stderr, "usage: sash_check_bench_json [--selftest] [dir-or-file ...]\n");
+      std::fprintf(stderr,
+                   "usage: sash_check_bench_json [--selftest] [--baseline FILE] [dir-or-file ...]\n");
       return 2;
     } else {
       inputs.emplace_back(argv[i]);
     }
   }
   if (!selftest && inputs.empty()) {
-    std::fprintf(stderr, "usage: sash_check_bench_json [--selftest] [dir-or-file ...]\n");
+    std::fprintf(stderr,
+                 "usage: sash_check_bench_json [--selftest] [--baseline FILE] [dir-or-file ...]\n");
     return 2;
   }
 
