@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "util/faultinject.h"
 #include "util/thread_pool.h"
 
 namespace sash::batch {
@@ -24,6 +25,20 @@ bool ReadFile(const std::string& path, std::string* out, std::string* error) {
 
 }  // namespace
 
+std::string_view FileStatusName(FileStatus status) {
+  switch (status) {
+    case FileStatus::kOk:
+      return "ok";
+    case FileStatus::kDegraded:
+      return "degraded";
+    case FileStatus::kFailed:
+      return "failed";
+    case FileStatus::kTimedOut:
+      return "timed_out";
+  }
+  return "?";
+}
+
 bool BatchResult::AnyError() const {
   return std::any_of(files.begin(), files.end(), [](const FileResult& f) { return !f.ok; });
 }
@@ -33,8 +48,23 @@ bool BatchResult::AnyFindings() const {
                      [](const FileResult& f) { return f.ok && f.warnings_or_worse > 0; });
 }
 
+size_t BatchResult::CountStatus(FileStatus status) const {
+  return static_cast<size_t>(std::count_if(
+      files.begin(), files.end(), [status](const FileResult& f) { return f.status == status; }));
+}
+
+std::vector<std::string> BatchResult::Quarantined() const {
+  std::vector<std::string> out;
+  for (const FileResult& f : files) {
+    if (f.status == FileStatus::kFailed || f.status == FileStatus::kTimedOut) {
+      out.push_back(f.path);
+    }
+  }
+  return out;
+}
+
 int BatchResult::ExitCode() const {
-  if (AnyError()) {
+  if (AnyError() || CountStatus(FileStatus::kTimedOut) > 0) {
     return 2;
   }
   return AnyFindings() ? 1 : 0;
@@ -64,48 +94,101 @@ std::vector<std::string> ExpandInputs(const std::vector<std::string>& inputs) {
 
 BatchDriver::BatchDriver(BatchOptions options) : options_(std::move(options)) {}
 
+namespace {
+
+// A cached degradation reason must be a pure function of the fingerprinted
+// options — state/depth caps and the byte gate qualify; a timeout or an
+// external abort is a property of one run on one machine and must never be
+// replayed onto a future run.
+bool CacheableReason(std::string_view reason) {
+  return reason.empty() || reason == "state-cap" || reason == "depth-cap" ||
+         reason == "input-too-large";
+}
+
+FileStatus ClassifyDegraded(std::string_view reason) {
+  return reason == "timeout" ? FileStatus::kTimedOut : FileStatus::kDegraded;
+}
+
+}  // namespace
+
 FileResult BatchDriver::AnalyzeOne(const std::string& path, const std::string& source,
-                                   Cache* cache) {
+                                   Cache* cache, util::CancelToken* abort) {
   obs::StopWatch watch;
   obs::Span span(options_.obs.tracer, "analyze:" + path);
+  obs::Registry* metrics = options_.obs.metrics;
   FileResult result;
   result.path = path;
+
+  if (abort != nullptr && abort->cancelled()) {
+    result.status = FileStatus::kFailed;
+    result.error = "skipped: batch aborted by --fail-fast";
+    result.micros = watch.ElapsedMicros();
+    return result;
+  }
+  if (util::FaultInjector::enabled()) {
+    util::FaultDecision fault =
+        util::FaultInjector::Check(util::FaultSite::kAnalyzeFile, path);
+    util::FaultInjector::ApplyDelay(fault);
+    if (fault.action == util::FaultAction::kFail) {
+      result.status = FileStatus::kFailed;
+      result.error = "injected fault: analyze.file";
+      result.micros = watch.ElapsedMicros();
+      return result;
+    }
+  }
 
   std::string key;
   if (cache != nullptr) {
     key = AnalysisKey(source, options_.analyzer, options_.annotations_text);
-    if (std::optional<std::string> payload = cache->Get("analysis", key); payload.has_value()) {
+    std::optional<std::string> payload = cache->Get("analysis", key);
+    if (payload.has_value()) {
       if (std::optional<AnalysisEntry> entry = DecodeAnalysisEntry(*payload); entry.has_value()) {
         result.ok = true;
         result.cached = true;
+        result.status = entry->degraded_reason.empty() ? FileStatus::kOk
+                                                       : ClassifyDegraded(entry->degraded_reason);
+        result.degraded_reason = std::move(entry->degraded_reason);
         result.report_json = std::move(entry->report_json);
         result.report_text = std::move(entry->report_text);
         result.warnings_or_worse = entry->warnings_or_worse;
         result.micros = watch.ElapsedMicros();
         return result;
       }
-      // Undecodable entry (foreign version, corruption): fall through and
-      // overwrite it with a fresh analysis.
+      // Undecodable entry (foreign version, torn write, bit rot): the
+      // checksum demoted it to a miss — fall through, re-analyze, overwrite.
+      if (metrics != nullptr) {
+        metrics->counter("cache.corrupt_entries")->Add(1);
+      }
     }
   }
 
+  // Per-file budget: one token per analysis, so a single pathological script
+  // burns only its own deadline, never the batch's.
+  util::CancelToken budget;
   core::AnalyzerOptions per_file = options_.analyzer;
   per_file.obs = options_.obs;  // Shared tracer/registry are thread-safe.
+  if (options_.deadline_ms > 0) {
+    budget.SetDeadlineAfterMs(options_.deadline_ms);
+    per_file.cancel = &budget;
+  }
   core::Analyzer analyzer(std::move(per_file));
   if (!options_.annotations_text.empty()) {
     analyzer.AddAnnotations(annot::ParseAnnotationFile(options_.annotations_text));
   }
   core::AnalysisReport report = analyzer.AnalyzeSource(source);
   result.ok = true;
+  result.status = report.degraded() ? ClassifyDegraded(report.degraded_reason()) : FileStatus::kOk;
+  result.degraded_reason = report.degraded_reason();
   result.report_json = report.ToJson(nullptr);
   result.report_text = report.ToString();
   result.warnings_or_worse = static_cast<int64_t>(report.CountSeverity(Severity::kWarning));
 
-  if (cache != nullptr) {
+  if (cache != nullptr && CacheableReason(result.degraded_reason)) {
     AnalysisEntry entry;
     entry.report_json = result.report_json;
     entry.report_text = result.report_text;
     entry.warnings_or_worse = result.warnings_or_worse;
+    entry.degraded_reason = result.degraded_reason;
     cache->Put("analysis", key, EncodeAnalysisEntry(key, entry));
   }
   result.micros = watch.ElapsedMicros();
@@ -147,16 +230,31 @@ BatchResult BatchDriver::RunSourcesImpl(
   BatchResult result;
   result.files.resize(sources.size());
 
+  // Shared fail-fast abort token: the first failed/timed-out file cancels
+  // it; files not yet started observe it and report as skipped.
+  util::CancelToken abort_token;
+  util::CancelToken* abort = options_.fail_fast ? &abort_token : nullptr;
+
   util::ThreadPool pool(options_.jobs);
   for (size_t i = 0; i < sources.size(); ++i) {
     if (read_errors != nullptr && !(*read_errors)[i].empty()) {
       result.files[i].path = sources[i].first;
+      result.files[i].status = FileStatus::kFailed;
       result.files[i].error = (*read_errors)[i];
+      if (abort != nullptr) {
+        abort->Cancel(util::CancelReason::kExternal);
+      }
       continue;
     }
-    pool.Submit([this, &sources, &result, &cache, i] {
-      result.files[i] =
-          AnalyzeOne(sources[i].first, sources[i].second, cache.has_value() ? &*cache : nullptr);
+    pool.Submit([this, &sources, &result, &cache, abort, i] {
+      FileResult file =
+          AnalyzeOne(sources[i].first, sources[i].second, cache.has_value() ? &*cache : nullptr,
+                     abort);
+      if (abort != nullptr &&
+          (file.status == FileStatus::kFailed || file.status == FileStatus::kTimedOut)) {
+        abort->Cancel(util::CancelReason::kExternal);
+      }
+      result.files[i] = std::move(file);
     });
   }
   pool.Wait();
@@ -170,6 +268,15 @@ BatchResult BatchDriver::RunSourcesImpl(
     metrics->counter("batch.files")->Add(static_cast<int64_t>(sources.size()));
     metrics->counter("batch.steals")->Add(pool.steals());
     metrics->gauge("batch.jobs")->Set(pool.size());
+    metrics->counter("resilience.timeouts")
+        ->Add(static_cast<int64_t>(result.CountStatus(FileStatus::kTimedOut)));
+    metrics->counter("resilience.degraded")
+        ->Add(static_cast<int64_t>(result.CountStatus(FileStatus::kDegraded)));
+    metrics->counter("resilience.failed")
+        ->Add(static_cast<int64_t>(result.CountStatus(FileStatus::kFailed)));
+    if (util::FaultInjector::enabled()) {
+      metrics->gauge("faults.injected")->Set(util::FaultInjector::fires());
+    }
     obs::Histogram* h = metrics->histogram("batch.file_micros");
     for (const FileResult& f : result.files) {
       if (f.ok) {

@@ -35,13 +35,32 @@ struct BatchOptions {
   // folded into the cache key — editing the annotations invalidates entries.
   std::string annotations_text;
   obs::Hooks obs;                     // Shared tracer/metrics (thread-safe).
+
+  // Resilience controls.
+  int64_t deadline_ms = 0;  // Per-file analysis wall-clock budget; 0 = none.
+                            // An expired file yields a partial degraded
+                            // report classified kTimedOut, never a hang.
+  bool fail_fast = false;   // First failed/timed-out file aborts the batch:
+                            // files not yet started are classified kFailed
+                            // ("skipped"), in-flight ones finish.
 };
+
+// Per-file outcome classification. kOk and kDegraded both carry a complete,
+// well-formed report (a degraded one may cover only part of the script);
+// kTimedOut additionally implies the deadline cut the analysis (its partial
+// report is still present); kFailed means no trustworthy report exists
+// (unreadable input, injected failure, fail-fast skip).
+enum class FileStatus { kOk, kDegraded, kFailed, kTimedOut };
+
+std::string_view FileStatusName(FileStatus status);
 
 // The outcome for one input file.
 struct FileResult {
   std::string path;
   bool ok = false;            // Read and analyzed (possibly from cache).
   bool cached = false;        // Served from the cache.
+  FileStatus status = FileStatus::kFailed;
+  std::string degraded_reason;  // Machine-readable, for kDegraded/kTimedOut.
   std::string error;          // Read-failure description when !ok.
   std::string report_json;    // AnalysisReport::ToJson(nullptr) bytes.
   std::string report_text;    // AnalysisReport::ToString() bytes.
@@ -56,9 +75,16 @@ struct BatchResult {
 
   bool AnyError() const;
   bool AnyFindings() const;
+  // Status census over `files` (the quarantine summary): Quarantined() lists
+  // the paths that did not produce a complete trustworthy report on their
+  // own merits (kFailed + kTimedOut) — the files to re-run or investigate,
+  // isolated so they could not sink their neighbors.
+  size_t CountStatus(FileStatus status) const;
+  std::vector<std::string> Quarantined() const;
   // Partial-batch exit policy (documented in the CLI usage): every input is
-  // processed; 2 when any file could not be read, else 1 when any report has
-  // warnings or worse, else 0.
+  // processed; 2 when any file failed or timed out (the batch is partial),
+  // else 1 when any report has warnings or worse, else 0. Degraded-but-
+  // complete reports do not change the exit code — their findings do.
   int ExitCode() const;
 };
 
@@ -83,7 +109,8 @@ class BatchDriver {
   BatchResult RunSources(const std::vector<std::pair<std::string, std::string>>& sources);
 
  private:
-  FileResult AnalyzeOne(const std::string& path, const std::string& source, Cache* cache);
+  FileResult AnalyzeOne(const std::string& path, const std::string& source, Cache* cache,
+                        util::CancelToken* abort);
   BatchResult RunSourcesImpl(const std::vector<std::pair<std::string, std::string>>& sources,
                              const std::vector<std::string>* read_errors);
 

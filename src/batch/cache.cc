@@ -3,12 +3,15 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include "core/version.h"
 #include "mining/man_corpus.h"
+#include "util/faultinject.h"
 #include "util/sha256.h"
 
 namespace sash::batch {
@@ -23,6 +26,17 @@ void Feed(util::Sha256* h, std::string_view part) {
   h->Update(part);
 }
 
+// Checksum of an entry's logical content. Framed like key material so field
+// boundaries cannot alias; any byte that matters to a warm replay is covered.
+std::string EntryChecksum(const AnalysisEntry& entry) {
+  util::Sha256 h;
+  Feed(&h, entry.report_text);
+  Feed(&h, entry.report_json);
+  Feed(&h, std::to_string(entry.warnings_or_worse));
+  Feed(&h, entry.degraded_reason);
+  return h.HexDigest();
+}
+
 }  // namespace
 
 std::string OptionsFingerprint(const core::AnalyzerOptions& options) {
@@ -31,7 +45,11 @@ std::string OptionsFingerprint(const core::AnalyzerOptions& options) {
     << ";stream=" << options.enable_stream_types << ";annot=" << options.apply_annotations
     << ";idem=" << options.enable_idempotence_check
     << ";idem_cap=" << options.idempotence_state_cap
-    << ";coach=" << options.enable_optimization_coach;
+    << ";coach=" << options.enable_optimization_coach
+    // max_input_bytes deterministically shapes the report (too-large inputs
+    // degrade to an empty one); the cancel token does not participate — its
+    // effects are wall-clock-dependent and such reports are never cached.
+    << ";max_in=" << options.max_input_bytes;
   const symex::EngineOptions& e = options.engine;
   s << ";e.max_states=" << e.max_states << ";e.unroll=" << e.loop_unroll
     << ";e.depth=" << e.max_call_depth << ";e.for=" << e.max_for_iterations
@@ -89,6 +107,8 @@ std::string EncodeAnalysisEntry(std::string_view key, const AnalysisEntry& entry
   w.KV("key", key);
   w.KV("sash", core::kVersion);
   w.KV("warnings_or_worse", entry.warnings_or_worse);
+  w.KV("degraded_reason", entry.degraded_reason);
+  w.KV("checksum", EntryChecksum(entry));
   w.KV("report_text", entry.report_text);
   w.Key("report").Raw(entry.report_json);
   w.EndObject();
@@ -107,19 +127,28 @@ std::optional<AnalysisEntry> DecodeAnalysisEntry(std::string_view payload) {
   const obs::JsonValue* warnings = doc->Find("warnings_or_worse");
   const obs::JsonValue* text = doc->Find("report_text");
   const obs::JsonValue* report = doc->Find("report");
+  const obs::JsonValue* degraded = doc->Find("degraded_reason");
+  const obs::JsonValue* checksum = doc->Find("checksum");
   if (warnings == nullptr || !warnings->is_number() || text == nullptr || !text->is_string() ||
-      report == nullptr || !report->is_object()) {
+      report == nullptr || !report->is_object() || degraded == nullptr ||
+      !degraded->is_string() || checksum == nullptr || !checksum->is_string()) {
     return std::nullopt;
   }
   AnalysisEntry entry;
   entry.warnings_or_worse = static_cast<int64_t>(warnings->number);
   entry.report_text = text->string;
+  entry.degraded_reason = degraded->string;
   // Re-serialize the report value: WriteJsonValue round-trips the writer's
   // own output exactly (member order preserved, integral numbers intact), so
   // the bytes match what the cold run produced.
   obs::JsonWriter w;
   obs::WriteJsonValue(*report, &w);
   entry.report_json = w.Take();
+  // A flipped byte anywhere in the logical content fails here; the caller
+  // treats nullopt as a miss and recomputes.
+  if (checksum->string != EntryChecksum(entry)) {
+    return std::nullopt;
+  }
   return entry;
 }
 
@@ -144,7 +173,20 @@ std::filesystem::path Cache::EntryPath(std::string_view kind, std::string_view k
 }
 
 std::optional<std::string> Cache::Get(std::string_view kind, std::string_view key) {
-  std::ifstream in(EntryPath(kind, key), std::ios::binary);
+  std::filesystem::path path = EntryPath(kind, key);
+  util::FaultDecision fault;
+  if (util::FaultInjector::enabled()) {
+    fault = util::FaultInjector::Check(util::FaultSite::kCacheRead, path.string());
+    util::FaultInjector::ApplyDelay(fault);
+    if (fault.action == util::FaultAction::kFail) {
+      // Simulated unreadable entry: exactly the real miss path below.
+      if (metrics_ != nullptr) {
+        metrics_->counter("cache.misses")->Add(1);
+      }
+      return std::nullopt;
+    }
+  }
+  std::ifstream in(path, std::ios::binary);
   if (!in) {
     if (metrics_ != nullptr) {
       metrics_->counter("cache.misses")->Add(1);
@@ -153,16 +195,68 @@ std::optional<std::string> Cache::Get(std::string_view kind, std::string_view ke
   }
   std::ostringstream buf;
   buf << in.rdbuf();
+  std::string payload = buf.str();
+  // Simulated torn/bit-flipped entry: the checksum in the payload makes the
+  // decoder reject it, so downstream sees a corrupt-entry miss.
+  util::FaultInjector::ApplyPayloadFault(fault, &payload);
   if (metrics_ != nullptr) {
     metrics_->counter("cache.hits")->Add(1);
   }
-  return buf.str();
+  return payload;
 }
 
 bool Cache::Put(std::string_view kind, std::string_view key, std::string_view payload) {
   std::filesystem::path path = EntryPath(kind, key);
   std::error_code ec;
   std::filesystem::create_directories(path.parent_path(), ec);
+  // Cache write failures are overwhelmingly transient (EINTR, a briefly full
+  // tmpfs, an injected fault); a short exponential backoff recovers them
+  // without bothering the caller. Permanent failure just means no caching.
+  int backoff_ms = 1;
+  for (int attempt = 0; attempt < kPutAttempts; ++attempt) {
+    if (attempt > 0) {
+      if (metrics_ != nullptr) {
+        metrics_->counter("cache.retries")->Add(1);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ms *= 4;
+    }
+    if (PutOnce(path, payload, attempt)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Cache::PutOnce(const std::filesystem::path& path, std::string_view payload, int attempt) {
+  // The fault detail carries the attempt index so a rate-gated rule rolls
+  // independently per attempt — injected write failures are transient, which
+  // is what the retry loop exists to absorb. An "#nth" rule on the bare path
+  // still matches every attempt via the substring match.
+  util::FaultDecision write_fault;
+  util::FaultDecision rename_fault;
+  std::string torn_payload;
+  if (util::FaultInjector::enabled()) {
+    std::string detail = path.string() + "@" + std::to_string(attempt);
+    write_fault = util::FaultInjector::Check(util::FaultSite::kCacheWrite, detail);
+    util::FaultInjector::ApplyDelay(write_fault);
+    if (write_fault.action == util::FaultAction::kFail) {
+      if (metrics_ != nullptr) {
+        metrics_->counter("cache.write_failures")->Add(1);
+      }
+      return false;
+    }
+    if (write_fault.action == util::FaultAction::kTorn ||
+        write_fault.action == util::FaultAction::kCorrupt) {
+      // Simulated torn write: a corrupt entry lands on disk "successfully";
+      // only the read-side checksum stands between it and a wrong replay.
+      torn_payload = std::string(payload);
+      util::FaultInjector::ApplyPayloadFault(write_fault, &torn_payload);
+      payload = torn_payload;
+    }
+    rename_fault = util::FaultInjector::Check(util::FaultSite::kCacheRename, detail);
+  }
+  std::error_code ec;
   // Unique temp name per writer: concurrent writers of the same key each
   // rename their own complete file over the target (last writer wins; all
   // payloads for one key are identical by construction).
@@ -188,6 +282,13 @@ bool Cache::Put(std::string_view kind, std::string_view key, std::string_view pa
       }
       return false;
     }
+  }
+  if (rename_fault.action == util::FaultAction::kFail) {
+    std::filesystem::remove(tmp, ec);
+    if (metrics_ != nullptr) {
+      metrics_->counter("cache.write_failures")->Add(1);
+    }
+    return false;
   }
   std::filesystem::rename(tmp, path, ec);
   if (ec) {

@@ -53,8 +53,17 @@ struct AnalysisEntry {
   std::string report_json;  // AnalysisReport::ToJson(nullptr) of the cold run.
   std::string report_text;  // AnalysisReport::ToString() of the cold run.
   int64_t warnings_or_worse = 0;  // Drives the exit code.
+  // The cold run's degradation reason ("" when not degraded). Only
+  // deterministic reasons are ever cached — a timeout is a property of one
+  // machine at one moment, not of the (script, options) pair, so the driver
+  // never Puts a timeout-degraded report.
+  std::string degraded_reason;
 };
 
+// The encoded entry embeds a SHA-256 checksum of its logical content; Decode
+// recomputes and compares it, so a truncated or bit-flipped entry (torn
+// write, disk corruption) decodes to nullopt — a miss, never a crash and
+// never a silently wrong replay.
 std::string EncodeAnalysisEntry(std::string_view key, const AnalysisEntry& entry);
 std::optional<AnalysisEntry> DecodeAnalysisEntry(std::string_view payload);
 
@@ -62,7 +71,7 @@ class Cache {
  public:
   // `root` empty selects DefaultRoot(). The directory is created lazily on
   // first Put. Metrics (optional): "cache.hits", "cache.misses",
-  // "cache.write_failures".
+  // "cache.write_failures", "cache.retries".
   explicit Cache(std::filesystem::path root, obs::Registry* metrics = nullptr);
 
   // $SASH_CACHE_DIR, else $XDG_CACHE_HOME/sash, else $HOME/.cache/sash, else
@@ -75,11 +84,16 @@ class Cache {
   // miss or an unreadable/undecodable entry (counted as a miss).
   std::optional<std::string> Get(std::string_view kind, std::string_view key);
 
-  // Atomically installs `payload` for `key`. Returns false on I/O failure
-  // (the cache is best-effort: callers proceed without it).
+  // Atomically installs `payload` for `key`, retrying transient I/O failures
+  // with exponential backoff (kPutAttempts attempts; "cache.retries" counts
+  // the extras). Returns false when every attempt failed (the cache is
+  // best-effort: callers proceed without it).
   bool Put(std::string_view kind, std::string_view key, std::string_view payload);
 
+  static constexpr int kPutAttempts = 3;
+
  private:
+  bool PutOnce(const std::filesystem::path& path, std::string_view payload, int attempt);
   std::filesystem::path EntryPath(std::string_view kind, std::string_view key) const;
 
   std::filesystem::path root_;

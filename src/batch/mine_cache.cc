@@ -2,6 +2,7 @@
 
 #include "batch/spec_io.h"
 #include "mining/man_corpus.h"
+#include "util/faultinject.h"
 
 namespace sash::batch {
 
@@ -19,6 +20,18 @@ mining::MiningOutcome CachedMineCommand(Cache* cache, const std::string& name,
   }
   std::string key = MineKey(name, it->second);
   if (std::optional<std::string> payload = cache->Get("mine", key); payload.has_value()) {
+    if (util::FaultInjector::enabled()) {
+      // Chaos hook: a corrupted/torn spec payload must demote to a cache
+      // miss (re-mine), never crash or yield a half-parsed spec.
+      util::FaultDecision fault =
+          util::FaultInjector::Check(util::FaultSite::kSpecLoad, name);
+      util::FaultInjector::ApplyDelay(fault);
+      if (fault.action == util::FaultAction::kFail) {
+        payload->clear();
+      } else {
+        util::FaultInjector::ApplyPayloadFault(fault, &*payload);
+      }
+    }
     if (std::optional<mining::MiningOutcome> cached = DecodeMiningOutcome(*payload);
         cached.has_value()) {
       if (hooks.metrics != nullptr) {

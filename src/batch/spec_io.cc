@@ -2,10 +2,41 @@
 
 #include "batch/cache.h"
 #include "core/version.h"
+#include "util/sha256.h"
 
 namespace sash::batch {
 
 namespace {
+
+// Content checksum over everything a warm load reuses, so a bit-flipped or
+// truncated mining entry is detected and demoted to a re-mine rather than
+// silently installing a wrong spec. Specs are hashed via their canonical
+// serialization (the writer's own output, which Decode re-derives exactly).
+std::string MiningChecksum(const mining::MiningOutcome& outcome) {
+  util::Sha256 h;
+  auto feed = [&h](std::string_view part) {
+    h.Update(std::to_string(part.size()));
+    h.Update(":");
+    h.Update(part);
+  };
+  feed(outcome.command);
+  feed(outcome.ok ? "1" : "0");
+  feed(outcome.error);
+  obs::JsonWriter specs_w;
+  WriteSyntaxSpec(outcome.syntax, &specs_w);
+  WriteCommandSpec(outcome.spec, &specs_w);
+  feed(specs_w.Take());
+  feed(std::to_string(outcome.invocations));
+  feed(std::to_string(outcome.environments));
+  feed(std::to_string(outcome.probes));
+  feed(std::to_string(outcome.cases));
+  feed(std::to_string(outcome.validation.configurations));
+  feed(std::to_string(outcome.validation.agreements));
+  for (const std::string& d : outcome.validation.disagreements) {
+    feed(d);
+  }
+  return h.HexDigest();
+}
 
 // Lookup helpers tolerant of missing members: decoding fails (nullopt) rather
 // than crashing on a foreign or truncated document.
@@ -248,6 +279,7 @@ std::string EncodeMiningOutcome(std::string_view key, const mining::MiningOutcom
   w.KV("command", outcome.command);
   w.KV("ok", outcome.ok);
   w.KV("error", outcome.error);
+  w.KV("checksum", MiningChecksum(outcome));
   w.Key("syntax");
   WriteSyntaxSpec(outcome.syntax, &w);
   w.Key("spec");
@@ -314,6 +346,12 @@ std::optional<mining::MiningOutcome> DecodeMiningOutcome(std::string_view payloa
       return std::nullopt;
     }
     out.validation.disagreements.push_back(d.string);
+  }
+  // Corruption gate: the stored checksum must match one recomputed from the
+  // decoded content, or this entry is treated as a miss and re-mined.
+  std::string checksum;
+  if (!GetString(*doc, "checksum", &checksum) || checksum != MiningChecksum(out)) {
+    return std::nullopt;
   }
   return out;
 }

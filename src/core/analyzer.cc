@@ -46,6 +46,9 @@ std::string AnalysisReport::ToString() const {
   if (findings_.empty()) {
     out = "no findings\n";
   }
+  if (degraded_) {
+    out += "analysis incomplete (" + degraded_reason_ + "): findings may be partial\n";
+  }
   return out;
 }
 
@@ -55,6 +58,10 @@ std::string AnalysisReport::ToJson(const obs::Registry* metrics) const {
   w.KV("schema", kAnalysisSchema);
   w.KV("parse_ok", parse_ok_);
   w.KV("clean", Clean());
+  w.KV("degraded", degraded_);
+  if (degraded_) {
+    w.KV("degraded_reason", degraded_reason_);
+  }
   w.Key("findings").BeginArray();
   for (const Diagnostic& d : findings_) {
     w.BeginObject();
@@ -88,6 +95,7 @@ std::string AnalysisReport::ToJson(const obs::Registry* metrics) const {
   w.KV("states_peak", int64_t{engine_stats_.states_peak});
   w.KV("states_merged", int64_t{engine_stats_.states_merged});
   w.KV("states_dropped", int64_t{engine_stats_.states_dropped});
+  w.KV("depth_cap_hits", int64_t{engine_stats_.depth_cap_hits});
   w.KV("final_states", int64_t{engine_stats_.final_states});
   w.KV("fs_ops", int64_t{engine_stats_.fs_ops});
   w.EndObject();
@@ -114,6 +122,30 @@ void Analyzer::AddAnnotations(annot::AnnotationSet annotations) {
 }
 
 AnalysisReport Analyzer::AnalyzeSource(std::string_view source) {
+  // Pre-parse byte gate: a pathological input is rejected before the parser
+  // ever sees it, with a well-formed (empty) degraded report. Both the
+  // static option and a token byte budget feed the same taxonomy.
+  const bool too_large =
+      options_.max_input_bytes > 0 &&
+      static_cast<int64_t>(source.size()) > options_.max_input_bytes;
+  if (options_.cancel != nullptr) {
+    options_.cancel->ChargeBytes(static_cast<int64_t>(source.size()));
+  }
+  if (too_large ||
+      (options_.cancel != nullptr &&
+       options_.cancel->reason() == util::CancelReason::kInputTooLarge)) {
+    AnalysisReport report;
+    report.parse_ok_ = false;
+    report.degraded_ = true;
+    report.degraded_reason_ = util::CancelReasonName(util::CancelReason::kInputTooLarge);
+    Diagnostic note;
+    note.severity = Severity::kInfo;
+    note.code = kCodeIncomplete;
+    note.message = "input not analyzed: script exceeds the input byte budget";
+    report.findings_.push_back(std::move(note));
+    return report;
+  }
+
   std::vector<PhaseTiming> front_phases;
 
   obs::StopWatch parse_watch;
@@ -162,10 +194,16 @@ AnalysisReport Analyzer::Analyze(const syntax::Program& program,
 
   obs::Tracer* tracer = options_.obs.tracer;
   obs::Registry* metrics = options_.obs.metrics;
+  util::CancelToken* cancel = options_.cancel;
 
   // Runs `body` as a named, timed phase; the wall time always lands in the
-  // report, the span only when a tracer is attached.
+  // report, the span only when a tracer is attached. An expired budget skips
+  // the phase outright — findings from phases already run stand, and the
+  // report is tagged degraded below.
   auto phase = [&](const char* name, auto&& body) {
+    if (cancel != nullptr && cancel->CheckNow()) {
+      return;
+    }
     obs::StopWatch watch;
     obs::Span span(tracer, name);
     body();
@@ -201,6 +239,7 @@ AnalysisReport Analyzer::Analyze(const syntax::Program& program,
     phase("stream-typing", [&] {
       stream::PipelineChecker checker(types);
       checker.set_metrics(metrics);
+      checker.set_cancel(cancel);
       for (auto& [name, type] : resolved.command_types) {
         checker.AddCommandType(name, type);
       }
@@ -210,6 +249,7 @@ AnalysisReport Analyzer::Analyze(const syntax::Program& program,
 
   if (options_.enable_symex) {
     symex::EngineOptions engine_options = options_.engine;
+    engine_options.cancel = cancel;
     for (const auto& [var, lang] : resolved.var_langs) {
       engine_options.var_patterns.emplace_back(var, lang.pattern());
     }
@@ -280,6 +320,37 @@ AnalysisReport Analyzer::Analyze(const syntax::Program& program,
 
   for (Diagnostic& d : sink.TakeAll()) {
     report.findings_.push_back(std::move(d));
+  }
+
+  // Degradation classification + explicit truncation notes. Token expiry
+  // wins (the whole pipeline was cut); otherwise the engine's own
+  // exploration caps degrade the report deterministically. Messages carry
+  // the configured cap — never the hit count, which varies across merge
+  // strategies that must stay report-identical.
+  auto incomplete = [&](std::string message) {
+    Diagnostic note;
+    note.severity = Severity::kInfo;
+    note.code = kCodeIncomplete;
+    note.message = std::move(message);
+    report.findings_.push_back(std::move(note));
+  };
+  if (cancel != nullptr && cancel->CheckNow()) {
+    report.degraded_ = true;
+    report.degraded_reason_ = util::CancelReasonName(cancel->reason());
+    incomplete("analysis cancelled (" + report.degraded_reason_ +
+               "); later phases were skipped and findings may be partial");
+  } else if (report.engine_stats_.states_dropped > 0) {
+    report.degraded_ = true;
+    report.degraded_reason_ = util::CancelReasonName(util::CancelReason::kStateCap);
+    incomplete("symbolic execution hit the state cap (" +
+               std::to_string(options_.engine.max_states) +
+               "); some execution paths were dropped and findings may be partial");
+  } else if (report.engine_stats_.depth_cap_hits > 0) {
+    report.degraded_ = true;
+    report.degraded_reason_ = util::CancelReasonName(util::CancelReason::kDepthCap);
+    incomplete("symbolic execution hit the call-depth cap (" +
+               std::to_string(options_.engine.max_call_depth) +
+               "); deeper calls and substitutions were not explored");
   }
 
   if (metrics != nullptr) {

@@ -31,6 +31,11 @@ inline constexpr char kCodeNotIdempotent[] = "SASH-NOT-IDEMPOTENT";
 // adjacent commands that could be reordered or parallelized.
 inline constexpr char kCodeParallelizable[] = "SASH-OPT-PARALLEL";
 
+// Budget/cap truncation surfaced as an explicit note (never silent): the
+// analysis ran but did not explore everything. Severity kInfo — an
+// incomplete analysis is not itself a defect in the script.
+inline constexpr char kCodeIncomplete[] = "SASH-INCOMPLETE";
+
 // Schema tag of AnalysisReport::ToJson documents.
 inline constexpr char kAnalysisSchema[] = "sash-analysis-v1";
 
@@ -47,6 +52,19 @@ struct AnalyzerOptions {
   // Opt-in: emit kCodeParallelizable suggestions from the read-write
   // dependency analysis (§5's optimization coach).
   bool enable_optimization_coach = false;
+
+  // Resilience: an optional cooperative cancellation/budget token, polled by
+  // every phase boundary and threaded into the symex engine, the stream
+  // checker, and the idempotence reruns. When it expires mid-analysis the
+  // report is still well-formed — phases already run keep their findings,
+  // the rest are skipped — and is tagged degraded with the token's reason.
+  // The pointer itself is never part of the cache fingerprint.
+  util::CancelToken* cancel = nullptr;
+  // Inputs larger than this many bytes are not analyzed at all: the report
+  // comes back degraded ("input-too-large") with zero findings rather than
+  // risking a parse bomb. 0 disables the gate. Deterministic, so it IS part
+  // of the options fingerprint.
+  int64_t max_input_bytes = 0;
 
   symex::EngineOptions engine;
   lint::LintOptions lint;
@@ -77,6 +95,14 @@ class AnalysisReport {
   const std::vector<PhaseTiming>& phase_timings() const { return phase_timings_; }
   int64_t total_micros() const;
 
+  // True when the analysis was cut short (budget expiry or an exploration
+  // cap); the report is complete as a document but its findings may not
+  // cover the whole script. `degraded_reason()` is the machine-readable
+  // cause: "timeout", "step-cap", "state-cap", "depth-cap",
+  // "input-too-large", or "external".
+  bool degraded() const { return degraded_; }
+  const std::string& degraded_reason() const { return degraded_reason_; }
+
   bool HasCode(std::string_view code) const;
   size_t CountSeverity(Severity severity) const;
   // Errors or warnings present (parse errors included).
@@ -94,6 +120,8 @@ class AnalysisReport {
   friend class Analyzer;
   std::vector<Diagnostic> findings_;
   bool parse_ok_ = false;
+  bool degraded_ = false;
+  std::string degraded_reason_;
   symex::EngineStats engine_stats_;
   int pipelines_checked_ = 0;
   std::vector<PhaseTiming> phase_timings_;

@@ -121,11 +121,14 @@ void InstallShape(fs::FileSystem& fs, const std::string& path, OperandShape shap
 
 }  // namespace
 
-std::vector<ProbeRecord> RunProbes(const ProbePlan& plan) {
+std::vector<ProbeRecord> RunProbes(const ProbePlan& plan, util::CancelToken* cancel) {
   std::vector<ProbeRecord> records;
   records.reserve(plan.invocations.size() * plan.environments.size());
   for (const specs::Invocation& inv : plan.invocations) {
     for (const ProbeEnvironment& env : plan.environments) {
+      if (cancel != nullptr && cancel->CheckStep()) {
+        return records;
+      }
       ProbeRecord rec;
       rec.invocation = inv;
       rec.env = env;

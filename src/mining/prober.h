@@ -9,6 +9,7 @@
 
 #include "fs/filesystem.h"
 #include "specs/syntax_spec.h"
+#include "util/cancel.h"
 
 namespace sash::mining {
 
@@ -48,8 +49,11 @@ struct ProbeRecord {
 };
 
 // Executes every (invocation × environment) pair of the plan in a fresh
-// FileSystem, recording snapshots and the interposition trace.
-std::vector<ProbeRecord> RunProbes(const ProbePlan& plan);
+// FileSystem, recording snapshots and the interposition trace. When `cancel`
+// expires mid-sweep, the records gathered so far are returned (a partial
+// mining sweep still yields a usable, if weaker, spec).
+std::vector<ProbeRecord> RunProbes(const ProbePlan& plan,
+                                   util::CancelToken* cancel = nullptr);
 
 // The canonical path used for operand i in probe environments.
 std::string ProbeOperandPath(int index);

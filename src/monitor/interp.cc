@@ -105,6 +105,12 @@ InterpResult Interpreter::Run(const syntax::Program& program) {
   result.steps = steps_;
   if (aborted_ && !abort_reason_.empty()) {
     result.err += "sash-monitor: " + abort_reason_ + "\n";
+  } else if (result.budget_exceeded) {
+    // Surface the truncation explicitly instead of silently returning the
+    // last exit code (analysis-incomplete taxonomy, see DESIGN.md).
+    result.err += "sash-monitor: analysis-incomplete: step budget (" +
+                  std::to_string(options_.max_steps) +
+                  ") exhausted; execution truncated\n";
   }
   return result;
 }
@@ -128,6 +134,13 @@ int Interpreter::ExecProgram(const syntax::Program& program, ExecContext ctx) {
 
 int Interpreter::ExecCommand(const Command& cmd, ExecContext ctx) {
   if (aborted_ || exited_ || ++steps_ > options_.max_steps) {
+    return last_exit_;
+  }
+  if (options_.cancel != nullptr && options_.cancel->CheckStep()) {
+    aborted_ = true;
+    abort_reason_ = "analysis-incomplete: cancelled (" +
+                    std::string(util::CancelReasonName(options_.cancel->reason())) +
+                    "); execution truncated";
     return last_exit_;
   }
   switch (cmd.kind) {

@@ -14,6 +14,7 @@
 #include "fs/filesystem.h"
 #include "obs/metrics.h"
 #include "syntax/ast.h"
+#include "util/cancel.h"
 
 namespace sash::monitor {
 
@@ -26,6 +27,9 @@ struct InterpOptions {
   // Optional observability: per-command guard-check latency and command
   // counts land here as "monitor.*" instruments.
   obs::Registry* metrics = nullptr;
+  // Optional cooperative cancellation: polled once per interpreted command;
+  // expiry aborts the run with a "sash-monitor:" reason on stderr.
+  util::CancelToken* cancel = nullptr;
 };
 
 struct InterpResult {

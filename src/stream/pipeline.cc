@@ -104,6 +104,9 @@ int PipelineChecker::CheckProgram(const syntax::Program& program, DiagnosticSink
     if (cmd.kind != syntax::CommandKind::kPipeline || cmd.pipeline.commands.size() < 2) {
       return;
     }
+    if (cancel_ != nullptr && cancel_->CheckStep()) {
+      return;
+    }
     ++checked;
     if (metrics_ != nullptr) {
       metrics_->counter("stream.pipelines_checked")->Add(1);

@@ -12,6 +12,7 @@
 #include "obs/metrics.h"
 #include "rtypes/types.h"
 #include "syntax/ast.h"
+#include "util/cancel.h"
 #include "util/diagnostics.h"
 
 namespace sash::stream {
@@ -55,6 +56,11 @@ class PipelineChecker {
   // Optional observability: typing-rule hit counts ("stream.*") land here.
   void set_metrics(obs::Registry* metrics) { metrics_ = metrics; }
 
+  // Optional cooperative cancellation: CheckProgram polls the token per
+  // pipeline and stops checking once it expires (already-emitted diagnostics
+  // stand; the remaining pipelines are simply not checked).
+  void set_cancel(util::CancelToken* cancel) { cancel_ = cancel; }
+
   // Checks one pipeline (or single command) against an input line type.
   PipelineReport Check(const syntax::Command& cmd,
                        regex::Regex input = regex::Regex::AnyLine()) const;
@@ -72,6 +78,7 @@ class PipelineChecker {
   rtypes::TypeLibrary lib_;
   std::vector<std::pair<std::string, rtypes::CommandType>> overrides_;
   obs::Registry* metrics_ = nullptr;
+  util::CancelToken* cancel_ = nullptr;
 };
 
 }  // namespace sash::stream

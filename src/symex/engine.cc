@@ -165,6 +165,8 @@ void EngineStats::PublishTo(obs::Registry* registry) const {
   registry->counter("symex.fs_ops")->Add(fs_ops);
   registry->gauge("symex.states_peak")->Max(states_peak);
   registry->counter("symex.digest_collisions")->Add(digest_collisions);
+  registry->counter("symex.depth_cap_hits")->Add(depth_cap_hits);
+  registry->counter("symex.cancelled")->Add(cancelled);
 }
 
 Engine::Engine(EngineOptions options, DiagnosticSink* sink)
@@ -226,7 +228,17 @@ std::vector<State> Evaluator::Exec(State st, const Command& cmd, int depth) {
   if (st.terminated) {
     return {std::move(st)};
   }
+  if (options_.cancel != nullptr && options_.cancel->CheckStep()) {
+    // Budget exhausted: wind this path down with an unknown exit. The
+    // caller's loops see terminated states and fall through quickly, so the
+    // whole engine drains within one pass over the live set.
+    stats_->cancelled = 1;
+    st.terminated = true;
+    st.exit = ExitStatus::Unknown();
+    return {std::move(st)};
+  }
   if (depth > options_.max_call_depth) {
+    ++stats_->depth_cap_hits;
     st.exit = ExitStatus::Unknown();
     return {std::move(st)};
   }

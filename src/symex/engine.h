@@ -18,6 +18,7 @@
 #include "specs/library.h"
 #include "symex/state.h"
 #include "syntax/ast.h"
+#include "util/cancel.h"
 #include "util/diagnostics.h"
 
 namespace sash::symex {
@@ -48,6 +49,12 @@ struct EngineOptions {
 
   const specs::SpecLibrary* library = nullptr;  // Default: BuiltinGroundTruth.
 
+  // Optional cooperative cancellation: the engine polls this once per
+  // executed command and winds down (terminating every live state with an
+  // unknown exit) when the token expires. Never fingerprinted into cache
+  // keys — only deterministic budgets may shape cached results.
+  util::CancelToken* cancel = nullptr;
+
   bool report_unset_vars = true;
   // Merge states that become indistinguishable (prunes via concrete state).
   bool merge_identical_states = true;
@@ -76,6 +83,8 @@ struct EngineStats {
   int states_peak = 1;
   int states_merged = 0;
   int states_dropped = 0;  // Cap overflow.
+  int depth_cap_hits = 0;  // Exec calls cut off at max_call_depth.
+  int cancelled = 0;       // 1 when a cancel token cut the run short.
   int final_states = 0;
   int fs_ops = 0;  // Symbolic file-system mutations and assumptions applied.
   // Digest-equal state pairs whose legacy signatures differed; only counted

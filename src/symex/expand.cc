@@ -395,7 +395,11 @@ SymValue Evaluator::ExpandParam(State& st, const WordPart& part, int depth) {
 
 SymValue Evaluator::EvalCommandSub(State& st, const WordPart& part, int depth,
                                    std::optional<Provenance>* prov_out) {
-  if (part.command == nullptr || depth > options_.max_call_depth) {
+  if (part.command == nullptr) {
+    return SymValue::UnknownLine();
+  }
+  if (depth > options_.max_call_depth) {
+    ++stats_->depth_cap_hits;
     return SymValue::UnknownLine();
   }
   // Substitutions run in a subshell: variable/cwd changes do not escape, but

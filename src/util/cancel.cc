@@ -1,0 +1,25 @@
+#include "util/cancel.h"
+
+namespace sash::util {
+
+std::string_view CancelReasonName(CancelReason reason) {
+  switch (reason) {
+    case CancelReason::kNone:
+      return "none";
+    case CancelReason::kTimeout:
+      return "timeout";
+    case CancelReason::kStepCap:
+      return "step-cap";
+    case CancelReason::kStateCap:
+      return "state-cap";
+    case CancelReason::kDepthCap:
+      return "depth-cap";
+    case CancelReason::kInputTooLarge:
+      return "input-too-large";
+    case CancelReason::kExternal:
+      return "external";
+  }
+  return "?";
+}
+
+}  // namespace sash::util

@@ -1,5 +1,7 @@
 #include "util/thread_pool.h"
 
+#include "util/faultinject.h"
+
 namespace sash::util {
 
 namespace {
@@ -104,6 +106,12 @@ void ThreadPool::WorkerLoop(int index) {
       {
         std::lock_guard<std::mutex> lock(idle_mu_);
         --queued_;
+      }
+      if (FaultInjector::enabled()) {
+        // Chaos harness: a pool.task rule stalls the worker before it runs
+        // the task, simulating a slow/starved core. Results must not change.
+        FaultInjector::ApplyDelay(
+            FaultInjector::Check(FaultSite::kPoolTask, "worker"));
       }
       task();
       std::lock_guard<std::mutex> lock(idle_mu_);

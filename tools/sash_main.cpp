@@ -44,6 +44,7 @@ int Usage() {
                "  analyze [-jN|--jobs N] [--cache-dir DIR] [--no-cache]\n"
                "          [--lint] [--no-symex] [--no-stream] [--idempotence] [--coach]\n"
                "          [--annotations file.sasht] [--stats] [--format=text|json]\n"
+               "          [--deadline-ms N] [--fail-fast] [--max-input-bytes N]\n"
                "          [--trace-out trace.json] <script.sh|dir>...\n"
                "  lint <script.sh>\n"
                "  run <script.sh> [args...]\n"
@@ -53,7 +54,10 @@ int Usage() {
                "  version\n"
                "exit codes: 0 clean, 1 findings (warnings or worse), 2 usage/IO error\n"
                "batch: all readable inputs are analyzed; exit 2 if any input was\n"
-               "unreadable, else 1 if any file had findings, else 0\n");
+               "unreadable, failed, or timed out (partial batch), else 1 if any file\n"
+               "had findings, else 0. --deadline-ms bounds each file's analysis (an\n"
+               "expired file keeps its partial report, status \"timed_out\");\n"
+               "--fail-fast stops scheduling new files after the first failure\n");
   return 2;
 }
 
@@ -117,6 +121,10 @@ std::string BatchJson(const sash::batch::BatchResult& result, int jobs, bool cac
     w.BeginObject();
     w.KV("file", f.path);
     w.KV("ok", f.ok);
+    w.KV("status", sash::batch::FileStatusName(f.status));
+    if (!f.degraded_reason.empty()) {
+      w.KV("degraded_reason", f.degraded_reason);
+    }
     if (f.ok) {
       w.KV("cached", f.cached);
       w.KV("warnings_or_worse", f.warnings_or_worse);
@@ -135,6 +143,14 @@ std::string BatchJson(const sash::batch::BatchResult& result, int jobs, bool cac
   w.KV("files", static_cast<int64_t>(result.files.size()));
   w.KV("errors", errors);
   w.KV("files_with_findings", with_findings);
+  w.KV("degraded", static_cast<int64_t>(result.CountStatus(sash::batch::FileStatus::kDegraded)));
+  w.KV("timed_out", static_cast<int64_t>(result.CountStatus(sash::batch::FileStatus::kTimedOut)));
+  w.KV("failed", static_cast<int64_t>(result.CountStatus(sash::batch::FileStatus::kFailed)));
+  w.Key("quarantined").BeginArray();
+  for (const std::string& path : result.Quarantined()) {
+    w.String(path);
+  }
+  w.EndArray();
   w.EndObject();
   w.EndObject();
   return w.Take();
@@ -188,6 +204,16 @@ int CmdAnalyze(const std::vector<std::string>& args) {
       batch.cache_dir = a.substr(std::strlen("--cache-dir="));
     } else if (a == "--no-cache") {
       batch.use_cache = false;
+    } else if (a == "--deadline-ms" && i + 1 < args.size()) {
+      batch.deadline_ms = std::atoll(args[++i].c_str());
+    } else if (a.rfind("--deadline-ms=", 0) == 0) {
+      batch.deadline_ms = std::atoll(a.c_str() + std::strlen("--deadline-ms="));
+    } else if (a == "--max-input-bytes" && i + 1 < args.size()) {
+      batch.analyzer.max_input_bytes = std::atoll(args[++i].c_str());
+    } else if (a.rfind("--max-input-bytes=", 0) == 0) {
+      batch.analyzer.max_input_bytes = std::atoll(a.c_str() + std::strlen("--max-input-bytes="));
+    } else if (a == "--fail-fast") {
+      batch.fail_fast = true;
     } else if (a == "--idempotence") {
       batch.analyzer.enable_idempotence_check = true;
     } else if (a == "--coach") {
