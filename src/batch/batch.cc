@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/procstat.h"
 #include "util/faultinject.h"
 #include "util/thread_pool.h"
 
@@ -235,7 +236,16 @@ BatchResult BatchDriver::RunSourcesImpl(
   util::CancelToken abort_token;
   util::CancelToken* abort = options_.fail_fast ? &abort_token : nullptr;
 
-  util::ThreadPool pool(options_.jobs);
+  // The sampler thread keeps the "process.rss_kb" gauge, the trace's rss_kb
+  // counter track, and the journal's rss events in agreement for the whole
+  // batch window; it is inert when no hooks are attached.
+  obs::RssSampler rss_sampler(options_.obs);
+  if (options_.obs.journal != nullptr) {
+    options_.obs.journal->Emit(obs::EventKind::kMark, "batch.start",
+                               static_cast<int64_t>(sources.size()));
+  }
+
+  util::ThreadPool pool(options_.jobs, options_.obs);
   for (size_t i = 0; i < sources.size(); ++i) {
     if (read_errors != nullptr && !(*read_errors)[i].empty()) {
       result.files[i].path = sources[i].first;

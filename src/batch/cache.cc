@@ -153,7 +153,31 @@ std::optional<AnalysisEntry> DecodeAnalysisEntry(std::string_view payload) {
 }
 
 Cache::Cache(std::filesystem::path root, obs::Registry* metrics)
-    : root_(root.empty() ? DefaultRoot() : std::move(root)), metrics_(metrics) {}
+    : root_(root.empty() ? DefaultRoot() : std::move(root)), metrics_(metrics) {
+  if (metrics_ != nullptr) {
+    hits_ = metrics_->counter("cache.hits");
+    misses_ = metrics_->counter("cache.misses");
+    retries_ = metrics_->counter("cache.retries");
+    write_failures_ = metrics_->counter("cache.write_failures");
+  }
+}
+
+namespace {
+
+// Shared probe sites for cache file I/O: not mutexes, but blocking regions
+// whose duration under parallel batch load is exactly the contention signal
+// the profiler wants (slow disk or tmpfs pressure shows up here).
+obs::LockSite* CacheReadSite() {
+  static obs::LockSite* site = obs::LockProbes::Register("batch.cache.read");
+  return site;
+}
+
+obs::LockSite* CacheWriteSite() {
+  static obs::LockSite* site = obs::LockProbes::Register("batch.cache.write");
+  return site;
+}
+
+}  // namespace
 
 std::filesystem::path Cache::DefaultRoot() {
   if (const char* dir = std::getenv("SASH_CACHE_DIR"); dir != nullptr && *dir != '\0') {
@@ -173,6 +197,7 @@ std::filesystem::path Cache::EntryPath(std::string_view kind, std::string_view k
 }
 
 std::optional<std::string> Cache::Get(std::string_view kind, std::string_view key) {
+  obs::ScopedWaitProbe probe(CacheReadSite());
   std::filesystem::path path = EntryPath(kind, key);
   util::FaultDecision fault;
   if (util::FaultInjector::enabled()) {
@@ -180,16 +205,16 @@ std::optional<std::string> Cache::Get(std::string_view kind, std::string_view ke
     util::FaultInjector::ApplyDelay(fault);
     if (fault.action == util::FaultAction::kFail) {
       // Simulated unreadable entry: exactly the real miss path below.
-      if (metrics_ != nullptr) {
-        metrics_->counter("cache.misses")->Add(1);
+      if (misses_ != nullptr) {
+        misses_->Add(1);
       }
       return std::nullopt;
     }
   }
   std::ifstream in(path, std::ios::binary);
   if (!in) {
-    if (metrics_ != nullptr) {
-      metrics_->counter("cache.misses")->Add(1);
+    if (misses_ != nullptr) {
+      misses_->Add(1);
     }
     return std::nullopt;
   }
@@ -199,13 +224,14 @@ std::optional<std::string> Cache::Get(std::string_view kind, std::string_view ke
   // Simulated torn/bit-flipped entry: the checksum in the payload makes the
   // decoder reject it, so downstream sees a corrupt-entry miss.
   util::FaultInjector::ApplyPayloadFault(fault, &payload);
-  if (metrics_ != nullptr) {
-    metrics_->counter("cache.hits")->Add(1);
+  if (hits_ != nullptr) {
+    hits_->Add(1);
   }
   return payload;
 }
 
 bool Cache::Put(std::string_view kind, std::string_view key, std::string_view payload) {
+  obs::ScopedWaitProbe probe(CacheWriteSite());
   std::filesystem::path path = EntryPath(kind, key);
   std::error_code ec;
   std::filesystem::create_directories(path.parent_path(), ec);
@@ -215,8 +241,8 @@ bool Cache::Put(std::string_view kind, std::string_view key, std::string_view pa
   int backoff_ms = 1;
   for (int attempt = 0; attempt < kPutAttempts; ++attempt) {
     if (attempt > 0) {
-      if (metrics_ != nullptr) {
-        metrics_->counter("cache.retries")->Add(1);
+      if (retries_ != nullptr) {
+        retries_->Add(1);
       }
       std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
       backoff_ms *= 4;
@@ -241,8 +267,8 @@ bool Cache::PutOnce(const std::filesystem::path& path, std::string_view payload,
     write_fault = util::FaultInjector::Check(util::FaultSite::kCacheWrite, detail);
     util::FaultInjector::ApplyDelay(write_fault);
     if (write_fault.action == util::FaultAction::kFail) {
-      if (metrics_ != nullptr) {
-        metrics_->counter("cache.write_failures")->Add(1);
+      if (write_failures_ != nullptr) {
+        write_failures_->Add(1);
       }
       return false;
     }
@@ -268,8 +294,8 @@ bool Cache::PutOnce(const std::filesystem::path& path, std::string_view payload,
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) {
-      if (metrics_ != nullptr) {
-        metrics_->counter("cache.write_failures")->Add(1);
+      if (write_failures_ != nullptr) {
+        write_failures_->Add(1);
       }
       return false;
     }
@@ -277,24 +303,24 @@ bool Cache::PutOnce(const std::filesystem::path& path, std::string_view payload,
     out.flush();
     if (!out) {
       std::filesystem::remove(tmp, ec);
-      if (metrics_ != nullptr) {
-        metrics_->counter("cache.write_failures")->Add(1);
+      if (write_failures_ != nullptr) {
+        write_failures_->Add(1);
       }
       return false;
     }
   }
   if (rename_fault.action == util::FaultAction::kFail) {
     std::filesystem::remove(tmp, ec);
-    if (metrics_ != nullptr) {
-      metrics_->counter("cache.write_failures")->Add(1);
+    if (write_failures_ != nullptr) {
+      write_failures_->Add(1);
     }
     return false;
   }
   std::filesystem::rename(tmp, path, ec);
   if (ec) {
     std::filesystem::remove(tmp, ec);
-    if (metrics_ != nullptr) {
-      metrics_->counter("cache.write_failures")->Add(1);
+    if (write_failures_ != nullptr) {
+      write_failures_->Add(1);
     }
     return false;
   }

@@ -98,6 +98,13 @@ class Cache {
 
   std::filesystem::path root_;
   obs::Registry* metrics_;
+  // Instrument handles, resolved once at construction: Get/Put run on every
+  // batch task, and a per-call registry lookup would take the registry lock
+  // (a probe site itself) once per counter bump on the hot path.
+  obs::Counter* hits_ = nullptr;
+  obs::Counter* misses_ = nullptr;
+  obs::Counter* retries_ = nullptr;
+  obs::Counter* write_failures_ = nullptr;
 };
 
 }  // namespace sash::batch

@@ -153,6 +153,9 @@ AnalysisReport Analyzer::AnalyzeSource(std::string_view source) {
   syntax::ParseOutput parsed = syntax::Parse(source);
   parse_span.End();
   front_phases.push_back({"parse", parse_watch.ElapsedMicros()});
+  if (options_.obs.journal != nullptr) {
+    options_.obs.journal->Emit(obs::EventKind::kPhase, "parse", front_phases.back().micros);
+  }
 
   obs::StopWatch annot_watch;
   obs::Span annot_span(options_.obs.tracer, "annotations");
@@ -162,6 +165,9 @@ AnalysisReport Analyzer::AnalyzeSource(std::string_view source) {
                                  : annot::AnnotationSet{};
   annot_span.End();
   front_phases.push_back({"annotations", annot_watch.ElapsedMicros()});
+  if (options_.obs.journal != nullptr) {
+    options_.obs.journal->Emit(obs::EventKind::kPhase, "annotations", front_phases.back().micros);
+  }
 
   std::vector<Diagnostic> initial = std::move(parsed.diagnostics);
   for (Diagnostic& d : annot_sink.TakeAll()) {
@@ -209,6 +215,10 @@ AnalysisReport Analyzer::Analyze(const syntax::Program& program,
     body();
     span.End();
     report.phase_timings_.push_back({name, watch.ElapsedMicros()});
+    // Phase names are string literals, which is what the journal requires.
+    if (options_.obs.journal != nullptr) {
+      options_.obs.journal->Emit(obs::EventKind::kPhase, name, report.phase_timings_.back().micros);
+    }
   };
 
   // Resolve annotations against a working copy of the type library —

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "obs/json.h"
+#include "obs/lockprobe.h"
 
 namespace sash::obs {
 
@@ -114,7 +115,10 @@ class Registry {
   std::string ToJson() const;
 
  private:
-  mutable std::mutex mu_;
+  // Instrumented so `sash report` can prove (or disprove) that registry map
+  // lookups are not a contention point — hot paths are expected to hoist
+  // instrument handles instead of hitting this lock per operation.
+  mutable ProfiledMutex mu_{"obs.registry"};
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;

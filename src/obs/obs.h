@@ -5,7 +5,9 @@
 #ifndef SASH_OBS_OBS_H_
 #define SASH_OBS_OBS_H_
 
+#include "obs/journal.h"
 #include "obs/json.h"
+#include "obs/lockprobe.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -14,8 +16,9 @@ namespace sash::obs {
 struct Hooks {
   Tracer* tracer = nullptr;
   Registry* metrics = nullptr;
+  EventJournal* journal = nullptr;
 
-  bool enabled() const { return tracer != nullptr || metrics != nullptr; }
+  bool enabled() const { return tracer != nullptr || metrics != nullptr || journal != nullptr; }
 };
 
 }  // namespace sash::obs

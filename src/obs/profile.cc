@@ -1,0 +1,299 @@
+#include "obs/profile.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <mutex>
+#include <set>
+
+#include "obs/json.h"
+#include "obs/lockprobe.h"
+
+namespace sash::obs {
+
+namespace {
+
+// An open span on the per-thread reconstruction stack.
+struct OpenFrame {
+  std::string path;        // "a;b;c" up to and including this span.
+  int64_t duration_us = 0;
+  int64_t child_us = 0;    // Time covered by direct children.
+};
+
+// Shared accumulator for both the in-memory and the parsed-JSONL paths.
+class JournalAccumulator {
+ public:
+  void Add(std::string_view ev, std::string_view name, int64_t ts_us, int64_t a, int64_t b,
+           int64_t c, int64_t d) {
+    summary_.span_us = std::max(summary_.span_us, ts_us);
+    if (ev == "lock_site") {
+      JournalSummary::Site& site = SiteFor(name);
+      site.wait_ns = a;
+      site.hold_ns = b;
+      site.acquisitions = c;
+      site.contended = d;
+    } else if (ev == "lock_wait") {
+      ++summary_.lock_wait_events;
+      // Individual waits only contribute when no end-of-run summary event
+      // later overwrites the site with authoritative totals.
+      if (summarized_.count(std::string(name)) == 0) {
+        SiteFor(name).wait_ns += a;
+      }
+    } else if (ev == "task_stop") {
+      JournalSummary::Worker& w = WorkerFor(a);
+      w.busy_us += b;
+      ++w.tasks;
+    } else if (ev == "task_start") {
+      WorkerFor(a);  // Make the worker visible even if its task never ends.
+    } else if (ev == "steal") {
+      ++WorkerFor(a).steals;
+    } else if (ev == "phase") {
+      summary_.phase_us[std::string(name)] += a;
+    } else if (ev == "rss") {
+      // a = current RSS at the sample, b = the kernel's high-water mark;
+      // either may lead depending on when the sampler last fired.
+      summary_.peak_rss_kb = std::max({summary_.peak_rss_kb, a, b});
+    }
+    if (ev == "lock_site") {
+      summarized_.insert(std::string(name));
+    }
+  }
+
+  JournalSummary Take() {
+    std::sort(summary_.sites.begin(), summary_.sites.end(),
+              [](const JournalSummary::Site& x, const JournalSummary::Site& y) {
+                if (x.wait_ns != y.wait_ns) {
+                  return x.wait_ns > y.wait_ns;
+                }
+                return x.name < y.name;
+              });
+    std::sort(summary_.workers.begin(), summary_.workers.end(),
+              [](const JournalSummary::Worker& x, const JournalSummary::Worker& y) {
+                return x.worker < y.worker;
+              });
+    return std::move(summary_);
+  }
+
+  void SetHeader(int64_t emitted, int64_t dropped) {
+    summary_.emitted = emitted;
+    summary_.dropped = dropped;
+  }
+
+ private:
+  JournalSummary::Site& SiteFor(std::string_view name) {
+    for (JournalSummary::Site& s : summary_.sites) {
+      if (s.name == name) {
+        return s;
+      }
+    }
+    summary_.sites.emplace_back();
+    summary_.sites.back().name = std::string(name);
+    return summary_.sites.back();
+  }
+
+  JournalSummary::Worker& WorkerFor(int64_t index) {
+    for (JournalSummary::Worker& w : summary_.workers) {
+      if (w.worker == index) {
+        return w;
+      }
+    }
+    summary_.workers.emplace_back();
+    summary_.workers.back().worker = index;
+    return summary_.workers.back();
+  }
+
+  JournalSummary summary_;
+  std::set<std::string> summarized_;  // Sites with authoritative lock_site totals.
+};
+
+void FoldFrame(std::map<std::string, int64_t>* folded, const OpenFrame& frame) {
+  int64_t self = frame.duration_us - frame.child_us;
+  if (self < 0) {
+    self = 0;
+  }
+  (*folded)[frame.path] += self;
+}
+
+std::string FormatMs(int64_t us) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", static_cast<double>(us) / 1000.0);
+  return buf;
+}
+
+}  // namespace
+
+std::string CollapsedStacks(const std::vector<TraceEvent>& events) {
+  // Events() is sorted by start time with parents before same-microsecond
+  // children, so a per-thread stack keyed by depth reconstructs the nesting.
+  std::map<std::string, int64_t> folded;
+  std::map<uint32_t, std::vector<OpenFrame>> stacks;
+  for (const TraceEvent& e : events) {
+    std::vector<OpenFrame>& stack = stacks[e.tid];
+    // Anything at this depth or deeper has ended (spans at one depth on one
+    // thread cannot overlap).
+    while (static_cast<int>(stack.size()) > e.depth) {
+      FoldFrame(&folded, stack.back());
+      stack.pop_back();
+    }
+    OpenFrame frame;
+    frame.path = stack.empty() ? e.name : stack.back().path + ";" + e.name;
+    frame.duration_us = e.duration_us;
+    if (!stack.empty()) {
+      stack.back().child_us += e.duration_us;
+    }
+    stack.push_back(std::move(frame));
+  }
+  for (auto& [tid, stack] : stacks) {
+    while (!stack.empty()) {
+      FoldFrame(&folded, stack.back());
+      stack.pop_back();
+    }
+  }
+  std::string out;
+  for (const auto& [path, self_us] : folded) {
+    out += path;
+    out += ' ';
+    out += std::to_string(self_us);
+    out += '\n';
+  }
+  return out;
+}
+
+void JournalLockSites(EventJournal* journal) {
+  if (journal == nullptr) {
+    return;
+  }
+  for (const LockSiteSnapshot& s : LockProbes::Snapshot()) {
+    // Names come from LockProbes::Register(const char*), so the pointer in
+    // the snapshot's string is not static — but the registered site list is
+    // leaked and stable, so re-emit via the site registry's storage. The
+    // snapshot keeps its own copy; emit with the snapshot's c_str() is unsafe
+    // after it dies, so journal consumers must drain before the snapshot
+    // goes away. Drain happens inside ToJsonl immediately after in practice;
+    // to be safe, intern through a static pool here.
+    static std::mutex pool_mu;
+    static std::set<std::string>* pool = new std::set<std::string>();
+    const char* stable_name = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(pool_mu);
+      stable_name = pool->insert(s.name).first->c_str();
+    }
+    journal->Emit(EventKind::kLockSite, stable_name, s.wait_ns, s.hold_ns, s.acquisitions,
+                  s.contended);
+  }
+}
+
+JournalSummary SummarizeEvents(const std::vector<Event>& events) {
+  JournalAccumulator acc;
+  for (const Event& e : events) {
+    acc.Add(EventKindName(e.kind), e.name != nullptr ? e.name : "?", e.ts_us, e.a, e.b, e.c, e.d);
+  }
+  return acc.Take();
+}
+
+std::optional<JournalSummary> SummarizeJsonl(std::string_view text,
+                                             std::vector<std::string>* problems) {
+  std::vector<std::string> local = EventJournal::ValidateJsonl(text);
+  if (problems != nullptr) {
+    *problems = local;
+  }
+  if (!local.empty()) {
+    return std::nullopt;
+  }
+  JournalAccumulator acc;
+  size_t pos = 0;
+  size_t line_no = 0;
+  while (pos <= text.size()) {
+    size_t eol = text.find('\n', pos);
+    std::string_view line =
+        eol == std::string_view::npos ? text.substr(pos) : text.substr(pos, eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    if (line.empty()) {
+      continue;
+    }
+    ++line_no;
+    std::optional<JsonValue> doc = JsonValue::Parse(line);
+    if (!doc.has_value()) {
+      continue;  // Validator already passed, so this should not happen.
+    }
+    if (line_no == 1) {
+      const JsonValue* emitted = doc->Find("emitted");
+      const JsonValue* dropped = doc->Find("dropped");
+      acc.SetHeader(emitted != nullptr ? static_cast<int64_t>(emitted->number) : 0,
+                    dropped != nullptr ? static_cast<int64_t>(dropped->number) : 0);
+      continue;
+    }
+    auto num = [&doc](const char* key) -> int64_t {
+      const JsonValue* v = doc->Find(key);
+      return v != nullptr && v->is_number() ? static_cast<int64_t>(v->number) : 0;
+    };
+    const JsonValue* ev = doc->Find("ev");
+    const JsonValue* name = doc->Find("name");
+    acc.Add(ev->string, name->string, num("ts_us"), num("a"), num("b"), num("c"), num("d"));
+  }
+  return acc.Take();
+}
+
+std::string FormatReport(const JournalSummary& summary) {
+  std::string out;
+  out += "== contention ==\n";
+  if (summary.sites.empty()) {
+    out += "  (no lock sites recorded)\n";
+  }
+  int rank = 0;
+  for (const JournalSummary::Site& s : summary.sites) {
+    if (++rank > 10) {
+      break;
+    }
+    out += "  " + std::to_string(rank) + ". " + s.name + "  wait=" + FormatMs(s.wait_ns / 1000) +
+           "ms";
+    if (s.acquisitions > 0) {
+      out += "  hold=" + FormatMs(s.hold_ns / 1000) + "ms  acq=" + std::to_string(s.acquisitions) +
+             "  contended=" + std::to_string(s.contended);
+    }
+    out += "\n";
+  }
+  out += "== workers ==\n";
+  if (summary.workers.empty()) {
+    out += "  (no worker events)\n";
+  }
+  for (const JournalSummary::Worker& w : summary.workers) {
+    double util = summary.span_us > 0
+                      ? 100.0 * static_cast<double>(w.busy_us) / static_cast<double>(summary.span_us)
+                      : 0.0;
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "  worker %lld: %5.1f%% busy  tasks=%lld  steals=%lld  busy=%sms\n",
+                  static_cast<long long>(w.worker), util, static_cast<long long>(w.tasks),
+                  static_cast<long long>(w.steals), FormatMs(w.busy_us).c_str());
+    out += line;
+  }
+  out += "== phases ==\n";
+  if (summary.phase_us.empty()) {
+    out += "  (no phase events)\n";
+  }
+  int64_t total_phase_us = 0;
+  for (const auto& [name, us] : summary.phase_us) {
+    total_phase_us += us;
+  }
+  for (const auto& [name, us] : summary.phase_us) {
+    double pct = total_phase_us > 0
+                     ? 100.0 * static_cast<double>(us) / static_cast<double>(total_phase_us)
+                     : 0.0;
+    char line[160];
+    std::snprintf(line, sizeof(line), "  %-12s %sms (%4.1f%%)\n", name.c_str(),
+                  FormatMs(us).c_str(), pct);
+    out += line;
+  }
+  out += "== run ==\n";
+  out += "  wall span: " + FormatMs(summary.span_us) + "ms\n";
+  if (summary.peak_rss_kb > 0) {
+    out += "  peak rss: " + std::to_string(summary.peak_rss_kb) + " kB\n";
+  }
+  if (summary.emitted > 0) {
+    out += "  journal: " + std::to_string(summary.emitted) + " events emitted, " +
+           std::to_string(summary.dropped) + " dropped\n";
+  }
+  return out;
+}
+
+}  // namespace sash::obs

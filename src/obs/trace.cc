@@ -8,14 +8,15 @@
 
 namespace sash::obs {
 
-namespace {
-
-// Dense per-thread ids so exported traces have small, stable tid values.
-uint32_t ThisThreadId() {
+// Dense per-thread ids so exported traces (and journal events) have small,
+// stable tid values; one sequence for the whole process.
+uint32_t CurrentThreadId() {
   static std::atomic<uint32_t> next{0};
   thread_local uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
   return id;
 }
+
+namespace {
 
 // Per-thread span nesting depth. Indexed implicitly by being thread_local.
 thread_local int tls_span_depth = 0;
@@ -40,6 +41,31 @@ void Tracer::Record(std::string name, int64_t start_us, int64_t duration_us, uin
   e.depth = depth;
   std::lock_guard<std::mutex> lock(mu_);
   events_.push_back(std::move(e));
+}
+
+void Tracer::RecordCounter(std::string_view name, int64_t ts_us, int64_t value) {
+  CounterEvent e;
+  e.name = name;
+  e.ts_us = ts_us;
+  e.value = value;
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.push_back(std::move(e));
+}
+
+void Tracer::SetThreadName(uint32_t tid, std::string name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [existing_tid, existing_name] : thread_names_) {
+    if (existing_tid == tid) {
+      existing_name = std::move(name);
+      return;
+    }
+  }
+  thread_names_.emplace_back(tid, std::move(name));
+}
+
+std::vector<CounterEvent> Tracer::Counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
 }
 
 std::vector<TraceEvent> Tracer::Events() const {
@@ -74,6 +100,32 @@ std::string Tracer::ToChromeJson() const {
     w.Key("args").BeginObject().KV("depth", int64_t{e.depth}).EndObject();
     w.EndObject();
   }
+  for (const CounterEvent& c : Counters()) {
+    w.BeginObject();
+    w.KV("name", c.name);
+    w.KV("ph", "C");  // Counter track sample.
+    w.KV("ts", c.ts_us);
+    w.KV("pid", int64_t{1});
+    w.KV("tid", int64_t{0});
+    w.Key("args").BeginObject().KV("value", c.value).EndObject();
+    w.EndObject();
+  }
+  {
+    std::vector<std::pair<uint32_t, std::string>> names;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      names = thread_names_;
+    }
+    for (const auto& [tid, name] : names) {
+      w.BeginObject();
+      w.KV("name", "thread_name");
+      w.KV("ph", "M");  // Metadata: labels the tid's lane in the viewer.
+      w.KV("pid", int64_t{1});
+      w.KV("tid", static_cast<int64_t>(tid));
+      w.Key("args").BeginObject().KV("name", name).EndObject();
+      w.EndObject();
+    }
+  }
   w.EndArray();
   w.KV("displayTimeUnit", "ms");
   w.EndObject();
@@ -104,7 +156,7 @@ void Span::End() {
   }
   int64_t end_us = tracer_->NowMicros();
   --tls_span_depth;
-  tracer_->Record(std::move(name_), start_us_, end_us - start_us_, ThisThreadId(), depth_);
+  tracer_->Record(std::move(name_), start_us_, end_us - start_us_, CurrentThreadId(), depth_);
   tracer_ = nullptr;
 }
 

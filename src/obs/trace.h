@@ -20,6 +20,11 @@
 
 namespace sash::obs {
 
+// The dense per-process thread id used across every export surface: trace
+// span lanes, the event journal, and thread-name metadata all draw from this
+// one sequence, so a given OS thread has the same id everywhere.
+uint32_t CurrentThreadId();
+
 // One completed span, in microseconds relative to the tracer's epoch.
 struct TraceEvent {
   std::string name;
@@ -27,6 +32,14 @@ struct TraceEvent {
   int64_t duration_us = 0;
   uint32_t tid = 0;   // Stable per-thread id (dense, assigned on first span).
   int depth = 0;      // Nesting depth within the thread at entry, 0-based.
+};
+
+// One sample on a counter track (Chrome "C" event): queue depth, cache
+// hits, RSS — rendered by Perfetto as a stacked area chart.
+struct CounterEvent {
+  std::string name;
+  int64_t ts_us = 0;
+  int64_t value = 0;
 };
 
 class Tracer {
@@ -40,8 +53,19 @@ class Tracer {
 
   void Record(std::string name, int64_t start_us, int64_t duration_us, uint32_t tid, int depth);
 
+  // Appends one sample to the named counter track ("C" phase in the Chrome
+  // export). Thread-safe; cheap enough for periodic samplers, not for loops.
+  void RecordCounter(std::string_view name, int64_t ts_us, int64_t value);
+
+  // Names a thread's lane in the export ("M"/thread_name metadata), e.g.
+  // "worker-3". Last write per tid wins.
+  void SetThreadName(uint32_t tid, std::string name);
+
   // Copy of all recorded events, sorted by start time.
   std::vector<TraceEvent> Events() const;
+
+  // Copy of all counter samples, in recording order.
+  std::vector<CounterEvent> Counters() const;
 
   // Chrome trace-event format: {"traceEvents":[{"ph":"X",...},...]}.
   std::string ToChromeJson() const;
@@ -53,6 +77,8 @@ class Tracer {
   std::chrono::steady_clock::time_point epoch_;
   mutable std::mutex mu_;
   std::vector<TraceEvent> events_;
+  std::vector<CounterEvent> counters_;
+  std::vector<std::pair<uint32_t, std::string>> thread_names_;
 };
 
 // RAII timed region. With a null tracer every member is a no-op (the

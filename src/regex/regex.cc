@@ -4,6 +4,7 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "obs/lockprobe.h"
 #include "regex/parser.h"
 
 namespace sash::regex {
@@ -14,7 +15,7 @@ namespace {
 // because the three constructors give the same pattern text different
 // languages. Values are Regex copies; copying shares the LazyDfa.
 struct PatternCacheImpl {
-  std::mutex mu;
+  obs::ProfiledMutex mu{"regex.pattern_cache"};
   std::unordered_map<std::string, Regex> entries;
   std::atomic<bool> enabled{true};
   std::atomic<uint64_t> hits{0};
@@ -37,7 +38,7 @@ std::optional<Regex> PatternCacheLookup(char domain, std::string_view pattern) {
   key += domain;
   key += ':';
   key += pattern;
-  std::lock_guard<std::mutex> lock(c.mu);
+  std::lock_guard<obs::ProfiledMutex> lock(c.mu);
   auto it = c.entries.find(key);
   if (it == c.entries.end()) {
     c.misses.fetch_add(1, std::memory_order_relaxed);
@@ -57,7 +58,7 @@ void PatternCacheStore(char domain, std::string_view pattern, const Regex& regex
   key += domain;
   key += ':';
   key += pattern;
-  std::lock_guard<std::mutex> lock(c.mu);
+  std::lock_guard<obs::ProfiledMutex> lock(c.mu);
   if (c.entries.size() >= PatternCacheImpl::kMaxEntries) {
     return;  // Full: later patterns compile uncached rather than evicting.
   }
@@ -80,12 +81,12 @@ uint64_t PatternCache::Misses() {
 }
 size_t PatternCache::Size() {
   PatternCacheImpl& c = pattern_cache();
-  std::lock_guard<std::mutex> lock(c.mu);
+  std::lock_guard<obs::ProfiledMutex> lock(c.mu);
   return c.entries.size();
 }
 void PatternCache::Clear() {
   PatternCacheImpl& c = pattern_cache();
-  std::lock_guard<std::mutex> lock(c.mu);
+  std::lock_guard<obs::ProfiledMutex> lock(c.mu);
   c.entries.clear();
 }
 

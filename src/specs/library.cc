@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/lockprobe.h"
+
 namespace sash::specs {
 
 void SpecLibrary::Register(CommandSpec spec) {
@@ -431,6 +433,13 @@ SpecLibrary BuildGroundTruth() {
 }  // namespace
 
 const SpecLibrary& SpecLibrary::BuiltinGroundTruth() {
+  // The library itself is immutable after construction and needs no lock, but
+  // the magic static's one-time build serializes every thread that races to
+  // first use — the probe makes that startup convoy visible in profiles.
+  static obs::LockSite* site = obs::LockProbes::Register("specs.library.init");
+  // 10us threshold: the steady-state path (a static-init check) never counts
+  // as contended; a thread parked behind the initial build does.
+  obs::ScopedWaitProbe probe(site, /*contended_threshold_ns=*/10'000);
   static const SpecLibrary kLibrary = BuildGroundTruth();
   return kLibrary;
 }

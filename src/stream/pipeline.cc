@@ -38,8 +38,8 @@ PipelineReport PipelineChecker::Check(const syntax::Command& cmd, regex::Regex i
     std::optional<rtypes::CommandType> type = TypeOfStage(*stages[i]);
     if (!type.has_value()) {
       stage.untyped = true;
-      if (metrics_ != nullptr) {
-        metrics_->counter("stream.stages_untyped")->Add(1);
+      if (stages_untyped_ != nullptr) {
+        stages_untyped_->Add(1);
       }
       report.untyped_stages.push_back(static_cast<int>(i));
       current = regex::Regex::AnyLine();  // The stage may emit anything.
@@ -50,8 +50,8 @@ PipelineReport PipelineChecker::Check(const syntax::Command& cmd, regex::Regex i
       continue;
     }
     stage.type_display = type->ToString();
-    if (metrics_ != nullptr) {
-      metrics_->counter("stream.stages_typed")->Add(1);
+    if (stages_typed_ != nullptr) {
+      stages_typed_->Add(1);
     }
     // The stage's declared input expectation: the bound for bounded
     // polymorphic types, the fixed input language for monomorphic ones.
@@ -64,8 +64,8 @@ PipelineReport PipelineChecker::Check(const syntax::Command& cmd, regex::Regex i
     rtypes::ApplyResult applied = rtypes::Apply(*type, current);
     if (!applied.ok) {
       stage.type_error = true;
-      if (metrics_ != nullptr) {
-        metrics_->counter("stream.type_errors")->Add(1);
+      if (type_errors_ != nullptr) {
+        type_errors_->Add(1);
       }
       stage.error = applied.error;
       report.has_type_error = true;
@@ -84,8 +84,8 @@ PipelineReport PipelineChecker::Check(const syntax::Command& cmd, regex::Regex i
     if (applied.output_empty && !input_was_empty && stream_known &&
         type->intersect_filter.has_value()) {
       stage.killed_stream = true;
-      if (metrics_ != nullptr) {
-        metrics_->counter("stream.dead_streams")->Add(1);
+      if (dead_streams_ != nullptr) {
+        dead_streams_->Add(1);
       }
       if (!report.has_dead_stream) {
         report.has_dead_stream = true;
@@ -108,8 +108,8 @@ int PipelineChecker::CheckProgram(const syntax::Program& program, DiagnosticSink
       return;
     }
     ++checked;
-    if (metrics_ != nullptr) {
-      metrics_->counter("stream.pipelines_checked")->Add(1);
+    if (pipelines_checked_ != nullptr) {
+      pipelines_checked_->Add(1);
     }
     PipelineReport report = Check(cmd);
     if (report.has_dead_stream && sink != nullptr) {

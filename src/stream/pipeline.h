@@ -54,7 +54,24 @@ class PipelineChecker {
   }
 
   // Optional observability: typing-rule hit counts ("stream.*") land here.
-  void set_metrics(obs::Registry* metrics) { metrics_ = metrics; }
+  // Handles are resolved once here, not per stage — Check runs on every
+  // pipeline of every script in a batch.
+  void set_metrics(obs::Registry* metrics) {
+    metrics_ = metrics;
+    if (metrics != nullptr) {
+      stages_typed_ = metrics->counter("stream.stages_typed");
+      stages_untyped_ = metrics->counter("stream.stages_untyped");
+      type_errors_ = metrics->counter("stream.type_errors");
+      dead_streams_ = metrics->counter("stream.dead_streams");
+      pipelines_checked_ = metrics->counter("stream.pipelines_checked");
+    } else {
+      stages_typed_ = nullptr;
+      stages_untyped_ = nullptr;
+      type_errors_ = nullptr;
+      dead_streams_ = nullptr;
+      pipelines_checked_ = nullptr;
+    }
+  }
 
   // Optional cooperative cancellation: CheckProgram polls the token per
   // pipeline and stops checking once it expires (already-emitted diagnostics
@@ -78,6 +95,11 @@ class PipelineChecker {
   rtypes::TypeLibrary lib_;
   std::vector<std::pair<std::string, rtypes::CommandType>> overrides_;
   obs::Registry* metrics_ = nullptr;
+  obs::Counter* stages_typed_ = nullptr;
+  obs::Counter* stages_untyped_ = nullptr;
+  obs::Counter* type_errors_ = nullptr;
+  obs::Counter* dead_streams_ = nullptr;
+  obs::Counter* pipelines_checked_ = nullptr;
   util::CancelToken* cancel_ = nullptr;
 };
 

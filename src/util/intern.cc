@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/lockprobe.h"
 #include "util/hash.h"
 
 namespace sash::util {
@@ -27,7 +28,9 @@ constexpr size_t kSlabSize = size_t{1} << kSlabBits;  // 4096 entries per slab
 constexpr size_t kMaxSlabs = 1 << 12;                 // capacity ~16.7M symbols
 
 struct Table {
-  std::mutex mu;
+  // Writer lock for inserts; reads (str()/hash()) stay lock-free. This is a
+  // known contention suspect under -j8 batch runs, hence the probe site.
+  obs::ProfiledMutex mu{"intern.table"};
   std::unordered_map<std::string_view, uint32_t> ids;  // keys point into slabs
   std::atomic<Entry*> slabs[kMaxSlabs] = {};
   std::atomic<uint32_t> count{0};
@@ -76,13 +79,13 @@ const Entry& entry(uint32_t id) {
 
 Symbol Symbol::Intern(std::string_view text) {
   Table& t = table();
-  std::lock_guard<std::mutex> lock(t.mu);
+  std::lock_guard<obs::ProfiledMutex> lock(t.mu);
   return Symbol(t.InternLocked(text));
 }
 
 std::optional<Symbol> Symbol::Find(std::string_view text) {
   Table& t = table();
-  std::lock_guard<std::mutex> lock(t.mu);
+  std::lock_guard<obs::ProfiledMutex> lock(t.mu);
   auto it = t.ids.find(text);
   if (it == t.ids.end()) {
     return std::nullopt;

@@ -1,5 +1,7 @@
 #include "util/thread_pool.h"
 
+#include <string>
+
 #include "util/faultinject.h"
 
 namespace sash::util {
@@ -11,12 +13,15 @@ thread_local ThreadPool* tls_pool = nullptr;
 thread_local int tls_index = -1;
 }  // namespace
 
-ThreadPool::ThreadPool(int threads) {
+ThreadPool::ThreadPool(int threads, obs::Hooks hooks) : hooks_(hooks) {
   if (threads <= 0) {
     threads = static_cast<int>(std::thread::hardware_concurrency());
     if (threads <= 0) {
       threads = 1;
     }
+  }
+  if (hooks_.metrics != nullptr) {
+    queue_gauge_ = hooks_.metrics->gauge("pool.queue_depth");
   }
   workers_.reserve(static_cast<size_t>(threads));
   for (int i = 0; i < threads; ++i) {
@@ -31,7 +36,7 @@ ThreadPool::ThreadPool(int threads) {
 ThreadPool::~ThreadPool() {
   Wait();
   {
-    std::lock_guard<std::mutex> lock(idle_mu_);
+    std::lock_guard<obs::ProfiledMutex> lock(idle_mu_);
     shutdown_ = true;
   }
   work_cv_.notify_all();
@@ -45,24 +50,31 @@ void ThreadPool::Submit(std::function<void()> task) {
   if (tls_pool == this) {
     target = tls_index;
   } else {
-    std::lock_guard<std::mutex> lock(idle_mu_);
+    std::lock_guard<obs::ProfiledMutex> lock(idle_mu_);
     target = static_cast<int>(next_++ % workers_.size());
   }
   {
-    std::lock_guard<std::mutex> lock(workers_[static_cast<size_t>(target)]->mu);
+    std::lock_guard<obs::ProfiledMutex> lock(workers_[static_cast<size_t>(target)]->mu);
     workers_[static_cast<size_t>(target)]->deque.push_back(std::move(task));
   }
+  int64_t depth;
   {
-    std::lock_guard<std::mutex> lock(idle_mu_);
+    std::lock_guard<obs::ProfiledMutex> lock(idle_mu_);
     ++pending_;
-    ++queued_;
+    depth = ++queued_;
+  }
+  if (queue_gauge_ != nullptr) {
+    queue_gauge_->Set(depth);
+  }
+  if (hooks_.journal != nullptr) {
+    hooks_.journal->Emit(obs::EventKind::kQueueDepth, "pool.queue", depth);
   }
   work_cv_.notify_one();
 }
 
 bool ThreadPool::TryPopOwn(int index, std::function<void()>* task) {
   Worker& w = *workers_[static_cast<size_t>(index)];
-  std::lock_guard<std::mutex> lock(w.mu);
+  std::lock_guard<obs::ProfiledMutex> lock(w.mu);
   if (w.deque.empty()) {
     return false;
   }
@@ -78,7 +90,7 @@ bool ThreadPool::TrySteal(int thief, std::function<void()>* task) {
     bool stolen = false;
     {
       Worker& w = *workers_[victim];
-      std::lock_guard<std::mutex> lock(w.mu);
+      std::lock_guard<obs::ProfiledMutex> lock(w.mu);
       if (!w.deque.empty()) {
         *task = std::move(w.deque.front());
         w.deque.pop_front();
@@ -89,32 +101,62 @@ bool ThreadPool::TrySteal(int thief, std::function<void()>* task) {
     // two worker locks at once — two opposite-direction steals would deadlock).
     if (stolen) {
       Worker& me = *workers_[static_cast<size_t>(thief)];
-      std::lock_guard<std::mutex> my_lock(me.mu);
-      me.steals += 1;
+      {
+        std::lock_guard<obs::ProfiledMutex> my_lock(me.mu);
+        me.steals += 1;
+      }
+      if (hooks_.journal != nullptr) {
+        hooks_.journal->Emit(obs::EventKind::kSteal, "pool.steal", thief,
+                             static_cast<int64_t>(victim));
+      }
       return true;
     }
   }
   return false;
 }
 
+void ThreadPool::RunTask(int index, std::function<void()>* task) {
+  if (FaultInjector::enabled()) {
+    // Chaos harness: a pool.task rule stalls the worker before it runs
+    // the task, simulating a slow/starved core. Results must not change.
+    FaultInjector::ApplyDelay(FaultInjector::Check(FaultSite::kPoolTask, "worker"));
+  }
+  if (hooks_.journal == nullptr && hooks_.tracer == nullptr) {
+    (*task)();
+    return;
+  }
+  if (hooks_.journal != nullptr) {
+    hooks_.journal->Emit(obs::EventKind::kTaskStart, "pool.task", index);
+  }
+  obs::StopWatch watch;
+  {
+    obs::Span span(hooks_.tracer, "task");
+    (*task)();
+  }
+  if (hooks_.journal != nullptr) {
+    hooks_.journal->Emit(obs::EventKind::kTaskStop, "pool.task", index, watch.ElapsedMicros());
+  }
+}
+
 void ThreadPool::WorkerLoop(int index) {
   tls_pool = this;
   tls_index = index;
+  if (hooks_.tracer != nullptr) {
+    hooks_.tracer->SetThreadName(obs::CurrentThreadId(), "worker-" + std::to_string(index));
+  }
   for (;;) {
     std::function<void()> task;
     if (TryPopOwn(index, &task) || TrySteal(index, &task)) {
+      int64_t depth;
       {
-        std::lock_guard<std::mutex> lock(idle_mu_);
-        --queued_;
+        std::lock_guard<obs::ProfiledMutex> lock(idle_mu_);
+        depth = --queued_;
       }
-      if (FaultInjector::enabled()) {
-        // Chaos harness: a pool.task rule stalls the worker before it runs
-        // the task, simulating a slow/starved core. Results must not change.
-        FaultInjector::ApplyDelay(
-            FaultInjector::Check(FaultSite::kPoolTask, "worker"));
+      if (queue_gauge_ != nullptr) {
+        queue_gauge_->Set(depth);
       }
-      task();
-      std::lock_guard<std::mutex> lock(idle_mu_);
+      RunTask(index, &task);
+      std::lock_guard<obs::ProfiledMutex> lock(idle_mu_);
       if (--pending_ == 0) {
         done_cv_.notify_all();
       }
@@ -123,7 +165,7 @@ void ThreadPool::WorkerLoop(int index) {
     // The queued_ predicate (checked under idle_mu_, which Submit also holds)
     // closes the missed-wakeup window between the deque probes above and the
     // wait below.
-    std::unique_lock<std::mutex> lock(idle_mu_);
+    std::unique_lock<obs::ProfiledMutex> lock(idle_mu_);
     work_cv_.wait(lock, [this] { return shutdown_ || queued_ > 0; });
     if (shutdown_ && queued_ == 0) {
       return;
@@ -134,14 +176,14 @@ void ThreadPool::WorkerLoop(int index) {
 void ThreadPool::Wait() {
   // Workers decrement pending_ only after the task body returns, so
   // pending_ == 0 means "all queued and running work is finished".
-  std::unique_lock<std::mutex> lock(idle_mu_);
+  std::unique_lock<obs::ProfiledMutex> lock(idle_mu_);
   done_cv_.wait(lock, [this] { return pending_ == 0; });
 }
 
 int64_t ThreadPool::steals() const {
   int64_t total = 0;
   for (const auto& w : workers_) {
-    std::lock_guard<std::mutex> lock(w->mu);
+    std::lock_guard<obs::ProfiledMutex> lock(w->mu);
     total += w->steals;
   }
   return total;

@@ -11,6 +11,12 @@
 // Submit is callable from pool threads too (a task submitted from a worker
 // lands on that worker's own deque). Wait only returns when every task —
 // including tasks submitted by tasks — has finished.
+//
+// With observability hooks attached the pool reports its own scheduling:
+// worker deque and idle locks are ProfiledMutex sites ("pool.worker",
+// "pool.idle"), each task start/stop, steal, and queue-depth change lands in
+// the event journal, every task runs under a tracer span in its worker's
+// named lane, and the "pool.queue_depth" gauge tracks backlog.
 #ifndef SASH_UTIL_THREAD_POOL_H_
 #define SASH_UTIL_THREAD_POOL_H_
 
@@ -22,12 +28,15 @@
 #include <thread>
 #include <vector>
 
+#include "obs/obs.h"
+
 namespace sash::util {
 
 class ThreadPool {
  public:
-  // `threads` <= 0 selects the hardware concurrency (at least 1).
-  explicit ThreadPool(int threads);
+  // `threads` <= 0 selects the hardware concurrency (at least 1). `hooks`
+  // members may each be null; a default Hooks disables all telemetry.
+  explicit ThreadPool(int threads, obs::Hooks hooks = {});
   ~ThreadPool();
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
@@ -46,7 +55,9 @@ class ThreadPool {
 
  private:
   struct Worker {
-    std::mutex mu;
+    // All workers share one logical probe site; per-instance stats merge by
+    // name in LockProbes::Snapshot().
+    obs::ProfiledMutex mu{"pool.worker"};
     std::deque<std::function<void()>> deque;
     int64_t steals = 0;  // Tasks this worker stole from others.
   };
@@ -54,13 +65,18 @@ class ThreadPool {
   void WorkerLoop(int index);
   bool TryPopOwn(int index, std::function<void()>* task);
   bool TrySteal(int thief, std::function<void()>* task);
+  void RunTask(int index, std::function<void()>* task);
 
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
 
-  std::mutex idle_mu_;
-  std::condition_variable work_cv_;  // Signaled on submit and shutdown.
-  std::condition_variable done_cv_;  // Signaled when pending reaches zero.
+  obs::Hooks hooks_;
+  obs::Gauge* queue_gauge_ = nullptr;  // Hoisted "pool.queue_depth" handle.
+
+  obs::ProfiledMutex idle_mu_{"pool.idle"};
+  // _any variants because idle_mu_ is a ProfiledMutex, not a std::mutex.
+  std::condition_variable_any work_cv_;  // Signaled on submit and shutdown.
+  std::condition_variable_any done_cv_;  // Signaled when pending reaches zero.
   int64_t pending_ = 0;              // Submitted but not yet finished.
   int64_t queued_ = 0;               // Submitted but not yet picked up.
   bool shutdown_ = false;

@@ -18,6 +18,7 @@
 #include <string>
 
 #include "json_normalize.h"
+#include "obs/journal.h"
 
 namespace {
 
@@ -164,6 +165,36 @@ TEST_F(CliGoldenTest, ExitCodes) {
   EXPECT_EQ(partial.exit_code, 2);
   EXPECT_NE(partial.output.find("exist.sh"), std::string::npos);
   EXPECT_NE(partial.output.find("unset_var.sh"), std::string::npos);
+}
+
+TEST_F(CliGoldenTest, ProfileEmitsValidArtifactsAndReport) {
+  fs::path dir = fs::temp_directory_path() / ("sash_profile_smoke_" + std::to_string(::getpid()));
+  fs::create_directories(dir);
+  std::string journal = (dir / "events.jsonl").string();
+  std::string trace = (dir / "trace.json").string();
+  std::string folded = (dir / "profile.folded").string();
+  RunResult r = RunCli(Sash("profile -j4 --no-cache --journal '" + journal + "' --trace-out '" +
+                            trace + "' --folded '" + folded + "' ."));
+  EXPECT_LE(r.exit_code, 1);  // The corpus has findings; only >1 is a failure.
+  EXPECT_NE(r.output.find("== contention =="), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("== workers =="), std::string::npos) << r.output;
+
+  // The journal must round-trip its own schema validator...
+  std::string jsonl = ReadFile(journal);
+  ASSERT_FALSE(jsonl.empty());
+  EXPECT_TRUE(sash::obs::EventJournal::ValidateJsonl(jsonl).empty());
+  // ...the trace must be well-formed Chrome trace JSON...
+  std::optional<sash::obs::JsonValue> doc = sash::obs::JsonValue::Parse(ReadFile(trace));
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_NE(doc->Find("traceEvents"), nullptr);
+  // ...and the folded stacks must contain at least one analyze frame.
+  EXPECT_NE(ReadFile(folded).find("task"), std::string::npos);
+
+  // `sash report` rebuilds the same sections from the journal alone.
+  RunResult rep = RunCli(Sash("report --journal '" + journal + "'"));
+  EXPECT_EQ(rep.exit_code, 0);
+  EXPECT_NE(rep.output.find("== contention =="), std::string::npos) << rep.output;
+  fs::remove_all(dir);
 }
 
 TEST_F(CliGoldenTest, WarmRunIsByteIdenticalIncludingTimingsStripped) {

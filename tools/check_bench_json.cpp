@@ -1,12 +1,17 @@
-// Validates bench reports (BENCH_*.json, schema "sash-bench-v1") and,
-// optionally, compares them against a committed performance baseline.
+// Validates bench reports (BENCH_*.json, schema "sash-bench-v1"), event
+// journals (schema "sash-events-v1"), and, optionally, compares bench
+// reports against a committed performance baseline.
 //
-//   sash_check_bench_json [--selftest] [--baseline FILE] [dir-or-file ...]
+//   sash_check_bench_json [--selftest] [--baseline FILE] [--journal FILE]
+//                         [dir-or-file ...]
 //
 // --selftest validates a known-good and a known-bad document built in
 // memory, so ctest can exercise the schema without benches having run.
 // Directory arguments are scanned for BENCH_*.json; missing directories are
 // fine (benches simply have not run yet).
+//
+// --journal FILE validates a JSONL event journal written by
+// `sash profile` / `sash analyze --journal` against sash-events-v1.
 //
 // --baseline FILE loads a "sash-bench-baseline-v1" document:
 //   {"schema":"sash-bench-baseline-v1","tolerance":1.5,
@@ -30,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/journal.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
@@ -138,6 +144,25 @@ bool ValidateFile(const std::filesystem::path& path) {
   return ok;
 }
 
+// Validates one sash-events-v1 JSONL journal file.
+bool ValidateJournalFile(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "%s: cannot open\n", path.string().c_str());
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::vector<std::string> problems = sash::obs::EventJournal::ValidateJsonl(buf.str());
+  for (const std::string& p : problems) {
+    std::fprintf(stderr, "%s: %s\n", path.string().c_str(), p.c_str());
+  }
+  if (problems.empty()) {
+    std::printf("%s: ok (sash-events-v1)\n", path.string().c_str());
+  }
+  return problems.empty();
+}
+
 bool SelfTest() {
   // A conforming report produced by the real emitter must validate.
   sash::obs::Registry registry;
@@ -160,6 +185,20 @@ bool SelfTest() {
     std::fprintf(stderr, "selftest: corrupted report was not rejected\n");
     return false;
   }
+
+  // The journal validator must accept output from the real ring buffer and
+  // reject a document with the wrong schema tag.
+  sash::obs::EventJournal journal(1024);
+  journal.Emit(sash::obs::EventKind::kMark, "selftest");
+  journal.Emit(sash::obs::EventKind::kLockWait, "selftest.site", 1000);
+  if (!sash::obs::EventJournal::ValidateJsonl(journal.ToJsonl()).empty()) {
+    std::fprintf(stderr, "selftest: journal output failed validation\n");
+    return false;
+  }
+  if (sash::obs::EventJournal::ValidateJsonl("{\"schema\":\"not-events\"}\n").empty()) {
+    std::fprintf(stderr, "selftest: corrupted journal was not rejected\n");
+    return false;
+  }
   std::printf("selftest: ok\n");
   return true;
 }
@@ -169,9 +208,12 @@ bool SelfTest() {
 int main(int argc, char** argv) {
   bool selftest = false;
   std::vector<std::filesystem::path> inputs;
+  std::vector<std::filesystem::path> journals;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--selftest") == 0) {
       selftest = true;
+    } else if (std::strcmp(argv[i], "--journal") == 0 && i + 1 < argc) {
+      journals.emplace_back(argv[++i]);
     } else if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
       std::ifstream in(argv[++i]);
       std::ostringstream buf;
@@ -186,21 +228,26 @@ int main(int argc, char** argv) {
       }
     } else if (argv[i][0] == '-') {
       std::fprintf(stderr,
-                   "usage: sash_check_bench_json [--selftest] [--baseline FILE] [dir-or-file ...]\n");
+                   "usage: sash_check_bench_json [--selftest] [--baseline FILE] "
+                   "[--journal FILE] [dir-or-file ...]\n");
       return 2;
     } else {
       inputs.emplace_back(argv[i]);
     }
   }
-  if (!selftest && inputs.empty()) {
+  if (!selftest && inputs.empty() && journals.empty()) {
     std::fprintf(stderr,
-                 "usage: sash_check_bench_json [--selftest] [--baseline FILE] [dir-or-file ...]\n");
+                 "usage: sash_check_bench_json [--selftest] [--baseline FILE] "
+                 "[--journal FILE] [dir-or-file ...]\n");
     return 2;
   }
 
   bool ok = true;
   if (selftest) {
     ok = SelfTest() && ok;
+  }
+  for (const std::filesystem::path& journal : journals) {
+    ok = ValidateJournalFile(journal) && ok;
   }
   for (const std::filesystem::path& input : inputs) {
     std::error_code ec;

@@ -2,7 +2,10 @@
 //
 //   sash analyze [-jN] [--cache-dir DIR] [--no-cache] [--lint] [--no-symex]
 //                [--no-stream] [--stats] [--format=json] [--trace-out FILE]
-//                <script.sh|dir>...
+//                [--journal FILE] <script.sh|dir>...
+//   sash profile [-jN] [--journal FILE] [--trace-out FILE] [--folded FILE]
+//                <script.sh|dir>...       (batch under full instrumentation)
+//   sash report [--journal FILE] [batch.json|bench.json]...
 //   sash lint <script.sh>
 //   sash run <script.sh> [args...]        (sandboxed; nothing touches disk)
 //   sash verify --no-rw <path> [--no-read <path>] <script.sh>
@@ -34,6 +37,8 @@
 #include "monitor/guard.h"
 #include "monitor/interp.h"
 #include "obs/obs.h"
+#include "obs/procstat.h"
+#include "obs/profile.h"
 #include "stream/pipeline.h"
 
 namespace {
@@ -45,7 +50,12 @@ int Usage() {
                "          [--lint] [--no-symex] [--no-stream] [--idempotence] [--coach]\n"
                "          [--annotations file.sasht] [--stats] [--format=text|json]\n"
                "          [--deadline-ms N] [--fail-fast] [--max-input-bytes N]\n"
-               "          [--trace-out trace.json] <script.sh|dir>...\n"
+               "          [--trace-out trace.json] [--journal events.jsonl]\n"
+               "          <script.sh|dir>...\n"
+               "  profile [-jN|--jobs N] [--cache-dir DIR] [--no-cache]\n"
+               "          [--journal events.jsonl] [--trace-out trace.json]\n"
+               "          [--folded profile.folded] <script.sh|dir>...\n"
+               "  report  [--journal events.jsonl] [batch.json|bench.json]...\n"
                "  lint <script.sh>\n"
                "  run <script.sh> [args...]\n"
                "  verify [--no-rw PATH]... [--no-read PATH]... <script.sh>\n"
@@ -160,6 +170,7 @@ int CmdAnalyze(const std::vector<std::string>& args) {
   sash::batch::BatchOptions batch;
   std::string annotations_file;
   std::string trace_out;
+  std::string journal_out;
   std::vector<std::string> inputs;
   bool stats = false;
   bool json = false;
@@ -171,6 +182,10 @@ int CmdAnalyze(const std::vector<std::string>& args) {
       trace_out = args[++i];
     } else if (a.rfind("--trace-out=", 0) == 0) {
       trace_out = a.substr(std::strlen("--trace-out="));
+    } else if (a == "--journal" && i + 1 < args.size()) {
+      journal_out = args[++i];
+    } else if (a.rfind("--journal=", 0) == 0) {
+      journal_out = a.substr(std::strlen("--journal="));
     } else if (a == "--stats") {
       stats = true;
     } else if (a == "--format=json") {
@@ -254,14 +269,22 @@ int CmdAnalyze(const std::vector<std::string>& args) {
   }
 
   // Observability is opt-in: the tracer only when a trace file was requested,
-  // the metrics registry whenever stats or JSON output will surface it.
+  // the metrics registry whenever stats or JSON output will surface it, the
+  // journal (with armed lock probes) only behind --journal.
   sash::obs::Tracer tracer;
   sash::obs::Registry registry;
+  sash::obs::EventJournal journal(1 << 16);
   if (!trace_out.empty()) {
     batch.obs.tracer = &tracer;
   }
   if (stats || json || !trace_out.empty()) {
     batch.obs.metrics = &registry;
+  }
+  if (!journal_out.empty()) {
+    batch.obs.journal = &journal;
+    sash::obs::EventJournal::SetGlobal(&journal);
+    sash::obs::LockProbes::Reset();
+    sash::obs::LockProbes::Arm();
   }
 
   sash::batch::BatchDriver driver(batch);
@@ -308,6 +331,14 @@ int CmdAnalyze(const std::vector<std::string>& args) {
   if (!trace_out.empty() && !tracer.WriteChromeJson(trace_out)) {
     std::fprintf(stderr, "sash: cannot write %s\n", trace_out.c_str());
     return 2;
+  }
+  if (!journal_out.empty()) {
+    sash::obs::LockProbes::Disarm();
+    sash::obs::JournalLockSites(&journal);
+    if (!journal.WriteJsonl(journal_out)) {
+      std::fprintf(stderr, "sash: cannot write %s\n", journal_out.c_str());
+      return 2;
+    }
   }
   return result.ExitCode();
 }
@@ -439,6 +470,207 @@ int CmdMine(const std::vector<std::string>& args) {
   return 0;
 }
 
+// `sash profile`: run a batch under full instrumentation — armed lock
+// probes, event journal, tracer, metrics — and leave three artifacts behind:
+// the journal (sash-events-v1 JSONL), a Chrome trace with per-worker lanes
+// and counter tracks, and a collapsed-stack file for flamegraph tools. The
+// contention/utilization summary prints to stdout.
+int CmdProfile(const std::vector<std::string>& args) {
+  sash::batch::BatchOptions batch;
+  std::string journal_out = "sash-journal.jsonl";
+  std::string trace_out = "sash-trace.json";
+  std::string folded_out = "sash-profile.folded";
+  std::vector<std::string> inputs;
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "--journal" && i + 1 < args.size()) {
+      journal_out = args[++i];
+    } else if (a.rfind("--journal=", 0) == 0) {
+      journal_out = a.substr(std::strlen("--journal="));
+    } else if (a == "--trace-out" && i + 1 < args.size()) {
+      trace_out = args[++i];
+    } else if (a.rfind("--trace-out=", 0) == 0) {
+      trace_out = a.substr(std::strlen("--trace-out="));
+    } else if (a == "--folded" && i + 1 < args.size()) {
+      folded_out = args[++i];
+    } else if (a.rfind("--folded=", 0) == 0) {
+      folded_out = a.substr(std::strlen("--folded="));
+    } else if (a == "-j" || a == "--jobs") {
+      if (i + 1 >= args.size()) {
+        std::fprintf(stderr, "sash profile: %s requires a count\n", a.c_str());
+        return 2;
+      }
+      batch.jobs = std::atoi(args[++i].c_str());
+    } else if (a.rfind("-j", 0) == 0 && a.size() > 2 &&
+               a.find_first_not_of("0123456789", 2) == std::string::npos) {
+      batch.jobs = std::atoi(a.c_str() + 2);
+    } else if (a.rfind("--jobs=", 0) == 0) {
+      batch.jobs = std::atoi(a.c_str() + std::strlen("--jobs="));
+    } else if (a == "--cache-dir" && i + 1 < args.size()) {
+      batch.cache_dir = args[++i];
+    } else if (a.rfind("--cache-dir=", 0) == 0) {
+      batch.cache_dir = a.substr(std::strlen("--cache-dir="));
+    } else if (a == "--no-cache") {
+      batch.use_cache = false;
+    } else if (!a.empty() && a[0] == '-') {
+      std::fprintf(stderr, "sash profile: unknown option %s\n", a.c_str());
+      return 2;
+    } else {
+      inputs.push_back(a);
+    }
+  }
+  if (inputs.empty()) {
+    return Usage();
+  }
+  std::vector<std::string> files = sash::batch::ExpandInputs(inputs);
+  if (files.empty()) {
+    std::fprintf(stderr, "sash profile: no .sh files found under the given inputs\n");
+    return 2;
+  }
+
+  sash::obs::Tracer tracer;
+  sash::obs::Registry registry;
+  sash::obs::EventJournal journal(1 << 16);
+  batch.obs.tracer = &tracer;
+  batch.obs.metrics = &registry;
+  batch.obs.journal = &journal;
+  sash::obs::EventJournal::SetGlobal(&journal);
+  sash::obs::LockProbes::Reset();
+  sash::obs::LockProbes::Arm();
+
+  sash::batch::BatchDriver driver(batch);
+  sash::batch::BatchResult result = driver.Run(files);
+
+  sash::obs::LockProbes::Disarm();
+  sash::obs::JournalLockSites(&journal);
+
+  bool io_ok = true;
+  if (!journal.WriteJsonl(journal_out)) {
+    std::fprintf(stderr, "sash profile: cannot write %s\n", journal_out.c_str());
+    io_ok = false;
+  }
+  if (!tracer.WriteChromeJson(trace_out)) {
+    std::fprintf(stderr, "sash profile: cannot write %s\n", trace_out.c_str());
+    io_ok = false;
+  }
+  {
+    std::ofstream out(folded_out, std::ios::trunc);
+    if (out) {
+      out << sash::obs::CollapsedStacks(tracer.Events());
+    }
+    if (!out) {
+      std::fprintf(stderr, "sash profile: cannot write %s\n", folded_out.c_str());
+      io_ok = false;
+    }
+  }
+
+  sash::obs::JournalSummary summary = sash::obs::SummarizeEvents(journal.Drain());
+  std::printf("profiled %zu file(s), jobs=%d\n", result.files.size(),
+              batch.jobs > 0 ? batch.jobs : 0);
+  std::printf("%s", sash::obs::FormatReport(summary).c_str());
+  std::printf("artifacts: %s, %s, %s\n", journal_out.c_str(), trace_out.c_str(),
+              folded_out.c_str());
+  if (!io_ok) {
+    return 2;
+  }
+  return result.ExitCode();
+}
+
+// `sash report`: aggregate profiling/bench artifacts into a human summary.
+// A --journal file yields the contention/worker/phase report; sash-batch-v1
+// and sash-bench-v1 JSON documents are summarized after it.
+int CmdReport(const std::vector<std::string>& args) {
+  std::string journal_path;
+  std::vector<std::string> json_paths;
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "--journal" && i + 1 < args.size()) {
+      journal_path = args[++i];
+    } else if (a.rfind("--journal=", 0) == 0) {
+      journal_path = a.substr(std::strlen("--journal="));
+    } else if (!a.empty() && a[0] == '-') {
+      std::fprintf(stderr, "sash report: unknown option %s\n", a.c_str());
+      return 2;
+    } else {
+      json_paths.push_back(a);
+    }
+  }
+  if (journal_path.empty() && json_paths.empty()) {
+    return Usage();
+  }
+
+  if (!journal_path.empty()) {
+    std::string text;
+    if (!ReadSource(journal_path, &text)) {
+      return 2;
+    }
+    std::vector<std::string> problems;
+    std::optional<sash::obs::JournalSummary> summary =
+        sash::obs::SummarizeJsonl(text, &problems);
+    if (!summary.has_value()) {
+      std::fprintf(stderr, "sash report: %s is not a valid %s document:\n", journal_path.c_str(),
+                   sash::obs::kEventsSchema);
+      for (const std::string& p : problems) {
+        std::fprintf(stderr, "  %s\n", p.c_str());
+      }
+      return 2;
+    }
+    std::printf("%s", sash::obs::FormatReport(*summary).c_str());
+  }
+
+  for (const std::string& path : json_paths) {
+    std::string text;
+    if (!ReadSource(path, &text)) {
+      return 2;
+    }
+    std::optional<sash::obs::JsonValue> doc = sash::obs::JsonValue::Parse(text);
+    if (!doc.has_value() || !doc->is_object()) {
+      std::fprintf(stderr, "sash report: %s is not a JSON document\n", path.c_str());
+      return 2;
+    }
+    const sash::obs::JsonValue* schema = doc->Find("schema");
+    std::string kind = schema != nullptr && schema->is_string() ? schema->string : "?";
+    std::printf("== %s (%s) ==\n", path.c_str(), kind.c_str());
+    if (kind == sash::batch::kBatchSchema) {
+      if (const sash::obs::JsonValue* summary = doc->Find("summary");
+          summary != nullptr && summary->is_object()) {
+        for (const char* key :
+             {"files", "errors", "files_with_findings", "degraded", "timed_out", "failed"}) {
+          if (const sash::obs::JsonValue* v = summary->Find(key); v != nullptr && v->is_number()) {
+            std::printf("  %-20s %lld\n", key, static_cast<long long>(v->number));
+          }
+        }
+      }
+      if (const sash::obs::JsonValue* cache = doc->Find("cache");
+          cache != nullptr && cache->is_object()) {
+        const sash::obs::JsonValue* hits = cache->Find("hits");
+        const sash::obs::JsonValue* misses = cache->Find("misses");
+        std::printf("  %-20s %lld hits / %lld misses\n", "cache",
+                    hits != nullptr && hits->is_number() ? static_cast<long long>(hits->number) : 0,
+                    misses != nullptr && misses->is_number()
+                        ? static_cast<long long>(misses->number)
+                        : 0);
+      }
+    } else if (kind == "sash-bench-v1") {
+      const sash::obs::JsonValue* name = doc->Find("name");
+      if (name != nullptr && name->is_string()) {
+        std::printf("  bench: %s\n", name->string.c_str());
+      }
+      if (const sash::obs::JsonValue* metrics = doc->Find("metrics");
+          metrics != nullptr && metrics->is_object()) {
+        for (const auto& [key, value] : metrics->object) {
+          if (value.is_number()) {
+            std::printf("  %-36s %.3f\n", key.c_str(), value.number);
+          }
+        }
+      }
+    } else {
+      std::printf("  (no summarizer for this schema)\n");
+    }
+  }
+  return 0;
+}
+
 int CmdTypeof(const std::vector<std::string>& args) {
   if (args.empty()) {
     return Usage();
@@ -485,6 +717,12 @@ int main(int argc, char** argv) {
   }
   if (cmd == "mine") {
     return CmdMine(args);
+  }
+  if (cmd == "profile") {
+    return CmdProfile(args);
+  }
+  if (cmd == "report") {
+    return CmdReport(args);
   }
   if (cmd == "typeof") {
     return CmdTypeof(args);
