@@ -112,11 +112,12 @@ FileStatus ClassifyDegraded(std::string_view reason) {
 
 }  // namespace
 
-FileResult BatchDriver::AnalyzeOne(const std::string& path, const std::string& source,
-                                   Cache* cache, util::CancelToken* abort) {
+FileResult AnalyzeSourceCached(const BatchOptions& options, const std::string& path,
+                               const std::string& source, Cache* cache,
+                               util::CancelToken* abort, util::CancelToken* budget) {
   obs::StopWatch watch;
-  obs::Span span(options_.obs.tracer, "analyze:" + path);
-  obs::Registry* metrics = options_.obs.metrics;
+  obs::Span span(options.obs.tracer, "analyze:" + path);
+  obs::Registry* metrics = options.obs.metrics;
   FileResult result;
   result.path = path;
 
@@ -140,7 +141,7 @@ FileResult BatchDriver::AnalyzeOne(const std::string& path, const std::string& s
 
   std::string key;
   if (cache != nullptr) {
-    key = AnalysisKey(source, options_.analyzer, options_.annotations_text);
+    key = AnalysisKey(source, options.analyzer, options.annotations_text);
     std::optional<std::string> payload = cache->Get("analysis", key);
     if (payload.has_value()) {
       if (std::optional<AnalysisEntry> entry = DecodeAnalysisEntry(*payload); entry.has_value()) {
@@ -164,17 +165,21 @@ FileResult BatchDriver::AnalyzeOne(const std::string& path, const std::string& s
   }
 
   // Per-file budget: one token per analysis, so a single pathological script
-  // burns only its own deadline, never the batch's.
-  util::CancelToken budget;
-  core::AnalyzerOptions per_file = options_.analyzer;
-  per_file.obs = options_.obs;  // Shared tracer/registry are thread-safe.
-  if (options_.deadline_ms > 0) {
-    budget.SetDeadlineAfterMs(options_.deadline_ms);
-    per_file.cancel = &budget;
+  // burns only its own deadline, never the batch's. A caller-supplied token
+  // (the server's per-request budget) takes precedence — its deadline was
+  // clamped by the caller and it stays cancellable from outside.
+  util::CancelToken local_budget;
+  core::AnalyzerOptions per_file = options.analyzer;
+  per_file.obs = options.obs;  // Shared tracer/registry are thread-safe.
+  if (budget != nullptr) {
+    per_file.cancel = budget;
+  } else if (options.deadline_ms > 0) {
+    local_budget.SetDeadlineAfterMs(options.deadline_ms);
+    per_file.cancel = &local_budget;
   }
   core::Analyzer analyzer(std::move(per_file));
-  if (!options_.annotations_text.empty()) {
-    analyzer.AddAnnotations(annot::ParseAnnotationFile(options_.annotations_text));
+  if (!options.annotations_text.empty()) {
+    analyzer.AddAnnotations(annot::ParseAnnotationFile(options.annotations_text));
   }
   core::AnalysisReport report = analyzer.AnalyzeSource(source);
   result.ok = true;
@@ -258,8 +263,8 @@ BatchResult BatchDriver::RunSourcesImpl(
     }
     pool.Submit([this, &sources, &result, &cache, abort, i] {
       FileResult file =
-          AnalyzeOne(sources[i].first, sources[i].second, cache.has_value() ? &*cache : nullptr,
-                     abort);
+          AnalyzeSourceCached(options_, sources[i].first, sources[i].second,
+                              cache.has_value() ? &*cache : nullptr, abort, /*budget=*/nullptr);
       if (abort != nullptr &&
           (file.status == FileStatus::kFailed || file.status == FileStatus::kTimedOut)) {
         abort->Cancel(util::CancelReason::kExternal);

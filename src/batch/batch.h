@@ -94,6 +94,21 @@ struct BatchResult {
 // they surface as per-file read errors, preserving the partial-batch policy.
 std::vector<std::string> ExpandInputs(const std::vector<std::string>& inputs);
 
+// The shared per-source analysis path: cache lookup, fault hooks, analysis,
+// cache install. Both BatchDriver tasks and the resident server's request
+// handler go through here, which is what makes a warm `--via` response
+// byte-identical to local `analyze` output by construction rather than by
+// testing alone.
+//
+// `abort` (optional) is the batch-level fail-fast token; `budget` (optional)
+// is the per-request cancellation token — when null and options.deadline_ms
+// is set, a per-call token is created internally. A caller-provided token
+// must have its deadline configured already; it additionally lets an outside
+// agent (the server's drain logic) cancel the analysis mid-flight.
+FileResult AnalyzeSourceCached(const BatchOptions& options, const std::string& path,
+                               const std::string& source, Cache* cache,
+                               util::CancelToken* abort, util::CancelToken* budget);
+
 class BatchDriver {
  public:
   explicit BatchDriver(BatchOptions options);
@@ -109,8 +124,6 @@ class BatchDriver {
   BatchResult RunSources(const std::vector<std::pair<std::string, std::string>>& sources);
 
  private:
-  FileResult AnalyzeOne(const std::string& path, const std::string& source, Cache* cache,
-                        util::CancelToken* abort);
   BatchResult RunSourcesImpl(const std::vector<std::pair<std::string, std::string>>& sources,
                              const std::vector<std::string>* read_errors);
 

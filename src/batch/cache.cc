@@ -1,5 +1,7 @@
 #include "batch/cache.h"
 
+#include <errno.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -38,6 +40,23 @@ std::string EntryChecksum(const AnalysisEntry& entry) {
 }
 
 }  // namespace
+
+bool EnsureDirectories(const std::filesystem::path& dir) {
+  if (dir.empty()) {
+    return true;
+  }
+  std::filesystem::path accum;
+  for (const std::filesystem::path& part : dir) {
+    accum /= part;
+    // mkdir each prefix directly: 0 and EEXIST are both success (EEXIST is
+    // the concurrent-creation race this function exists to absorb). Any
+    // other error — or EEXIST hiding a non-directory — is caught by the
+    // authoritative check below rather than guessed at from errno.
+    ::mkdir(accum.c_str(), 0777);
+  }
+  std::error_code ec;
+  return std::filesystem::is_directory(dir, ec);
+}
 
 std::string OptionsFingerprint(const core::AnalyzerOptions& options) {
   std::ostringstream s;
@@ -233,8 +252,7 @@ std::optional<std::string> Cache::Get(std::string_view kind, std::string_view ke
 bool Cache::Put(std::string_view kind, std::string_view key, std::string_view payload) {
   obs::ScopedWaitProbe probe(CacheWriteSite());
   std::filesystem::path path = EntryPath(kind, key);
-  std::error_code ec;
-  std::filesystem::create_directories(path.parent_path(), ec);
+  EnsureDirectories(path.parent_path());
   // Cache write failures are overwhelmingly transient (EINTR, a briefly full
   // tmpfs, an injected fault); a short exponential backoff recovers them
   // without bothering the caller. Permanent failure just means no caching.

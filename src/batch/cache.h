@@ -29,6 +29,15 @@ namespace sash::batch {
 // Schema tag of cache entry documents.
 inline constexpr char kCacheSchema[] = "sash-cache-v1";
 
+// Creates `dir` and any missing parents, treating a directory that appeared
+// concurrently (EEXIST from another driver racing to create the same
+// --cache-dir) as success — both racers must win. Returns false only when
+// the path still is not a directory afterwards (a component exists as a
+// file, or a real mkdir error). std::filesystem::create_directories is not
+// used because its check-then-create window turns exactly this race into a
+// spurious error on some implementations.
+bool EnsureDirectories(const std::filesystem::path& dir);
+
 // A stable fingerprint of every AnalyzerOptions field that can change the
 // report. Extend this when AnalyzerOptions grows — a missed field means stale
 // hits, which the differential test guards against for the known fields.

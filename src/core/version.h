@@ -4,7 +4,7 @@
 
 namespace sash::core {
 
-inline constexpr char kVersion[] = "0.4.0";
+inline constexpr char kVersion[] = "0.5.0";
 
 }  // namespace sash::core
 

@@ -1,0 +1,259 @@
+#include "serve/protocol.h"
+
+#include "obs/json.h"
+
+namespace sash::serve {
+
+namespace {
+
+void PutU32Le(std::string* out, uint32_t v) {
+  out->push_back(static_cast<char>(v & 0xFF));
+  out->push_back(static_cast<char>((v >> 8) & 0xFF));
+  out->push_back(static_cast<char>((v >> 16) & 0xFF));
+  out->push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+uint32_t GetU32Le(const char* p) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(p[0])) |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[1])) << 8 |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[2])) << 16 |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[3])) << 24;
+}
+
+const obs::JsonValue* FindString(const obs::JsonValue& doc, std::string_view key) {
+  const obs::JsonValue* v = doc.Find(key);
+  return v != nullptr && v->is_string() ? v : nullptr;
+}
+
+int64_t FindInt(const obs::JsonValue& doc, std::string_view key, int64_t fallback) {
+  const obs::JsonValue* v = doc.Find(key);
+  return v != nullptr && v->is_number() ? static_cast<int64_t>(v->number) : fallback;
+}
+
+bool FindBool(const obs::JsonValue& doc, std::string_view key, bool fallback) {
+  const obs::JsonValue* v = doc.Find(key);
+  return v != nullptr && v->is_bool() ? v->boolean : fallback;
+}
+
+}  // namespace
+
+std::string EncodeFrame(FrameType type, std::string_view payload) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  PutU32Le(&out, kFrameMagic);
+  PutU32Le(&out, static_cast<uint32_t>(payload.size()));
+  out.push_back(static_cast<char>(type));
+  out.append(3, '\0');  // Reserved.
+  out.append(payload);
+  return out;
+}
+
+FrameStatus FrameReader::Next(FrameType* type, std::string* payload, std::string* error) {
+  if (poisoned_) {
+    if (error != nullptr) {
+      *error = "stream poisoned by an earlier malformed frame";
+    }
+    return FrameStatus::kMalformed;
+  }
+  if (buf_.size() < kFrameHeaderBytes) {
+    // Even a partial header can already be provably garbage: check whatever
+    // magic bytes we have so a connection spraying noise dies on byte one,
+    // not after 12 bytes of accumulation.
+    static constexpr char kMagicBytes[4] = {'S', 'R', 'P', '1'};
+    for (size_t i = 0; i < buf_.size() && i < 4; ++i) {
+      if (buf_[i] != kMagicBytes[i]) {
+        poisoned_ = true;
+        if (error != nullptr) {
+          *error = "bad magic";
+        }
+        return FrameStatus::kMalformed;
+      }
+    }
+    return FrameStatus::kNeedMore;
+  }
+  if (GetU32Le(buf_.data()) != kFrameMagic) {
+    poisoned_ = true;
+    if (error != nullptr) {
+      *error = "bad magic";
+    }
+    return FrameStatus::kMalformed;
+  }
+  const uint32_t length = GetU32Le(buf_.data() + 4);
+  if (length > max_frame_bytes_) {
+    poisoned_ = true;
+    if (error != nullptr) {
+      *error = "frame too large (" + std::to_string(length) + " > " +
+               std::to_string(max_frame_bytes_) + " bytes)";
+    }
+    return FrameStatus::kMalformed;
+  }
+  const uint8_t raw_type = static_cast<uint8_t>(buf_[8]);
+  if (raw_type != static_cast<uint8_t>(FrameType::kRequest) &&
+      raw_type != static_cast<uint8_t>(FrameType::kResponse)) {
+    poisoned_ = true;
+    if (error != nullptr) {
+      *error = "unknown frame type " + std::to_string(raw_type);
+    }
+    return FrameStatus::kMalformed;
+  }
+  if (buf_[9] != '\0' || buf_[10] != '\0' || buf_[11] != '\0') {
+    poisoned_ = true;
+    if (error != nullptr) {
+      *error = "nonzero reserved bytes";
+    }
+    return FrameStatus::kMalformed;
+  }
+  if (buf_.size() < kFrameHeaderBytes + length) {
+    return FrameStatus::kNeedMore;
+  }
+  *type = static_cast<FrameType>(raw_type);
+  payload->assign(buf_, kFrameHeaderBytes, length);
+  buf_.erase(0, kFrameHeaderBytes + length);
+  return FrameStatus::kFrame;
+}
+
+std::string RpcRequest::ToJson() const {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.KV("schema", kRpcSchema);
+  w.KV("op", op);
+  w.KV("id", id);
+  if (budget_ms > 0) {
+    w.KV("budget_ms", budget_ms);
+  }
+  if (op == "analyze") {
+    w.KV("name", name);
+    w.KV("script", script);
+    if (!annotations.empty()) {
+      w.KV("annotations", annotations);
+    }
+    w.KV("use_cache", use_cache);
+    w.KV("lint", lint);
+    w.KV("symex", symex);
+    w.KV("stream", stream);
+    w.KV("idempotence", idempotence);
+    w.KV("coach", coach);
+    if (max_input_bytes > 0) {
+      w.KV("max_input_bytes", max_input_bytes);
+    }
+  } else if (op == "mine") {
+    w.KV("command", command);
+  }
+  w.EndObject();
+  return w.Take();
+}
+
+std::optional<RpcRequest> RpcRequest::Parse(std::string_view json) {
+  std::optional<obs::JsonValue> doc = obs::JsonValue::Parse(json);
+  if (!doc.has_value() || !doc->is_object()) {
+    return std::nullopt;
+  }
+  const obs::JsonValue* schema = FindString(*doc, "schema");
+  if (schema == nullptr || schema->string != kRpcSchema) {
+    return std::nullopt;
+  }
+  const obs::JsonValue* op = FindString(*doc, "op");
+  if (op == nullptr || op->string.empty()) {
+    return std::nullopt;
+  }
+  RpcRequest r;
+  r.op = op->string;
+  r.id = FindInt(*doc, "id", 0);
+  r.budget_ms = FindInt(*doc, "budget_ms", 0);
+  if (const obs::JsonValue* v = FindString(*doc, "name")) {
+    r.name = v->string;
+  }
+  if (const obs::JsonValue* v = FindString(*doc, "script")) {
+    r.script = v->string;
+  }
+  if (const obs::JsonValue* v = FindString(*doc, "annotations")) {
+    r.annotations = v->string;
+  }
+  if (const obs::JsonValue* v = FindString(*doc, "command")) {
+    r.command = v->string;
+  }
+  r.use_cache = FindBool(*doc, "use_cache", true);
+  r.lint = FindBool(*doc, "lint", false);
+  r.symex = FindBool(*doc, "symex", true);
+  r.stream = FindBool(*doc, "stream", true);
+  r.idempotence = FindBool(*doc, "idempotence", false);
+  r.coach = FindBool(*doc, "coach", false);
+  r.max_input_bytes = FindInt(*doc, "max_input_bytes", 0);
+  return r;
+}
+
+std::string RpcResponse::ToJson() const {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.KV("schema", kRpcSchema);
+  w.KV("id", id);
+  w.KV("status", status);
+  if (!error.empty()) {
+    w.KV("error", error);
+  }
+  if (!file_status.empty()) {
+    w.KV("file_status", file_status);
+    w.KV("degraded_reason", degraded_reason);
+    w.KV("cached", cached);
+    w.KV("warnings_or_worse", warnings_or_worse);
+    w.KV("report_text", report_text);
+    if (!report_json.empty()) {
+      w.Key("report").Raw(report_json);
+    }
+  }
+  w.KV("micros", micros);
+  if (!body.empty()) {
+    w.Key("body").Raw(body);
+  }
+  w.EndObject();
+  return w.Take();
+}
+
+std::optional<RpcResponse> RpcResponse::Parse(std::string_view json) {
+  std::optional<obs::JsonValue> doc = obs::JsonValue::Parse(json);
+  if (!doc.has_value() || !doc->is_object()) {
+    return std::nullopt;
+  }
+  const obs::JsonValue* schema = FindString(*doc, "schema");
+  if (schema == nullptr || schema->string != kRpcSchema) {
+    return std::nullopt;
+  }
+  const obs::JsonValue* status = FindString(*doc, "status");
+  if (status == nullptr || status->string.empty()) {
+    return std::nullopt;
+  }
+  RpcResponse r;
+  r.id = FindInt(*doc, "id", 0);
+  r.status = status->string;
+  if (const obs::JsonValue* v = FindString(*doc, "error")) {
+    r.error = v->string;
+  }
+  if (const obs::JsonValue* v = FindString(*doc, "file_status")) {
+    r.file_status = v->string;
+  }
+  if (const obs::JsonValue* v = FindString(*doc, "degraded_reason")) {
+    r.degraded_reason = v->string;
+  }
+  r.cached = FindBool(*doc, "cached", false);
+  r.warnings_or_worse = FindInt(*doc, "warnings_or_worse", 0);
+  if (const obs::JsonValue* v = FindString(*doc, "report_text")) {
+    r.report_text = v->string;
+  }
+  // Re-serialize raw sub-documents through the writer: it round-trips its
+  // own output exactly, so the client re-emits the server's (and therefore
+  // the cold local run's) bytes.
+  if (const obs::JsonValue* v = doc->Find("report"); v != nullptr && v->is_object()) {
+    obs::JsonWriter w;
+    obs::WriteJsonValue(*v, &w);
+    r.report_json = w.Take();
+  }
+  if (const obs::JsonValue* v = doc->Find("body"); v != nullptr && !v->is_null()) {
+    obs::JsonWriter w;
+    obs::WriteJsonValue(*v, &w);
+    r.body = w.Take();
+  }
+  r.micros = FindInt(*doc, "micros", 0);
+  return r;
+}
+
+}  // namespace sash::serve

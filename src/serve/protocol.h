@@ -1,0 +1,134 @@
+// The sash-rpc-v1 wire protocol for the resident analysis server (`sash
+// serve`). One request-response exchange per frame pair over a unix-domain
+// socket; the payloads are JSON, the framing is a fixed 12-byte header:
+//
+//   bytes 0..3   magic "SRP1" (0x53 0x52 0x50 0x31, i.e. little-endian
+//                0x31505253) — rejects cross-protocol and misaligned traffic
+//   bytes 4..7   payload length, unsigned 32-bit little-endian
+//   byte  8      frame type (1 = request, 2 = response)
+//   bytes 9..11  reserved, must be zero
+//
+// A frame whose magic, type, reserved bytes, or declared length (above the
+// negotiated cap) is wrong is *malformed*: the connection that sent it is
+// poisoned and closed, but the server — and every other connection — keeps
+// running. Truncated frames are not malformed until proven so; the
+// incremental FrameReader just waits for more bytes (and the connection's
+// read timeout bounds how long).
+//
+// The JSON payloads are deliberately flat (schema "sash-rpc-v1"); parsing is
+// tolerant of unknown members so clients and servers can skew by one version.
+#ifndef SASH_SERVE_PROTOCOL_H_
+#define SASH_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace sash::serve {
+
+inline constexpr char kRpcSchema[] = "sash-rpc-v1";
+inline constexpr uint32_t kFrameMagic = 0x31505253u;  // "SRP1" little-endian.
+inline constexpr size_t kFrameHeaderBytes = 12;
+// Default cap on one frame's payload. Large enough for any realistic script
+// or report, small enough that a hostile length prefix cannot make the
+// server allocate unboundedly.
+inline constexpr uint32_t kDefaultMaxFrameBytes = 8u << 20;
+
+enum class FrameType : uint8_t { kRequest = 1, kResponse = 2 };
+
+// Serializes one complete frame (header + payload).
+std::string EncodeFrame(FrameType type, std::string_view payload);
+
+// Incremental frame decoder for one connection's byte stream. Append
+// whatever arrived; Next() yields complete frames in order. Malformed input
+// is sticky: once a stream is poisoned every further Next() reports
+// kMalformed (callers close the connection).
+enum class FrameStatus : uint8_t { kNeedMore, kFrame, kMalformed };
+
+class FrameReader {
+ public:
+  explicit FrameReader(uint32_t max_frame_bytes = kDefaultMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  void Append(std::string_view data) { buf_.append(data); }
+
+  // Extracts the next complete frame into *type / *payload. On kMalformed,
+  // *error names the problem ("bad magic", "frame too large", ...).
+  FrameStatus Next(FrameType* type, std::string* payload, std::string* error);
+
+  size_t buffered() const { return buf_.size(); }
+  bool poisoned() const { return poisoned_; }
+  // True while the buffer holds an incomplete frame (header or payload) —
+  // the idle-vs-read timeout distinction in the server.
+  bool mid_frame() const { return !buf_.empty(); }
+
+ private:
+  std::string buf_;
+  uint32_t max_frame_bytes_;
+  bool poisoned_ = false;
+};
+
+// One request. `op` selects the verb; members beyond (op, id) are op-
+// specific and ignored elsewhere. Budgets: the client *asks* for budget_ms;
+// the server clamps it to its own cap (a client cannot buy more server time
+// than the operator allowed).
+struct RpcRequest {
+  std::string op;       // "ping" | "analyze" | "mine" | "stats" | "shutdown"
+  int64_t id = 0;       // Echoed back verbatim in the response.
+  int64_t budget_ms = 0;  // Requested per-request deadline; 0 = server default.
+
+  // op == "analyze": the script travels in the request (the server never
+  // touches the client's filesystem), `name` is the display path.
+  std::string name;
+  std::string script;
+  std::string annotations;  // External .sasht text ("" = none).
+  bool use_cache = true;
+  // The fingerprint-relevant analyzer toggles (matching the CLI flags).
+  bool lint = false;
+  bool symex = true;
+  bool stream = true;
+  bool idempotence = false;
+  bool coach = false;
+  int64_t max_input_bytes = 0;
+
+  // op == "mine".
+  std::string command;
+
+  std::string ToJson() const;
+  static std::optional<RpcRequest> Parse(std::string_view json);
+};
+
+// Response statuses, coarse transport-level triage. Per-file analysis
+// outcomes (ok/degraded/failed/timed_out) ride in `file_status` +
+// `degraded_reason`, mirroring the batch JSON fields exactly so `--via`
+// output can be assembled byte-identically to local output.
+inline constexpr char kStatusOk[] = "ok";
+inline constexpr char kStatusError[] = "error";
+inline constexpr char kStatusOverloaded[] = "overloaded";   // Admission shed.
+inline constexpr char kStatusDraining[] = "draining";       // Server is exiting.
+
+struct RpcResponse {
+  int64_t id = 0;
+  std::string status = kStatusError;  // kStatusOk | kStatusError | ...
+  std::string error;                  // Human-readable when status != ok.
+
+  // op == "analyze" payload (mirrors batch::FileResult).
+  std::string file_status;  // "ok" | "degraded" | "failed" | "timed_out".
+  std::string degraded_reason;
+  bool cached = false;
+  int64_t warnings_or_worse = 0;
+  std::string report_json;  // Raw sash-analysis-v1 document ("" when none).
+  std::string report_text;
+  int64_t micros = 0;       // Server-side wall time for the request.
+
+  // Op-specific extra payload (ping/stats/mine), one raw JSON value.
+  std::string body;
+
+  std::string ToJson() const;
+  static std::optional<RpcResponse> Parse(std::string_view json);
+};
+
+}  // namespace sash::serve
+
+#endif  // SASH_SERVE_PROTOCOL_H_

@@ -1,0 +1,273 @@
+#include "serve/uds.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace sash::serve {
+
+namespace {
+
+bool FillSockaddr(const std::string& path, sockaddr_un* addr, std::string* error) {
+  if (path.empty() || path.size() >= sizeof(addr->sun_path)) {
+    if (error != nullptr) {
+      *error = "socket path empty or too long (" + std::to_string(path.size()) + " bytes, max " +
+               std::to_string(sizeof(addr->sun_path) - 1) + "): " + path;
+    }
+    return false;
+  }
+  memset(addr, 0, sizeof(*addr));
+  addr->sun_family = AF_UNIX;
+  memcpy(addr->sun_path, path.c_str(), path.size() + 1);
+  return true;
+}
+
+int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+void SetNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) {
+    fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  }
+}
+
+void SetCloseOnExec(int fd) {
+  int flags = fcntl(fd, F_GETFD, 0);
+  if (flags >= 0) {
+    fcntl(fd, F_SETFD, flags | FD_CLOEXEC);
+  }
+}
+
+int ListenUnix(const std::string& path, int backlog, std::string* error) {
+  sockaddr_un addr;
+  if (!FillSockaddr(path, &addr, error)) {
+    return -1;
+  }
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) {
+      *error = std::string("socket: ") + strerror(errno);
+    }
+    return -1;
+  }
+  SetCloseOnExec(fd);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (error != nullptr) {
+      *error = "bind " + path + ": " + strerror(errno);
+    }
+    ::close(fd);
+    return -1;
+  }
+  // The socket carries analysis requests for whoever can reach it; keep it
+  // owner-only like the cache directory.
+  ::chmod(path.c_str(), 0600);
+  if (::listen(fd, backlog) != 0) {
+    if (error != nullptr) {
+      *error = "listen " + path + ": " + strerror(errno);
+    }
+    ::close(fd);
+    ::unlink(path.c_str());
+    return -1;
+  }
+  return fd;
+}
+
+int ConnectUnix(const std::string& path, int64_t timeout_ms, std::string* error) {
+  sockaddr_un addr;
+  if (!FillSockaddr(path, &addr, error)) {
+    return -1;
+  }
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) {
+      *error = std::string("socket: ") + strerror(errno);
+    }
+    return -1;
+  }
+  SetCloseOnExec(fd);
+  SetNonBlocking(fd);
+  int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno == EINPROGRESS) {
+    pollfd pfd{fd, POLLOUT, 0};
+    rc = ::poll(&pfd, 1, static_cast<int>(timeout_ms));
+    if (rc <= 0) {
+      if (error != nullptr) {
+        *error = "connect " + path + ": " + (rc == 0 ? "timed out" : strerror(errno));
+      }
+      ::close(fd);
+      return -1;
+    }
+    int soerr = 0;
+    socklen_t len = sizeof(soerr);
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &len);
+    if (soerr != 0) {
+      if (error != nullptr) {
+        *error = "connect " + path + ": " + strerror(soerr);
+      }
+      ::close(fd);
+      return -1;
+    }
+  } else if (rc != 0) {
+    if (error != nullptr) {
+      *error = "connect " + path + ": " + strerror(errno);
+    }
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+SocketProbe ProbeSocket(const std::string& path, int64_t timeout_ms) {
+  struct stat st;
+  if (::lstat(path.c_str(), &st) != 0) {
+    return SocketProbe::kFree;
+  }
+  if (!S_ISSOCK(st.st_mode)) {
+    return SocketProbe::kNotSocket;
+  }
+  std::string error;
+  int fd = ConnectUnix(path, timeout_ms, &error);
+  if (fd >= 0) {
+    ::close(fd);
+    return SocketProbe::kLive;
+  }
+  return SocketProbe::kStale;
+}
+
+bool WritePidFile(const std::string& path, std::string* error) {
+  std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      if (error != nullptr) {
+        *error = "cannot write " + tmp;
+      }
+      return false;
+    }
+    out << ::getpid() << '\n';
+    if (!out.flush()) {
+      if (error != nullptr) {
+        *error = "cannot write " + tmp;
+      }
+      return false;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    if (error != nullptr) {
+      *error = "cannot rename pidfile into place: " + path;
+    }
+    return false;
+  }
+  return true;
+}
+
+int64_t ReadPidFile(const std::string& path) {
+  std::ifstream in(path);
+  int64_t pid = 0;
+  if (in >> pid && pid > 0) {
+    return pid;
+  }
+  return 0;
+}
+
+bool PidAlive(int64_t pid) {
+  if (pid <= 0) {
+    return false;
+  }
+  if (::kill(static_cast<pid_t>(pid), 0) == 0) {
+    return true;
+  }
+  return errno == EPERM;  // Exists but not ours.
+}
+
+bool SendAll(int fd, std::string_view data, int64_t deadline_ms, std::string* error) {
+  const int64_t deadline = NowMs() + deadline_ms;
+  size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n = ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      int64_t remaining = deadline - NowMs();
+      if (remaining <= 0) {
+        if (error != nullptr) {
+          *error = "write timed out";
+        }
+        return false;
+      }
+      pollfd pfd{fd, POLLOUT, 0};
+      if (::poll(&pfd, 1, static_cast<int>(remaining)) <= 0) {
+        if (error != nullptr) {
+          *error = "write timed out";
+        }
+        return false;
+      }
+      continue;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    if (error != nullptr) {
+      *error = std::string("write: ") + (n == 0 ? "peer closed" : strerror(errno));
+    }
+    return false;
+  }
+  return true;
+}
+
+int64_t RecvSome(int fd, std::string* out, size_t max, int64_t timeout_ms, std::string* error) {
+  char buf[16 * 1024];
+  const size_t want = max < sizeof(buf) ? max : sizeof(buf);
+  for (;;) {
+    ssize_t n = ::recv(fd, buf, want, 0);
+    if (n > 0) {
+      out->append(buf, static_cast<size_t>(n));
+      return n;
+    }
+    if (n == 0) {
+      return 0;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      pollfd pfd{fd, POLLIN, 0};
+      int rc = ::poll(&pfd, 1, static_cast<int>(timeout_ms));
+      if (rc <= 0) {
+        if (error != nullptr) {
+          *error = rc == 0 ? "read timed out" : std::string("poll: ") + strerror(errno);
+        }
+        return -1;
+      }
+      continue;
+    }
+    if (error != nullptr) {
+      *error = std::string("read: ") + strerror(errno);
+    }
+    return -1;
+  }
+}
+
+}  // namespace sash::serve

@@ -1,0 +1,64 @@
+// Unix-domain-socket plumbing shared by the resident server, the thin
+// client, and the tests that poke at both: listen/connect with timeouts,
+// deadline-bounded full reads and writes, and the stale-socket / pidfile
+// recovery dance a crash-safe daemon needs on restart.
+//
+// Everything here is Linux/POSIX; nothing touches the analysis layers.
+#ifndef SASH_SERVE_UDS_H_
+#define SASH_SERVE_UDS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace sash::serve {
+
+// Binds and listens on a fresh unix socket at `path` (mode 0700 directory
+// recommended). Returns the listening fd, or -1 with *error set. Fails with
+// EADDRINUSE if a socket file is present — callers run RecoverStaleSocket
+// first.
+int ListenUnix(const std::string& path, int backlog, std::string* error);
+
+// Connects to the unix socket at `path`, waiting at most `timeout_ms` for
+// the connect to complete. Returns the connected fd, or -1 with *error.
+int ConnectUnix(const std::string& path, int64_t timeout_ms, std::string* error);
+
+// Classification of what lives at a socket path before we bind to it.
+enum class SocketProbe : uint8_t {
+  kFree,   // Nothing there (or not a socket — callers refuse to clobber it).
+  kLive,   // A server answered: the address is genuinely taken.
+  kStale,  // A socket file nobody accepts on — a previous crash's leftover.
+  kNotSocket,  // Path exists but is not a socket; never unlinked.
+};
+
+// Probes `path` by attempting a short connect.
+SocketProbe ProbeSocket(const std::string& path, int64_t timeout_ms);
+
+// Writes this process's pid to `path` (atomic rename). False + *error on
+// I/O failure.
+bool WritePidFile(const std::string& path, std::string* error);
+
+// Reads the pid in `path`; 0 when missing/unparseable.
+int64_t ReadPidFile(const std::string& path);
+
+// True when a process with `pid` exists (kill(pid, 0) semantics; EPERM
+// counts as alive).
+bool PidAlive(int64_t pid);
+
+// Sends all of `data`, tolerating partial writes and EINTR, bounded by
+// `deadline_ms` of total stall (poll on POLLOUT). MSG_NOSIGNAL: a peer that
+// vanished yields an error, not SIGPIPE. False + *error on failure/timeout.
+bool SendAll(int fd, std::string_view data, int64_t deadline_ms, std::string* error);
+
+// Reads up to `max` bytes into *out (appending), waiting at most
+// `timeout_ms` for the first byte. Returns the byte count, 0 on orderly
+// peer close, -1 on error/timeout (with *error set).
+int64_t RecvSome(int fd, std::string* out, size_t max, int64_t timeout_ms, std::string* error);
+
+// Marks `fd` nonblocking / close-on-exec. Best-effort.
+void SetNonBlocking(int fd);
+void SetCloseOnExec(int fd);
+
+}  // namespace sash::serve
+
+#endif  // SASH_SERVE_UDS_H_

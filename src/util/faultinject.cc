@@ -107,6 +107,16 @@ std::string_view FaultSiteName(FaultSite site) {
       return "pool.task";
     case FaultSite::kAnalyzeFile:
       return "analyze.file";
+    case FaultSite::kServeAccept:
+      return "serve.accept";
+    case FaultSite::kServeRead:
+      return "serve.read";
+    case FaultSite::kServeWrite:
+      return "serve.write";
+    case FaultSite::kServeDispatch:
+      return "serve.dispatch";
+    case FaultSite::kClientConnect:
+      return "client.connect";
   }
   return "?";
 }
@@ -205,6 +215,12 @@ FaultPlan FaultPlan::DefaultChaos(uint64_t seed) {
   rate(FaultSite::kCacheRename, FaultAction::kFail, 10);
   rate(FaultSite::kSpecLoad, FaultAction::kCorrupt, 10);
   rate(FaultSite::kPoolTask, FaultAction::kDelay, 10, /*delay_ms=*/1);
+  // Serve-path sites the request loop must absorb without changing any
+  // functional result: a delayed dispatch is invisible, a dropped accept or
+  // a refused connect is retried by the client's backoff loop.
+  rate(FaultSite::kServeDispatch, FaultAction::kDelay, 10, /*delay_ms=*/1);
+  rate(FaultSite::kServeAccept, FaultAction::kFail, 10);
+  rate(FaultSite::kClientConnect, FaultAction::kFail, 10);
   return plan;
 }
 

@@ -15,7 +15,8 @@
 //
 // Rule grammar:  site[~match][#nth][%per_mille][@delay_ms][=action]
 //   site:    cache.read | cache.write | cache.rename | spec.load |
-//            pool.task | analyze.file
+//            pool.task | analyze.file | serve.accept | serve.read |
+//            serve.write | serve.dispatch | client.connect
 //   ~match:  substring that the hook's detail string (usually a path) must
 //            contain; absent = any
 //   #nth:    fire only on the nth matching occurrence (1-based); absent and
@@ -47,8 +48,19 @@ enum class FaultSite : uint8_t {
   kSpecLoad,
   kPoolTask,
   kAnalyzeFile,
+  // The resident server's request path (PR 7): every layer a torn client,
+  // full disk, or scheduling hiccup can hit. fail on serve.accept drops one
+  // incoming connection (clients retry), serve.read/serve.write poison one
+  // connection (never the daemon), serve.dispatch fails one request with a
+  // well-formed error response, client.connect simulates a refused/absent
+  // socket for the client's backoff loop.
+  kServeAccept,
+  kServeRead,
+  kServeWrite,
+  kServeDispatch,
+  kClientConnect,
 };
-inline constexpr int kNumFaultSites = 6;
+inline constexpr int kNumFaultSites = 11;
 
 std::string_view FaultSiteName(FaultSite site);
 

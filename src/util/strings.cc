@@ -1,6 +1,7 @@
 #include "util/strings.h"
 
 #include <cctype>
+#include <cstdint>
 #include <cstdio>
 
 namespace sash {
@@ -127,6 +128,33 @@ std::string AsciiLower(std::string_view s) {
     c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
   }
   return out;
+}
+
+bool ParseInt64(std::string_view s, int64_t* out) {
+  bool negative = false;
+  if (!s.empty() && (s.front() == '-' || s.front() == '+')) {
+    negative = s.front() == '-';
+    s.remove_prefix(1);
+  }
+  if (s.empty()) {
+    return false;
+  }
+  uint64_t magnitude = 0;
+  // Largest representable magnitude: 2^63 for negative values, 2^63-1 else.
+  const uint64_t limit =
+      negative ? (1ULL << 63) : static_cast<uint64_t>(INT64_MAX);
+  for (char c : s) {
+    if (c < '0' || c > '9') {
+      return false;
+    }
+    const uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (magnitude > (limit - digit) / 10) {
+      return false;  // Would overflow.
+    }
+    magnitude = magnitude * 10 + digit;
+  }
+  *out = negative ? -static_cast<int64_t>(magnitude) : static_cast<int64_t>(magnitude);
+  return true;
 }
 
 }  // namespace sash

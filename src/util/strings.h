@@ -4,6 +4,7 @@
 #ifndef SASH_UTIL_STRINGS_H_
 #define SASH_UTIL_STRINGS_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -37,6 +38,13 @@ std::string ReplaceAll(std::string_view s, std::string_view from, std::string_vi
 
 // ASCII-only lowercase conversion.
 std::string AsciiLower(std::string_view s);
+
+// Strict base-10 integer parsing for CLI flags and config values: an
+// optional leading '-', then digits only — no whitespace, no trailing
+// garbage, no empty input — with overflow checked against int64. Returns
+// false (leaving *out untouched) on any violation, where atoi/atoll would
+// silently return 0 or saturate.
+bool ParseInt64(std::string_view s, int64_t* out);
 
 }  // namespace sash
 

@@ -215,5 +215,73 @@ TEST_F(BatchStressTest, ConcurrentPutsOfSameKeyAreIdempotent) {
   EXPECT_EQ(*final_read, payload);
 }
 
+TEST_F(BatchStressTest, ConcurrentCacheDirCreationBothSucceed) {
+  // Regression: two drivers pointed at the same not-yet-existing --cache-dir
+  // race to create it. With check-then-create (create_directories) one racer
+  // could observe EEXIST mid-window and fail its first Put; EnsureDirectories
+  // treats EEXIST as victory, so every racer's writes must land.
+  constexpr int kRacers = 8;
+  constexpr int kRounds = 25;
+  for (int round = 0; round < kRounds; ++round) {
+    fs::path cache_dir = dir_ / ("race" + std::to_string(round)) / "deep" / "cache";
+    std::vector<std::thread> racers;
+    std::atomic<int> failed_puts{0};
+    std::atomic<int> barrier{0};
+    for (int t = 0; t < kRacers; ++t) {
+      racers.emplace_back([&, t] {
+        // Line every racer up so the mkdir storm is actually concurrent.
+        barrier.fetch_add(1, std::memory_order_acq_rel);
+        while (barrier.load(std::memory_order_acquire) < kRacers) {
+        }
+        Cache cache(cache_dir);
+        const std::string key = std::string(63, 'b') + static_cast<char>('0' + t);
+        if (!cache.Put("analysis", key, "{\"racer\":" + std::to_string(t) + "}")) {
+          failed_puts.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    for (auto& t : racers) {
+      t.join();
+    }
+    EXPECT_EQ(failed_puts.load(), 0) << "round " << round;
+    // Every racer's entry is present and intact.
+    Cache cache(cache_dir);
+    for (int t = 0; t < kRacers; ++t) {
+      const std::string key = std::string(63, 'b') + static_cast<char>('0' + t);
+      std::optional<std::string> got = cache.Get("analysis", key);
+      ASSERT_TRUE(got.has_value()) << "round " << round << " racer " << t;
+      EXPECT_EQ(*got, "{\"racer\":" + std::to_string(t) + "}");
+    }
+  }
+}
+
+TEST_F(BatchStressTest, EnsureDirectoriesConcurrentAndEdgeCases) {
+  // Direct unit coverage of the helper the race fix rides on.
+  EXPECT_TRUE(EnsureDirectories(dir_ / "x" / "y" / "z"));
+  EXPECT_TRUE(fs::is_directory(dir_ / "x" / "y" / "z"));
+  EXPECT_TRUE(EnsureDirectories(dir_ / "x" / "y" / "z"));  // Idempotent.
+  EXPECT_TRUE(EnsureDirectories(fs::path()));              // Empty = nothing to do.
+  // A component that exists as a *file* is a real failure, not a race.
+  fs::path blocker = dir_ / "file";
+  std::ofstream(blocker) << "not a directory";
+  EXPECT_FALSE(EnsureDirectories(blocker / "child"));
+  // Many threads creating the same deep path simultaneously all succeed.
+  fs::path deep = dir_ / "many" / "levels" / "down";
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 16; ++t) {
+    threads.emplace_back([&] {
+      if (!EnsureDirectories(deep)) {
+        failures.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_TRUE(fs::is_directory(deep));
+}
+
 }  // namespace
 }  // namespace sash::batch

@@ -1,0 +1,697 @@
+// The resident server's robustness contract, exercised end to end in one
+// process: sash-rpc-v1 framing (including frame fuzz — truncation, oversize,
+// garbage, mid-frame disconnects — against a live daemon), admission control
+// and shedding, graceful drain with zero lost in-flight requests, stale
+// socket/pidfile crash recovery, client retry/backoff under injected connect
+// failures, budget clamping, idle reaping, and byte-identical warm replay
+// through the shared on-disk cache.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "batch/batch.h"
+#include "batch/cache.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "serve/uds.h"
+#include "util/faultinject.h"
+
+namespace sash::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// Protocol layer (no sockets).
+
+TEST(Protocol, FrameRoundTripsByteAtATime) {
+  const std::string payload = R"({"op":"ping","id":7})";
+  std::string frame = EncodeFrame(FrameType::kRequest, payload);
+  ASSERT_EQ(frame.size(), kFrameHeaderBytes + payload.size());
+
+  FrameReader reader;
+  FrameType type;
+  std::string got;
+  std::string error;
+  // Feeding one byte at a time must yield exactly one frame, at the end.
+  for (size_t i = 0; i + 1 < frame.size(); ++i) {
+    reader.Append(std::string_view(frame).substr(i, 1));
+    EXPECT_EQ(reader.Next(&type, &got, &error), FrameStatus::kNeedMore);
+  }
+  reader.Append(std::string_view(frame).substr(frame.size() - 1));
+  ASSERT_EQ(reader.Next(&type, &got, &error), FrameStatus::kFrame);
+  EXPECT_EQ(type, FrameType::kRequest);
+  EXPECT_EQ(got, payload);
+  EXPECT_EQ(reader.Next(&type, &got, &error), FrameStatus::kNeedMore);
+  EXPECT_FALSE(reader.mid_frame());
+}
+
+TEST(Protocol, BackToBackFramesDecodeInOrder) {
+  FrameReader reader;
+  std::string stream = EncodeFrame(FrameType::kRequest, "first") +
+                       EncodeFrame(FrameType::kResponse, "second") +
+                       EncodeFrame(FrameType::kRequest, "third");
+  reader.Append(stream);
+  FrameType type;
+  std::string payload;
+  std::string error;
+  ASSERT_EQ(reader.Next(&type, &payload, &error), FrameStatus::kFrame);
+  EXPECT_EQ(payload, "first");
+  ASSERT_EQ(reader.Next(&type, &payload, &error), FrameStatus::kFrame);
+  EXPECT_EQ(type, FrameType::kResponse);
+  EXPECT_EQ(payload, "second");
+  ASSERT_EQ(reader.Next(&type, &payload, &error), FrameStatus::kFrame);
+  EXPECT_EQ(payload, "third");
+}
+
+TEST(Protocol, MalformedFramesPoisonTheReader) {
+  struct Case {
+    const char* name;
+    std::string bytes;
+  };
+  std::string oversize = EncodeFrame(FrameType::kRequest, "x");
+  // Rewrite the length field to exceed the cap.
+  oversize[4] = '\xff';
+  oversize[5] = '\xff';
+  oversize[6] = '\xff';
+  oversize[7] = '\x7f';
+  std::string bad_type = EncodeFrame(FrameType::kRequest, "x");
+  bad_type[8] = 9;
+  std::string bad_reserved = EncodeFrame(FrameType::kRequest, "x");
+  bad_reserved[10] = 1;
+  const Case cases[] = {
+      {"bad magic", std::string("XXXX\x01\x00\x00\x00\x01\x00\x00\x00", 12)},
+      {"oversize length", oversize},
+      {"bad type", bad_type},
+      {"reserved nonzero", bad_reserved},
+  };
+  for (const Case& c : cases) {
+    FrameReader reader;
+    FrameType type;
+    std::string payload;
+    std::string error;
+    reader.Append(c.bytes);
+    EXPECT_EQ(reader.Next(&type, &payload, &error), FrameStatus::kMalformed) << c.name;
+    EXPECT_TRUE(reader.poisoned()) << c.name;
+    // Poisoning is sticky: even a perfectly good frame afterwards is refused.
+    reader.Append(EncodeFrame(FrameType::kRequest, "fine"));
+    EXPECT_EQ(reader.Next(&type, &payload, &error), FrameStatus::kMalformed) << c.name;
+  }
+}
+
+TEST(Protocol, GarbageFuzzNeverCrashesTheReader) {
+  // Deterministic garbage: the reader must always answer kNeedMore or
+  // kMalformed, never crash or hand back a phantom frame.
+  std::mt19937 rng(20260809);
+  for (int round = 0; round < 200; ++round) {
+    FrameReader reader;
+    int frames = 0;
+    for (int chunk = 0; chunk < 20; ++chunk) {
+      std::string bytes(rng() % 64, '\0');
+      for (char& b : bytes) {
+        b = static_cast<char>(rng() & 0xff);
+      }
+      reader.Append(bytes);
+      FrameType type;
+      std::string payload;
+      std::string error;
+      FrameStatus status;
+      while ((status = reader.Next(&type, &payload, &error)) == FrameStatus::kFrame) {
+        ++frames;  // Possible only if the garbage embedded a valid header.
+      }
+      if (status == FrameStatus::kMalformed) {
+        break;
+      }
+    }
+    EXPECT_LE(frames, 20);
+  }
+}
+
+TEST(Protocol, RequestJsonRoundTrips) {
+  RpcRequest req;
+  req.op = "analyze";
+  req.id = 42;
+  req.budget_ms = 1500;
+  req.name = "dir/some script.sh";
+  req.script = "echo \"hi\" | wc -l\n";
+  req.annotations = "# sash: assume x\n";
+  req.use_cache = false;
+  req.lint = true;
+  req.symex = false;
+  req.stream = false;
+  req.idempotence = true;
+  req.coach = true;
+  req.max_input_bytes = 12345;
+
+  std::optional<RpcRequest> back = RpcRequest::Parse(req.ToJson());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->op, req.op);
+  EXPECT_EQ(back->id, req.id);
+  EXPECT_EQ(back->budget_ms, req.budget_ms);
+  EXPECT_EQ(back->name, req.name);
+  EXPECT_EQ(back->script, req.script);
+  EXPECT_EQ(back->annotations, req.annotations);
+  EXPECT_EQ(back->use_cache, req.use_cache);
+  EXPECT_EQ(back->lint, req.lint);
+  EXPECT_EQ(back->symex, req.symex);
+  EXPECT_EQ(back->stream, req.stream);
+  EXPECT_EQ(back->idempotence, req.idempotence);
+  EXPECT_EQ(back->coach, req.coach);
+  EXPECT_EQ(back->max_input_bytes, req.max_input_bytes);
+
+  // Serialization is op-keyed: a mine request carries `command`, nothing else
+  // beyond the envelope.
+  RpcRequest mine;
+  mine.op = "mine";
+  mine.id = 5;
+  mine.command = "grep";
+  std::optional<RpcRequest> mine_back = RpcRequest::Parse(mine.ToJson());
+  ASSERT_TRUE(mine_back.has_value());
+  EXPECT_EQ(mine_back->op, "mine");
+  EXPECT_EQ(mine_back->id, 5);
+  EXPECT_EQ(mine_back->command, "grep");
+}
+
+TEST(Protocol, ResponseJsonRoundTripsWithRawReport) {
+  RpcResponse resp;
+  resp.id = 9;
+  resp.status = kStatusOk;
+  resp.file_status = "degraded";
+  resp.degraded_reason = "state-cap";
+  resp.cached = true;
+  resp.warnings_or_worse = 3;
+  resp.report_json = R"({"schema":"sash-analysis-v1","findings":[{"code":"X","line":1}]})";
+  resp.report_text = "line1\nline2 \"quoted\"\n";
+  resp.micros = 777;
+
+  std::optional<RpcResponse> back = RpcResponse::Parse(resp.ToJson());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->id, resp.id);
+  EXPECT_EQ(back->status, resp.status);
+  EXPECT_EQ(back->file_status, resp.file_status);
+  EXPECT_EQ(back->degraded_reason, resp.degraded_reason);
+  EXPECT_EQ(back->cached, resp.cached);
+  EXPECT_EQ(back->warnings_or_worse, resp.warnings_or_worse);
+  // The raw report document must survive the round trip byte-for-byte —
+  // this is what the --via byte-identity guarantee rides on.
+  EXPECT_EQ(back->report_json, resp.report_json);
+  EXPECT_EQ(back->report_text, resp.report_text);
+  EXPECT_EQ(back->micros, resp.micros);
+
+  EXPECT_FALSE(RpcRequest::Parse("not json").has_value());
+  EXPECT_FALSE(RpcResponse::Parse("[1,2,3]").has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Live server fixture.
+
+class ServeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("sash_serve_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    socket_ = (dir_ / "s.sock").string();
+  }
+  void TearDown() override {
+    util::FaultInjector::Uninstall();
+    fs::remove_all(dir_);
+  }
+
+  ServerOptions BaseOptions() {
+    ServerOptions options;
+    options.socket_path = socket_;
+    options.jobs = 2;
+    options.warmup = false;  // Tests don't need warm caches; keep them fast.
+    options.batch.use_cache = false;
+    return options;
+  }
+
+  ClientOptions BaseClient() {
+    ClientOptions copt;
+    copt.socket_path = socket_;
+    copt.backoff_initial_ms = 1;
+    copt.backoff_max_ms = 8;
+    return copt;
+  }
+
+  static RpcRequest Ping(int64_t id) {
+    RpcRequest req;
+    req.op = "ping";
+    req.id = id;
+    return req;
+  }
+
+  static RpcRequest Analyze(int64_t id, std::string script, bool use_cache = false) {
+    RpcRequest req;
+    req.op = "analyze";
+    req.id = id;
+    req.name = "t" + std::to_string(id) + ".sh";
+    req.script = std::move(script);
+    req.use_cache = use_cache;
+    return req;
+  }
+
+  fs::path dir_;
+  std::string socket_;
+};
+
+TEST_F(ServeTest, PingAnalyzeMineAndStats) {
+  Server server(BaseOptions());
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  Client client(BaseClient());
+  CallResult pong = client.Call(Ping(1));
+  ASSERT_TRUE(pong.ok) << pong.transport_error;
+  EXPECT_EQ(pong.response.status, kStatusOk);
+  EXPECT_EQ(pong.response.id, 1);
+  EXPECT_NE(pong.response.body.find("\"pong\""), std::string::npos);
+
+  CallResult analyzed = client.Call(Analyze(2, "cat f.txt | wc -l\n"));
+  ASSERT_TRUE(analyzed.ok) << analyzed.transport_error;
+  EXPECT_EQ(analyzed.response.status, kStatusOk);
+  EXPECT_EQ(analyzed.response.file_status, "ok");
+  EXPECT_NE(analyzed.response.report_json.find("sash-analysis-v1"), std::string::npos);
+  EXPECT_FALSE(analyzed.response.report_text.empty());
+
+  RpcRequest mine;
+  mine.op = "mine";
+  mine.id = 3;
+  mine.command = "grep";
+  CallResult mined = client.Call(mine);
+  ASSERT_TRUE(mined.ok) << mined.transport_error;
+  EXPECT_EQ(mined.response.status, kStatusOk);
+  EXPECT_NE(mined.response.body.find("\"command\""), std::string::npos);
+
+  RpcRequest unknown;
+  unknown.op = "frobnicate";
+  unknown.id = 4;
+  CallResult nope = client.Call(unknown);
+  ASSERT_TRUE(nope.ok);
+  EXPECT_EQ(nope.response.status, kStatusError);
+  EXPECT_NE(nope.response.error.find("unknown op"), std::string::npos);
+
+  server.Stop();
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.requests, 4);
+  EXPECT_EQ(stats.responses, 4);
+  EXPECT_EQ(stats.malformed, 0);
+}
+
+TEST_F(ServeTest, WarmViaReplayIsByteIdenticalToLocal) {
+  fs::path cache_dir = dir_ / "cache";
+  const std::string script = "for f in *.sh; do\n  cat \"$f\" | wc -l\ndone\n";
+
+  // Local cold run, through exactly the code path the server uses.
+  batch::BatchOptions opt;
+  opt.use_cache = true;
+  opt.cache_dir = cache_dir;
+  batch::Cache cache(cache_dir);
+  batch::FileResult cold =
+      batch::AnalyzeSourceCached(opt, "warm.sh", script, &cache, nullptr, nullptr);
+  ASSERT_TRUE(cold.ok);
+  ASSERT_FALSE(cold.cached);
+
+  ServerOptions options = BaseOptions();
+  options.batch.use_cache = true;
+  options.batch.cache_dir = cache_dir;
+  Server server(std::move(options));
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  Client client(BaseClient());
+  RpcRequest req = Analyze(1, script, /*use_cache=*/true);
+  req.name = "warm.sh";
+  CallResult warm = client.Call(req);
+  ASSERT_TRUE(warm.ok) << warm.transport_error;
+  EXPECT_EQ(warm.response.status, kStatusOk);
+  EXPECT_TRUE(warm.response.cached);
+  // The contract: warm server responses carry the cold run's exact bytes.
+  EXPECT_EQ(warm.response.report_json, cold.report_json);
+  EXPECT_EQ(warm.response.report_text, cold.report_text);
+  EXPECT_EQ(warm.response.warnings_or_worse, cold.warnings_or_worse);
+}
+
+TEST_F(ServeTest, FrameFuzzPoisonsOnlyTheOffendingConnection) {
+  Server server(BaseOptions());
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  // A healthy long-lived connection that must survive every attack below.
+  Client survivor(BaseClient());
+  ASSERT_TRUE(survivor.Call(Ping(1)).ok);
+
+  struct Attack {
+    const char* name;
+    std::string bytes;
+  };
+  std::string oversize(kFrameHeaderBytes, '\0');
+  oversize.replace(0, 4, "SRP1");
+  oversize[4] = '\xff';
+  oversize[5] = '\xff';
+  oversize[6] = '\xff';
+  oversize[7] = '\x7f';
+  oversize[8] = 1;
+  const Attack attacks[] = {
+      {"garbage bytes", "this is definitely not a sash-rpc-v1 frame at all"},
+      {"oversized frame", oversize},
+      {"truncated length prefix", std::string("SRP1\x10", 5)},
+      {"response-typed frame", EncodeFrame(FrameType::kResponse, "{}")},
+  };
+  for (const Attack& attack : attacks) {
+    std::string cerr_;
+    int fd = ConnectUnix(socket_, 2000, &cerr_);
+    ASSERT_GE(fd, 0) << attack.name << ": " << cerr_;
+    ASSERT_TRUE(SendAll(fd, attack.bytes, 2000, &cerr_)) << attack.name;
+    if (attack.bytes.size() >= kFrameHeaderBytes ||
+        std::string_view(attack.bytes).substr(0, 4) != "SRP1") {
+      // Complete-but-malformed input: the server must actively close us.
+      std::string got;
+      int64_t n = RecvSome(fd, &got, 1024, 3000, &cerr_);
+      EXPECT_LE(n, 0) << attack.name << " should not yield a response";
+    }
+    ::close(fd);  // Mid-frame disconnect for the truncated case.
+    // The daemon and the unrelated healthy connection are unaffected.
+    CallResult alive = survivor.Call(Ping(99));
+    ASSERT_TRUE(alive.ok) << attack.name << " downed the survivor: "
+                          << alive.transport_error;
+    EXPECT_EQ(alive.response.status, kStatusOk) << attack.name;
+  }
+
+  server.Stop();
+  EXPECT_GE(server.stats().malformed, 3);
+}
+
+TEST_F(ServeTest, MidFrameDisconnectLeavesServerHealthy) {
+  Server server(BaseOptions());
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  // Send a valid header promising 100 bytes, deliver 10, vanish.
+  std::string frame = EncodeFrame(FrameType::kRequest, std::string(100, 'p'));
+  for (int i = 0; i < 5; ++i) {
+    int fd = ConnectUnix(socket_, 2000, &error);
+    ASSERT_GE(fd, 0) << error;
+    ASSERT_TRUE(SendAll(fd, std::string_view(frame).substr(0, kFrameHeaderBytes + 10), 2000,
+                        &error));
+    ::close(fd);
+  }
+  Client client(BaseClient());
+  CallResult alive = client.Call(Ping(1));
+  ASSERT_TRUE(alive.ok) << alive.transport_error;
+  server.Stop();
+}
+
+TEST_F(ServeTest, AdmissionControlShedsWithExplicitOverloadedVerdict) {
+  ServerOptions options = BaseOptions();
+  options.max_pending = 0;  // Everything beyond admission is shed.
+  Server server(std::move(options));
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  ClientOptions copt = BaseClient();
+  copt.retry_transient = false;  // Surface the verdict instead of retrying.
+  Client client(copt);
+  CallResult shed = client.Call(Analyze(1, "echo hi\n"));
+  ASSERT_TRUE(shed.ok) << shed.transport_error;
+  EXPECT_EQ(shed.response.status, kStatusOverloaded);
+  EXPECT_FALSE(shed.response.error.empty());
+
+  server.Stop();
+  EXPECT_GE(server.stats().shed, 1);
+}
+
+TEST_F(ServeTest, DrainAnswersEveryAcceptedInFlightRequest) {
+  // Hold dispatched requests in flight with an injected 200ms dispatch
+  // delay, then drain mid-flight: every accepted request must still get a
+  // response, and the server must exit cleanly.
+  util::FaultPlan plan;
+  util::FaultRule rule;
+  rule.site = util::FaultSite::kServeDispatch;
+  rule.action = util::FaultAction::kDelay;
+  rule.delay_ms = 200;
+  plan.rules.push_back(rule);
+  util::FaultInjector::Install(plan);
+
+  ServerOptions options = BaseOptions();
+  options.drain_deadline_ms = 2000;
+  Server server(std::move(options));
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  constexpr int kInFlight = 3;
+  std::vector<std::thread> callers;
+  std::atomic<int> answered{0};
+  std::atomic<int> lost{0};
+  for (int i = 0; i < kInFlight; ++i) {
+    callers.emplace_back([&, i] {
+      ClientOptions copt = BaseClient();
+      copt.retry_transient = false;
+      Client client(copt);
+      CallResult r = client.Call(Analyze(i + 1, "echo " + std::to_string(i) + "\n"));
+      if (r.ok) {
+        answered.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        lost.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  // Let the requests get accepted and dispatched (each then sleeps 200ms on
+  // the pool), then pull the plug.
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  server.BeginDrain();
+  for (auto& t : callers) {
+    t.join();
+  }
+  server.Stop();
+
+  EXPECT_EQ(lost.load(), 0) << "an accepted in-flight request was dropped";
+  EXPECT_EQ(answered.load(), kInFlight);
+  EXPECT_TRUE(server.stopped());
+
+  // Post-drain, new connections are refused (socket unlinked).
+  std::string cerr_;
+  EXPECT_LT(ConnectUnix(socket_, 200, &cerr_), 0);
+}
+
+TEST_F(ServeTest, ShutdownOpDrainsTheServer) {
+  Server server(BaseOptions());
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  ClientOptions copt = BaseClient();
+  copt.retry_transient = false;
+  Client client(copt);
+  RpcRequest req;
+  req.op = "shutdown";
+  req.id = 1;
+  CallResult r = client.Call(req);
+  ASSERT_TRUE(r.ok) << r.transport_error;
+  EXPECT_EQ(r.response.status, kStatusOk);
+  server.AwaitStopped();
+  EXPECT_TRUE(server.stopped());
+  server.Stop();
+}
+
+TEST_F(ServeTest, StaleSocketAndPidfileAreRecoveredAfterCrash) {
+  // Simulate a crash: a bound-then-abandoned socket file plus a pidfile
+  // naming a long-dead process.
+  std::string error;
+  int fd = ListenUnix(socket_, 4, &error);
+  ASSERT_GE(fd, 0) << error;
+  ::close(fd);  // Socket file remains; nobody accepts on it.
+  ASSERT_TRUE(fs::exists(socket_));
+  std::ofstream(socket_ + ".pid") << 999999999 << "\n";
+
+  Server server(BaseOptions());
+  ASSERT_TRUE(server.Start(&error)) << error;  // Stale leftovers recovered.
+  Client client(BaseClient());
+  EXPECT_TRUE(client.Call(Ping(1)).ok);
+  server.Stop();
+  // A clean drain removes both files.
+  EXPECT_FALSE(fs::exists(socket_));
+  EXPECT_FALSE(fs::exists(socket_ + ".pid"));
+}
+
+TEST_F(ServeTest, LiveServerOnTheSocketIsRefusedNotClobbered) {
+  Server first(BaseOptions());
+  std::string error;
+  ASSERT_TRUE(first.Start(&error)) << error;
+
+  Server second(BaseOptions());
+  std::string refuse_error;
+  EXPECT_FALSE(second.Start(&refuse_error));
+  EXPECT_NE(refuse_error.find("already listening"), std::string::npos) << refuse_error;
+
+  // The incumbent is untouched.
+  Client client(BaseClient());
+  EXPECT_TRUE(client.Call(Ping(1)).ok);
+  first.Stop();
+}
+
+TEST_F(ServeTest, NonSocketFileAtThePathIsNeverUnlinked) {
+  std::ofstream(socket_) << "precious data, definitely not a socket";
+  Server server(BaseOptions());
+  std::string error;
+  EXPECT_FALSE(server.Start(&error));
+  EXPECT_NE(error.find("not a socket"), std::string::npos) << error;
+  ASSERT_TRUE(fs::exists(socket_));
+  std::ifstream in(socket_);
+  std::string content;
+  std::getline(in, content);
+  EXPECT_EQ(content, "precious data, definitely not a socket");
+}
+
+TEST_F(ServeTest, ClientRetriesThroughInjectedConnectFailure) {
+  // The first connect attempt fails (injected); the bounded backoff loop
+  // must recover on the second. Installed before Start, per the injector's
+  // no-race contract.
+  util::FaultPlan plan;
+  util::FaultRule rule;
+  rule.site = util::FaultSite::kClientConnect;
+  rule.action = util::FaultAction::kFail;
+  rule.nth = 1;
+  plan.rules.push_back(rule);
+  util::FaultInjector::Install(plan);
+
+  Server server(BaseOptions());
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  Client client(BaseClient());
+  CallResult r = client.Call(Ping(1));
+  ASSERT_TRUE(r.ok) << r.transport_error;
+  EXPECT_EQ(r.attempts, 2);
+  server.Stop();
+}
+
+TEST_F(ServeTest, ClientGivesUpAfterBoundedConnectAttempts) {
+  // Every connect attempt fails: the client gives up after exactly its
+  // bounded budget instead of spinning forever. No server needed — the
+  // injected failure fires before the socket is ever touched.
+  util::FaultPlan plan;
+  util::FaultRule rule;
+  rule.site = util::FaultSite::kClientConnect;
+  rule.action = util::FaultAction::kFail;
+  plan.rules.push_back(rule);
+  util::FaultInjector::Install(plan);
+
+  ClientOptions copt = BaseClient();
+  copt.connect_attempts = 3;
+  Client client(copt);
+  CallResult r = client.Call(Ping(2));
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.attempts, 3);
+  EXPECT_NE(r.transport_error.find("client.connect"), std::string::npos);
+}
+
+TEST_F(ServeTest, ClientRetryAgainstAbsentSocketFailsCleanly) {
+  ClientOptions copt = BaseClient();
+  copt.socket_path = (dir_ / "never-bound.sock").string();
+  copt.connect_attempts = 3;
+  Client client(copt);
+  CallResult r = client.Call(Ping(1));
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.attempts, 3);
+  EXPECT_FALSE(r.transport_error.empty());
+}
+
+TEST_F(ServeTest, BudgetClampYieldsDegradedPartialReportNeverAHang) {
+  ServerOptions options = BaseOptions();
+  options.deadline_cap_ms = 1;  // Server-side clamp: even budget_ms=0 runs
+                                // under a 1ms deadline.
+  Server server(std::move(options));
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  // A script big enough that 1ms always expires mid-analysis.
+  std::string script;
+  for (int i = 0; i < 4000; ++i) {
+    script += "cat file" + std::to_string(i) + ".txt | grep pattern | wc -l\n";
+  }
+  Client client(BaseClient());
+  RpcRequest req = Analyze(1, std::move(script));
+  req.budget_ms = 60000;  // The client asks big; the server's cap wins.
+  CallResult r = client.Call(req);
+  ASSERT_TRUE(r.ok) << r.transport_error;
+  EXPECT_EQ(r.response.status, kStatusOk);
+  EXPECT_EQ(r.response.file_status, "timed_out");
+  EXPECT_EQ(r.response.degraded_reason, "timeout");
+  // Degraded, not empty: the partial report is still a complete document.
+  EXPECT_NE(r.response.report_json.find("sash-analysis-v1"), std::string::npos);
+
+  server.Stop();
+  EXPECT_GE(server.stats().timeouts, 1);
+}
+
+TEST_F(ServeTest, IdleConnectionsAreReaped) {
+  ServerOptions options = BaseOptions();
+  options.idle_timeout_ms = 100;
+  Server server(std::move(options));
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  int fd = ConnectUnix(socket_, 2000, &error);
+  ASSERT_GE(fd, 0) << error;
+  // Say nothing; the server must close us.
+  std::string got;
+  int64_t n = RecvSome(fd, &got, 64, 3000, &error);
+  EXPECT_EQ(n, 0) << "expected orderly close, got " << error;
+  ::close(fd);
+  server.Stop();
+  EXPECT_GE(server.stats().idle_closed, 1);
+}
+
+TEST_F(ServeTest, ChaosSoakUnderDefaultPlanNeverDropsARequest) {
+  // The built-in chaos plan (dropped accepts, refused connects, delayed
+  // dispatches) against concurrent clients: the retry loop must absorb every
+  // fault; every request is eventually answered correctly.
+  util::FaultInjector::Install(util::FaultPlan::DefaultChaos(20260809));
+
+  Server server(BaseOptions());
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  constexpr int kClients = 4;
+  constexpr int kCalls = 8;
+  std::vector<std::thread> clients;
+  std::atomic<int> ok_count{0};
+  std::atomic<int> failures{0};
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      ClientOptions copt = BaseClient();
+      copt.connect_attempts = 10;  // Chaos drops ~1% of connects/accepts.
+      Client client(copt);
+      for (int i = 0; i < kCalls; ++i) {
+        CallResult r = client.Call(Analyze(c * 100 + i, "echo chaos | wc -c\n"));
+        if (r.ok && r.response.status == kStatusOk && r.response.file_status == "ok") {
+          ok_count.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) {
+    t.join();
+  }
+  server.Stop();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(ok_count.load(), kClients * kCalls);
+  util::FaultInjector::Uninstall();
+}
+
+}  // namespace
+}  // namespace sash::serve

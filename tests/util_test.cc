@@ -363,5 +363,41 @@ TEST(FaultInjector, PayloadFaultsAreDeterministicAndBounded) {
   util::FaultInjector::ApplyPayloadFault(corrupt, nullptr);  // Must not crash.
 }
 
+TEST(Strings, ParseInt64AcceptsStrictDecimal) {
+  int64_t v = -1;
+  EXPECT_TRUE(ParseInt64("0", &v));
+  EXPECT_EQ(v, 0);
+  EXPECT_TRUE(ParseInt64("42", &v));
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(ParseInt64("+7", &v));
+  EXPECT_EQ(v, 7);
+  EXPECT_TRUE(ParseInt64("-13", &v));
+  EXPECT_EQ(v, -13);
+  EXPECT_TRUE(ParseInt64("9223372036854775807", &v));  // INT64_MAX.
+  EXPECT_EQ(v, INT64_MAX);
+  EXPECT_TRUE(ParseInt64("-9223372036854775808", &v));  // INT64_MIN.
+  EXPECT_EQ(v, INT64_MIN);
+}
+
+TEST(Strings, ParseInt64RejectsGarbageAndOverflow) {
+  int64_t v = 99;
+  // Everything atoi/atoll silently mangles must be an explicit failure.
+  EXPECT_FALSE(ParseInt64("", &v));
+  EXPECT_FALSE(ParseInt64("-", &v));
+  EXPECT_FALSE(ParseInt64("+", &v));
+  EXPECT_FALSE(ParseInt64("abc", &v));
+  EXPECT_FALSE(ParseInt64("12abc", &v));
+  EXPECT_FALSE(ParseInt64("abc12", &v));
+  EXPECT_FALSE(ParseInt64(" 5", &v));
+  EXPECT_FALSE(ParseInt64("5 ", &v));
+  EXPECT_FALSE(ParseInt64("1.5", &v));
+  EXPECT_FALSE(ParseInt64("0x10", &v));
+  EXPECT_FALSE(ParseInt64("--3", &v));
+  EXPECT_FALSE(ParseInt64("9223372036854775808", &v));   // INT64_MAX + 1.
+  EXPECT_FALSE(ParseInt64("-9223372036854775809", &v));  // INT64_MIN - 1.
+  EXPECT_FALSE(ParseInt64("99999999999999999999", &v));
+  EXPECT_EQ(v, 99);  // *out untouched on failure.
+}
+
 }  // namespace
 }  // namespace sash

@@ -23,6 +23,8 @@
 // Partial-batch failure: every readable input is still analyzed and printed;
 // the batch exits 2 if any input could not be read, else 1 if any file had
 // findings, else 0.
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -39,7 +41,10 @@
 #include "obs/obs.h"
 #include "obs/procstat.h"
 #include "obs/profile.h"
+#include "serve/client.h"
+#include "serve/server.h"
 #include "stream/pipeline.h"
+#include "util/strings.h"
 
 namespace {
 
@@ -51,7 +56,15 @@ int Usage() {
                "          [--annotations file.sasht] [--stats] [--format=text|json]\n"
                "          [--deadline-ms N] [--fail-fast] [--max-input-bytes N]\n"
                "          [--trace-out trace.json] [--journal events.jsonl]\n"
+               "          [--via SOCKET [--fallback local|fail]]\n"
                "          <script.sh|dir>...\n"
+               "  serve --socket PATH [-jN|--jobs N] [--cache-dir DIR] [--no-cache]\n"
+               "          [--pidfile PATH] [--max-pending N] [--max-connections N]\n"
+               "          [--deadline-cap-ms N] [--default-budget-ms N]\n"
+               "          [--idle-timeout-ms N] [--io-timeout-ms N]\n"
+               "          [--drain-deadline-ms N] [--max-frame-bytes N]\n"
+               "          [--annotations file.sasht] [--no-warmup] [--stats]\n"
+               "          [--journal events.jsonl]\n"
                "  profile [-jN|--jobs N] [--cache-dir DIR] [--no-cache]\n"
                "          [--journal events.jsonl] [--trace-out trace.json]\n"
                "          [--folded profile.folded] <script.sh|dir>...\n"
@@ -67,9 +80,47 @@ int Usage() {
                "unreadable, failed, or timed out (partial batch), else 1 if any file\n"
                "had findings, else 0. --deadline-ms bounds each file's analysis (an\n"
                "expired file keeps its partial report, status \"timed_out\");\n"
-               "--fail-fast stops scheduling new files after the first failure\n");
+               "--fail-fast stops scheduling new files after the first failure\n"
+               "serve: exit 0 after a graceful drain (SIGTERM/SIGINT), 2 on startup\n"
+               "failure. analyze --via uses a resident server (bounded retry with\n"
+               "backoff); --fallback local degrades to in-process analysis when the\n"
+               "server is unreachable, --fallback fail (default) exits 2\n");
   return 2;
 }
+
+// Strict numeric-flag parsing: non-numeric, out-of-range, and overflowing
+// values are rejected with a diagnostic (callers exit 2), where atoi/atoll
+// would silently produce 0 or saturate.
+bool NumericFlag(const char* cmd, const char* flag, const std::string& text, int64_t min,
+                 int64_t max, int64_t* out) {
+  int64_t value = 0;
+  if (!sash::ParseInt64(text, &value)) {
+    std::fprintf(stderr, "sash %s: %s expects an integer, got '%s'\n", cmd, flag, text.c_str());
+    return false;
+  }
+  if (value < min || value > max) {
+    std::fprintf(stderr, "sash %s: %s must be between %lld and %lld, got '%s'\n", cmd, flag,
+                 static_cast<long long>(min), static_cast<long long>(max), text.c_str());
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+bool NumericFlagInt(const char* cmd, const char* flag, const std::string& text, int64_t min,
+                    int64_t max, int* out) {
+  int64_t value = 0;
+  if (!NumericFlag(cmd, flag, text, min, max, &value)) {
+    return false;
+  }
+  *out = static_cast<int>(value);
+  return true;
+}
+
+// Flag ranges shared by analyze/profile/serve.
+inline constexpr int64_t kMaxJobs = 4096;
+inline constexpr int64_t kMaxMs = 1000000000;          // ~11.5 days.
+inline constexpr int64_t kMaxBytes = 1LL << 40;        // 1 TiB.
 
 // Human-readable stats table, written to stderr so it never mixes with the
 // report on stdout.
@@ -166,11 +217,94 @@ std::string BatchJson(const sash::batch::BatchResult& result, int jobs, bool cac
   return w.Take();
 }
 
+// Maps the wire `file_status` back to the batch enum so `--via` output goes
+// through exactly the same rendering path as local output.
+sash::batch::FileStatus FileStatusFromName(const std::string& name) {
+  if (name == "ok") {
+    return sash::batch::FileStatus::kOk;
+  }
+  if (name == "degraded") {
+    return sash::batch::FileStatus::kDegraded;
+  }
+  if (name == "timed_out") {
+    return sash::batch::FileStatus::kTimedOut;
+  }
+  return sash::batch::FileStatus::kFailed;
+}
+
+// Runs the analyze batch against a resident server (`--via`). Returns 0 when
+// *result was filled from server responses, 1 when the caller should fall
+// back to local analysis (--fallback local after a transport failure), 2 on
+// a hard, already-reported error.
+int AnalyzeVia(const std::string& socket_path, bool fallback_local,
+               const sash::batch::BatchOptions& batch, const std::vector<std::string>& files,
+               sash::batch::BatchResult* result) {
+  sash::serve::ClientOptions copt;
+  copt.socket_path = socket_path;
+  sash::serve::Client client(copt);
+  result->files.clear();
+  result->files.resize(files.size());
+  for (size_t i = 0; i < files.size(); ++i) {
+    sash::batch::FileResult& file = result->files[i];
+    file.path = files[i];
+    std::string source;
+    if (!ReadSource(files[i], &source)) {
+      file.status = sash::batch::FileStatus::kFailed;
+      file.error = "cannot open " + files[i];
+      continue;
+    }
+    sash::serve::RpcRequest req;
+    req.op = "analyze";
+    req.id = static_cast<int64_t>(i) + 1;
+    req.name = files[i];
+    req.script = std::move(source);
+    req.annotations = batch.annotations_text;
+    req.budget_ms = batch.deadline_ms;
+    req.use_cache = batch.use_cache;
+    req.lint = batch.analyzer.enable_lint;
+    req.symex = batch.analyzer.enable_symex;
+    req.stream = batch.analyzer.enable_stream_types;
+    req.idempotence = batch.analyzer.enable_idempotence_check;
+    req.coach = batch.analyzer.enable_optimization_coach;
+    req.max_input_bytes = batch.analyzer.max_input_bytes;
+    sash::serve::CallResult call = client.Call(req);
+    if (!call.ok) {
+      std::fprintf(stderr, "sash analyze: --via %s: %s\n", socket_path.c_str(),
+                   call.transport_error.c_str());
+      if (fallback_local) {
+        std::fprintf(stderr, "sash analyze: falling back to local analysis\n");
+        return 1;
+      }
+      return 2;
+    }
+    const sash::serve::RpcResponse& r = call.response;
+    file.ok = r.status == sash::serve::kStatusOk;
+    file.status = !r.file_status.empty()
+                      ? FileStatusFromName(r.file_status)
+                      : (file.ok ? sash::batch::FileStatus::kOk : sash::batch::FileStatus::kFailed);
+    file.degraded_reason = r.degraded_reason;
+    file.cached = r.cached;
+    file.warnings_or_worse = r.warnings_or_worse;
+    file.report_json = r.report_json;
+    file.report_text = r.report_text;
+    file.error = !r.error.empty() ? r.error
+                 : !file.ok       ? "server status: " + r.status
+                                  : std::string();
+    file.micros = r.micros;
+    if (batch.use_cache && file.ok) {
+      file.cached ? ++result->cache_hits : ++result->cache_misses;
+    }
+  }
+  return 0;
+}
+
 int CmdAnalyze(const std::vector<std::string>& args) {
   sash::batch::BatchOptions batch;
   std::string annotations_file;
   std::string trace_out;
   std::string journal_out;
+  std::string via;
+  std::string fallback = "fail";
   std::vector<std::string> inputs;
   bool stats = false;
   bool json = false;
@@ -207,12 +341,18 @@ int CmdAnalyze(const std::vector<std::string>& args) {
         std::fprintf(stderr, "sash analyze: %s requires a count\n", a.c_str());
         return 2;
       }
-      batch.jobs = std::atoi(args[++i].c_str());
-    } else if (a.rfind("-j", 0) == 0 && a.size() > 2 &&
-               a.find_first_not_of("0123456789", 2) == std::string::npos) {
-      batch.jobs = std::atoi(a.c_str() + 2);
+      if (!NumericFlagInt("analyze", "--jobs", args[++i], 0, kMaxJobs, &batch.jobs)) {
+        return 2;
+      }
+    } else if (a.rfind("-j", 0) == 0 && a.size() > 2) {
+      if (!NumericFlagInt("analyze", "-j", a.substr(2), 0, kMaxJobs, &batch.jobs)) {
+        return 2;
+      }
     } else if (a.rfind("--jobs=", 0) == 0) {
-      batch.jobs = std::atoi(a.c_str() + std::strlen("--jobs="));
+      if (!NumericFlagInt("analyze", "--jobs", a.substr(std::strlen("--jobs=")), 0, kMaxJobs,
+                          &batch.jobs)) {
+        return 2;
+      }
     } else if (a == "--cache-dir" && i + 1 < args.size()) {
       batch.cache_dir = args[++i];
     } else if (a.rfind("--cache-dir=", 0) == 0) {
@@ -220,13 +360,32 @@ int CmdAnalyze(const std::vector<std::string>& args) {
     } else if (a == "--no-cache") {
       batch.use_cache = false;
     } else if (a == "--deadline-ms" && i + 1 < args.size()) {
-      batch.deadline_ms = std::atoll(args[++i].c_str());
+      if (!NumericFlag("analyze", "--deadline-ms", args[++i], 0, kMaxMs, &batch.deadline_ms)) {
+        return 2;
+      }
     } else if (a.rfind("--deadline-ms=", 0) == 0) {
-      batch.deadline_ms = std::atoll(a.c_str() + std::strlen("--deadline-ms="));
+      if (!NumericFlag("analyze", "--deadline-ms", a.substr(std::strlen("--deadline-ms=")), 0,
+                       kMaxMs, &batch.deadline_ms)) {
+        return 2;
+      }
     } else if (a == "--max-input-bytes" && i + 1 < args.size()) {
-      batch.analyzer.max_input_bytes = std::atoll(args[++i].c_str());
+      if (!NumericFlag("analyze", "--max-input-bytes", args[++i], 0, kMaxBytes,
+                       &batch.analyzer.max_input_bytes)) {
+        return 2;
+      }
     } else if (a.rfind("--max-input-bytes=", 0) == 0) {
-      batch.analyzer.max_input_bytes = std::atoll(a.c_str() + std::strlen("--max-input-bytes="));
+      if (!NumericFlag("analyze", "--max-input-bytes", a.substr(std::strlen("--max-input-bytes=")),
+                       0, kMaxBytes, &batch.analyzer.max_input_bytes)) {
+        return 2;
+      }
+    } else if (a == "--via" && i + 1 < args.size()) {
+      via = args[++i];
+    } else if (a.rfind("--via=", 0) == 0) {
+      via = a.substr(std::strlen("--via="));
+    } else if (a == "--fallback" && i + 1 < args.size()) {
+      fallback = args[++i];
+    } else if (a.rfind("--fallback=", 0) == 0) {
+      fallback = a.substr(std::strlen("--fallback="));
     } else if (a == "--fail-fast") {
       batch.fail_fast = true;
     } else if (a == "--idempotence") {
@@ -248,6 +407,11 @@ int CmdAnalyze(const std::vector<std::string>& args) {
   }
   if (inputs.empty()) {
     return Usage();
+  }
+  if (fallback != "fail" && fallback != "local") {
+    std::fprintf(stderr, "sash analyze: --fallback expects 'local' or 'fail', got '%s'\n",
+                 fallback.c_str());
+    return 2;
   }
 
   if (!annotations_file.empty() && !ReadSource(annotations_file, &batch.annotations_text)) {
@@ -287,16 +451,26 @@ int CmdAnalyze(const std::vector<std::string>& args) {
     sash::obs::LockProbes::Arm();
   }
 
-  sash::batch::BatchDriver driver(batch);
   sash::batch::BatchResult result;
-  if (has_stdin) {
-    std::string source;
-    if (!ReadSource("-", &source)) {
+  bool via_filled = false;
+  if (!via.empty()) {
+    int rc = AnalyzeVia(via, fallback == "local", batch, files, &result);
+    if (rc == 2) {
       return 2;
     }
-    result = driver.RunSources({{"-", std::move(source)}});
-  } else {
-    result = driver.Run(files);
+    via_filled = rc == 0;
+  }
+  if (!via_filled) {
+    sash::batch::BatchDriver driver(batch);
+    if (has_stdin) {
+      std::string source;
+      if (!ReadSource("-", &source)) {
+        return 2;
+      }
+      result = driver.RunSources({{"-", std::move(source)}});
+    } else {
+      result = driver.Run(files);
+    }
   }
 
   const bool single = result.files.size() == 1;
@@ -500,12 +674,18 @@ int CmdProfile(const std::vector<std::string>& args) {
         std::fprintf(stderr, "sash profile: %s requires a count\n", a.c_str());
         return 2;
       }
-      batch.jobs = std::atoi(args[++i].c_str());
-    } else if (a.rfind("-j", 0) == 0 && a.size() > 2 &&
-               a.find_first_not_of("0123456789", 2) == std::string::npos) {
-      batch.jobs = std::atoi(a.c_str() + 2);
+      if (!NumericFlagInt("profile", "--jobs", args[++i], 0, kMaxJobs, &batch.jobs)) {
+        return 2;
+      }
+    } else if (a.rfind("-j", 0) == 0 && a.size() > 2) {
+      if (!NumericFlagInt("profile", "-j", a.substr(2), 0, kMaxJobs, &batch.jobs)) {
+        return 2;
+      }
     } else if (a.rfind("--jobs=", 0) == 0) {
-      batch.jobs = std::atoi(a.c_str() + std::strlen("--jobs="));
+      if (!NumericFlagInt("profile", "--jobs", a.substr(std::strlen("--jobs=")), 0, kMaxJobs,
+                          &batch.jobs)) {
+        return 2;
+      }
     } else if (a == "--cache-dir" && i + 1 < args.size()) {
       batch.cache_dir = args[++i];
     } else if (a.rfind("--cache-dir=", 0) == 0) {
@@ -671,6 +851,193 @@ int CmdReport(const std::vector<std::string>& args) {
   return 0;
 }
 
+// `sash serve`: the resident analysis daemon (this PR's tentpole). Binds a
+// unix socket, keeps every warm structure resident, and answers sash-rpc-v1
+// requests until a graceful drain (SIGTERM/SIGINT or an rpc `shutdown`)
+// completes — then exits 0. Startup failures (live sibling on the socket,
+// unwritable pidfile) exit 2.
+int CmdServe(const std::vector<std::string>& args) {
+  sash::serve::ServerOptions options;
+  std::string annotations_file;
+  std::string journal_out;
+  bool stats = false;
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto value_of = [&](const char* prefix) { return a.substr(std::strlen(prefix)); };
+    auto int64_flag = [&](const char* flag, const std::string& text, int64_t max, int64_t* out) {
+      return NumericFlag("serve", flag, text, 0, max, out);
+    };
+    auto int_flag = [&](const char* flag, const std::string& text, int64_t max, int* out) {
+      return NumericFlagInt("serve", flag, text, 0, max, out);
+    };
+    if (a == "--socket" && i + 1 < args.size()) {
+      options.socket_path = args[++i];
+    } else if (a.rfind("--socket=", 0) == 0) {
+      options.socket_path = value_of("--socket=");
+    } else if (a == "--pidfile" && i + 1 < args.size()) {
+      options.pidfile = args[++i];
+    } else if (a.rfind("--pidfile=", 0) == 0) {
+      options.pidfile = value_of("--pidfile=");
+    } else if (a == "-j" || a == "--jobs") {
+      if (i + 1 >= args.size()) {
+        std::fprintf(stderr, "sash serve: %s requires a count\n", a.c_str());
+        return 2;
+      }
+      if (!int_flag("--jobs", args[++i], kMaxJobs, &options.jobs)) {
+        return 2;
+      }
+    } else if (a.rfind("-j", 0) == 0 && a.size() > 2) {
+      if (!int_flag("-j", a.substr(2), kMaxJobs, &options.jobs)) {
+        return 2;
+      }
+    } else if (a.rfind("--jobs=", 0) == 0) {
+      if (!int_flag("--jobs", value_of("--jobs="), kMaxJobs, &options.jobs)) {
+        return 2;
+      }
+    } else if (a == "--max-pending" && i + 1 < args.size()) {
+      if (!int_flag("--max-pending", args[++i], 1 << 20, &options.max_pending)) {
+        return 2;
+      }
+    } else if (a.rfind("--max-pending=", 0) == 0) {
+      if (!int_flag("--max-pending", value_of("--max-pending="), 1 << 20,
+                    &options.max_pending)) {
+        return 2;
+      }
+    } else if (a == "--max-connections" && i + 1 < args.size()) {
+      if (!int_flag("--max-connections", args[++i], 1 << 20, &options.max_connections)) {
+        return 2;
+      }
+    } else if (a.rfind("--max-connections=", 0) == 0) {
+      if (!int_flag("--max-connections", value_of("--max-connections="), 1 << 20,
+                    &options.max_connections)) {
+        return 2;
+      }
+    } else if (a == "--deadline-cap-ms" && i + 1 < args.size()) {
+      if (!int64_flag("--deadline-cap-ms", args[++i], kMaxMs, &options.deadline_cap_ms)) {
+        return 2;
+      }
+    } else if (a.rfind("--deadline-cap-ms=", 0) == 0) {
+      if (!int64_flag("--deadline-cap-ms", value_of("--deadline-cap-ms="), kMaxMs,
+                      &options.deadline_cap_ms)) {
+        return 2;
+      }
+    } else if (a == "--default-budget-ms" && i + 1 < args.size()) {
+      if (!int64_flag("--default-budget-ms", args[++i], kMaxMs, &options.default_budget_ms)) {
+        return 2;
+      }
+    } else if (a.rfind("--default-budget-ms=", 0) == 0) {
+      if (!int64_flag("--default-budget-ms", value_of("--default-budget-ms="), kMaxMs,
+                      &options.default_budget_ms)) {
+        return 2;
+      }
+    } else if (a == "--idle-timeout-ms" && i + 1 < args.size()) {
+      if (!int64_flag("--idle-timeout-ms", args[++i], kMaxMs, &options.idle_timeout_ms)) {
+        return 2;
+      }
+    } else if (a.rfind("--idle-timeout-ms=", 0) == 0) {
+      if (!int64_flag("--idle-timeout-ms", value_of("--idle-timeout-ms="), kMaxMs,
+                      &options.idle_timeout_ms)) {
+        return 2;
+      }
+    } else if (a == "--io-timeout-ms" && i + 1 < args.size()) {
+      if (!int64_flag("--io-timeout-ms", args[++i], kMaxMs, &options.io_timeout_ms)) {
+        return 2;
+      }
+    } else if (a.rfind("--io-timeout-ms=", 0) == 0) {
+      if (!int64_flag("--io-timeout-ms", value_of("--io-timeout-ms="), kMaxMs,
+                      &options.io_timeout_ms)) {
+        return 2;
+      }
+    } else if (a == "--drain-deadline-ms" && i + 1 < args.size()) {
+      if (!int64_flag("--drain-deadline-ms", args[++i], kMaxMs, &options.drain_deadline_ms)) {
+        return 2;
+      }
+    } else if (a.rfind("--drain-deadline-ms=", 0) == 0) {
+      if (!int64_flag("--drain-deadline-ms", value_of("--drain-deadline-ms="), kMaxMs,
+                      &options.drain_deadline_ms)) {
+        return 2;
+      }
+    } else if (a == "--max-frame-bytes" && i + 1 < args.size()) {
+      int64_t v = 0;
+      if (!int64_flag("--max-frame-bytes", args[++i], 1LL << 31, &v)) {
+        return 2;
+      }
+      options.max_frame_bytes = static_cast<uint32_t>(v);
+    } else if (a.rfind("--max-frame-bytes=", 0) == 0) {
+      int64_t v = 0;
+      if (!int64_flag("--max-frame-bytes", value_of("--max-frame-bytes="), 1LL << 31, &v)) {
+        return 2;
+      }
+      options.max_frame_bytes = static_cast<uint32_t>(v);
+    } else if (a == "--cache-dir" && i + 1 < args.size()) {
+      options.batch.cache_dir = args[++i];
+    } else if (a.rfind("--cache-dir=", 0) == 0) {
+      options.batch.cache_dir = value_of("--cache-dir=");
+    } else if (a == "--no-cache") {
+      options.batch.use_cache = false;
+    } else if (a == "--annotations" && i + 1 < args.size()) {
+      annotations_file = args[++i];
+    } else if (a == "--no-warmup") {
+      options.warmup = false;
+    } else if (a == "--stats") {
+      stats = true;
+    } else if (a == "--journal" && i + 1 < args.size()) {
+      journal_out = args[++i];
+    } else if (a.rfind("--journal=", 0) == 0) {
+      journal_out = value_of("--journal=");
+    } else {
+      std::fprintf(stderr, "sash serve: unknown option %s\n", a.c_str());
+      return 2;
+    }
+  }
+  if (options.socket_path.empty()) {
+    std::fprintf(stderr, "sash serve: --socket PATH is required\n");
+    return Usage();
+  }
+  if (!annotations_file.empty() &&
+      !ReadSource(annotations_file, &options.batch.annotations_text)) {
+    return 2;
+  }
+
+  sash::obs::Registry registry;
+  sash::obs::EventJournal journal(1 << 16);
+  options.batch.obs.metrics = &registry;
+  if (!journal_out.empty()) {
+    options.batch.obs.journal = &journal;
+    sash::obs::EventJournal::SetGlobal(&journal);
+  }
+
+  sash::serve::Server server(std::move(options));
+  std::string error;
+  if (!server.Start(&error)) {
+    std::fprintf(stderr, "sash serve: %s\n", error.c_str());
+    return 2;
+  }
+  sash::serve::Server::InstallSignalDrain(&server);
+  std::fprintf(stderr, "sash serve: listening on %s (pid %d)\n",
+               server.options().socket_path.c_str(), static_cast<int>(getpid()));
+  server.AwaitStopped();
+  sash::serve::Server::InstallSignalDrain(nullptr);
+  server.Stop();
+  sash::serve::ServerStats final_stats = server.stats();
+  std::fprintf(stderr,
+               "sash serve: drained (%lld requests, %lld responses, %lld shed, "
+               "%lld timed out, %lld cancelled at drain)\n",
+               static_cast<long long>(final_stats.requests),
+               static_cast<long long>(final_stats.responses),
+               static_cast<long long>(final_stats.shed),
+               static_cast<long long>(final_stats.timeouts),
+               static_cast<long long>(final_stats.drain_cancelled));
+  if (stats) {
+    PrintStats(registry);
+  }
+  if (!journal_out.empty() && !journal.WriteJsonl(journal_out)) {
+    std::fprintf(stderr, "sash serve: cannot write %s\n", journal_out.c_str());
+    return 2;
+  }
+  return 0;
+}
+
 int CmdTypeof(const std::vector<std::string>& args) {
   if (args.empty()) {
     return Usage();
@@ -723,6 +1090,9 @@ int main(int argc, char** argv) {
   }
   if (cmd == "report") {
     return CmdReport(args);
+  }
+  if (cmd == "serve") {
+    return CmdServe(args);
   }
   if (cmd == "typeof") {
     return CmdTypeof(args);
