@@ -125,6 +125,7 @@ void PrintContentionSweep(const std::vector<std::pair<std::string, std::string>>
   std::vector<std::vector<std::string>> rows;
   rows.push_back({"jobs", "wall ms", "total wait ms", "contended", "hottest site", "site wait ms"});
   std::vector<sash::obs::LockSiteSnapshot> j4_sites;
+  std::vector<sash::obs::LockSiteSnapshot> j8_sites;
   for (int jobs : {1, 2, 4, 8}) {
     sash::obs::LockProbes::Reset();
     sash::obs::LockProbes::Arm();
@@ -145,7 +146,9 @@ void PrintContentionSweep(const std::vector<std::pair<std::string, std::string>>
     sash::bench::Metric("contention.wait_us.j" + std::to_string(jobs), total_wait / 1000);
     sash::bench::Metric("contention.contended.j" + std::to_string(jobs), total_contended);
     if (jobs == 4) {
-      j4_sites = std::move(sites);
+      j4_sites = sites;
+    } else if (jobs == 8) {
+      j8_sites = std::move(sites);
     }
   }
   sash::bench::PrintTable(
@@ -164,6 +167,16 @@ void PrintContentionSweep(const std::vector<std::pair<std::string, std::string>>
     sash::bench::Metric("contention.j4.acquisitions." + s.name, s.acquisitions);
   }
   sash::bench::PrintTable("C2: per-site breakdown at -j4 (sorted by total wait)", detail);
+
+  // The -j8 snapshot as metrics too: the scaling work (sharded interner,
+  // snapshot caches, commit queue) claims a >= 10x cut in intern.table wait
+  // at the deepest oversubscription level, and this is where the before and
+  // after numbers come from. A site with zero recorded contention simply
+  // does not appear in the snapshot — absence is the best possible reading.
+  for (const auto& s : j8_sites) {
+    sash::bench::Metric("contention.j8.wait_us." + s.name, s.wait_ns / 1000);
+    sash::bench::Metric("contention.j8.acquisitions." + s.name, s.acquisitions);
+  }
 }
 
 // C3: what the probes cost. Interleaved best-of-N minima: disarmed and armed

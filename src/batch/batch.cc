@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "batch/commit_queue.h"
 #include "obs/procstat.h"
 #include "util/faultinject.h"
 #include "util/thread_pool.h"
@@ -114,7 +115,8 @@ FileStatus ClassifyDegraded(std::string_view reason) {
 
 FileResult AnalyzeSourceCached(const BatchOptions& options, const std::string& path,
                                const std::string& source, Cache* cache,
-                               util::CancelToken* abort, util::CancelToken* budget) {
+                               util::CancelToken* abort, util::CancelToken* budget,
+                               CacheCommitQueue* commit) {
   obs::StopWatch watch;
   obs::Span span(options.obs.tracer, "analyze:" + path);
   obs::Registry* metrics = options.obs.metrics;
@@ -195,7 +197,14 @@ FileResult AnalyzeSourceCached(const BatchOptions& options, const std::string& p
     entry.report_text = result.report_text;
     entry.warnings_or_worse = result.warnings_or_worse;
     entry.degraded_reason = result.degraded_reason;
-    cache->Put("analysis", key, EncodeAnalysisEntry(key, entry));
+    // Encoding (checksum + JSON) stays on the worker — it parallelizes;
+    // only the file I/O moves to the committer when a queue is attached.
+    std::string payload = EncodeAnalysisEntry(key, entry);
+    if (commit != nullptr) {
+      commit->Enqueue("analysis", std::move(key), std::move(payload));
+    } else {
+      cache->Put("analysis", key, payload);
+    }
   }
   result.micros = watch.ElapsedMicros();
   return result;
@@ -251,6 +260,16 @@ BatchResult BatchDriver::RunSourcesImpl(
   }
 
   util::ThreadPool pool(options_.jobs, options_.obs);
+  // One committer per batch: workers enqueue encoded entries into per-worker
+  // lanes; the committer alone performs the cache file writes, so
+  // "batch.cache.write" never sits on a worker's critical path. Flushed
+  // below before hit/miss accounting, which preserves the invariant that a
+  // completed run's entries are all durable before Run returns (warm replay
+  // stays byte-identical to the synchronous path).
+  std::optional<CacheCommitQueue> commit;
+  if (cache.has_value()) {
+    commit.emplace(&*cache, pool.size(), metrics);
+  }
   for (size_t i = 0; i < sources.size(); ++i) {
     if (read_errors != nullptr && !(*read_errors)[i].empty()) {
       result.files[i].path = sources[i].first;
@@ -261,10 +280,11 @@ BatchResult BatchDriver::RunSourcesImpl(
       }
       continue;
     }
-    pool.Submit([this, &sources, &result, &cache, abort, i] {
+    pool.Submit([this, &sources, &result, &cache, &commit, abort, i] {
       FileResult file =
           AnalyzeSourceCached(options_, sources[i].first, sources[i].second,
-                              cache.has_value() ? &*cache : nullptr, abort, /*budget=*/nullptr);
+                              cache.has_value() ? &*cache : nullptr, abort, /*budget=*/nullptr,
+                              commit.has_value() ? &*commit : nullptr);
       if (abort != nullptr &&
           (file.status == FileStatus::kFailed || file.status == FileStatus::kTimedOut)) {
         abort->Cancel(util::CancelReason::kExternal);
@@ -273,6 +293,9 @@ BatchResult BatchDriver::RunSourcesImpl(
     });
   }
   pool.Wait();
+  if (commit.has_value()) {
+    commit->Flush();
+  }
 
   for (const FileResult& f : result.files) {
     if (options_.use_cache && f.ok) {

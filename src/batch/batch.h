@@ -23,6 +23,8 @@
 
 namespace sash::batch {
 
+class CacheCommitQueue;
+
 // Schema tag of the multi-file CLI/JSON document.
 inline constexpr char kBatchSchema[] = "sash-batch-v1";
 
@@ -105,9 +107,17 @@ std::vector<std::string> ExpandInputs(const std::vector<std::string>& inputs);
 // is set, a per-call token is created internally. A caller-provided token
 // must have its deadline configured already; it additionally lets an outside
 // agent (the server's drain logic) cancel the analysis mid-flight.
+//
+// `commit` (optional) routes the cold-result cache install through an
+// asynchronous commit queue instead of a synchronous Cache::Put, taking the
+// "batch.cache.write" I/O off the calling worker's critical path. The batch
+// driver passes its per-run queue; the serve path passes nothing and keeps
+// the synchronous install (a resident server wants the entry durable before
+// the response goes out).
 FileResult AnalyzeSourceCached(const BatchOptions& options, const std::string& path,
                                const std::string& source, Cache* cache,
-                               util::CancelToken* abort, util::CancelToken* budget);
+                               util::CancelToken* abort, util::CancelToken* budget,
+                               CacheCommitQueue* commit = nullptr);
 
 class BatchDriver {
  public:

@@ -1,26 +1,138 @@
 #include "regex/regex.h"
 
 #include <atomic>
+#include <memory>
 #include <mutex>
-#include <unordered_map>
+#include <vector>
 
 #include "obs/lockprobe.h"
 #include "regex/parser.h"
+#include "util/hash.h"
 
 namespace sash::regex {
 
 namespace {
 
-// See PatternCache in regex.h. Keys are domain-prefixed ("p:", "s:", "g:")
-// because the three constructors give the same pattern text different
-// languages. Values are Regex copies; copying shares the LazyDfa.
+// See PatternCache in regex.h. Keys are domain-hashed ("p", "s", "g" salted
+// into the content hash) because the three constructors give the same
+// pattern text different languages. Values are Regex copies; copying shares
+// the LazyDfa.
+//
+// Structure (the interner's lock-free idiom, with Regex payloads): entries
+// are append-only in fixed slabs, reached through an open-addressed index of
+// atomic slots holding entry-id+1. A slot is release-stored only after its
+// entry (key string + Regex copy) is fully built, so a lock-free reader that
+// acquires the slot sees a complete entry; growth builds a larger array and
+// release-publishes the pointer, retiring (never freeing) the outgrown one
+// under readers still probing it. Clear() republishes an empty index and
+// retires the old slabs the same way — entries a concurrent reader may still
+// hold stay alive for the process lifetime (Clear is a test/bench hook, not
+// a hot-path operation).
+struct PatternEntry {
+  std::string key;  // domain byte + ':' + pattern (exact-match confirmation).
+  uint64_t hash = 0;
+  std::optional<Regex> regex;
+};
+
+struct PatternIndex {
+  explicit PatternIndex(size_t capacity) : mask(capacity - 1), slots(capacity) {}
+  const size_t mask;
+  std::vector<std::atomic<uint32_t>> slots;  // entry id + 1; 0 = empty.
+};
+
+// One cache generation: the index, the entry slabs, and the entry count.
+// Clear() swaps in a fresh generation rather than mutating this one, so a
+// reader that acquired a generation pointer always sees an internally
+// consistent (index, slabs, count) world no matter how Clear races with it.
+struct PatternStore {
+  static constexpr size_t kMaxEntries = 8192;
+  static constexpr size_t kSlabSize = 256;
+  static constexpr size_t kMaxSlabs = kMaxEntries / kSlabSize;
+  static constexpr size_t kInitialSlots = 512;
+
+  std::atomic<PatternIndex*> index{nullptr};
+  std::atomic<PatternEntry*> slabs[kMaxSlabs] = {};
+  std::atomic<uint32_t> count{0};
+  // Outgrown index arrays and all slabs; writer-guarded, freed only when the
+  // generation itself is (i.e. never before every reader is done).
+  std::vector<std::unique_ptr<PatternIndex>> owned_indexes;
+  std::vector<std::unique_ptr<PatternEntry[]>> owned_slabs;
+
+  PatternEntry& EntryFor(uint32_t id) {
+    return slabs[id / kSlabSize].load(std::memory_order_acquire)[id % kSlabSize];
+  }
+
+  static uint64_t KeyHash(char domain, std::string_view pattern) {
+    char d[2] = {domain, ':'};
+    return util::Fnv1a(pattern, util::Fnv1a(std::string_view(d, 2)));
+  }
+
+  static bool KeyEquals(const PatternEntry& e, char domain, std::string_view pattern) {
+    return e.key.size() == pattern.size() + 2 && e.key[0] == domain &&
+           std::string_view(e.key).substr(2) == pattern;
+  }
+
+  // Lock-free: entry id + 1 of the match, or 0.
+  uint32_t Probe(char domain, std::string_view pattern, uint64_t hash) {
+    PatternIndex* idx = index.load(std::memory_order_acquire);
+    if (idx == nullptr) {
+      return 0;
+    }
+    for (size_t i = hash & idx->mask;; i = (i + 1) & idx->mask) {
+      uint32_t v = idx->slots[i].load(std::memory_order_acquire);
+      if (v == 0) {
+        return 0;
+      }
+      PatternEntry& e = EntryFor(v - 1);
+      if (e.hash == hash && KeyEquals(e, domain, pattern)) {
+        return v;
+      }
+    }
+  }
+
+  // Requires the writer lock. Grows when the next insert would cross 2/3 load.
+  PatternIndex* EnsureRoom() {
+    PatternIndex* idx = index.load(std::memory_order_relaxed);
+    uint32_t used = count.load(std::memory_order_relaxed);
+    if (idx != nullptr && (used + 1) * 3 <= (idx->mask + 1) * 2) {
+      return idx;
+    }
+    size_t capacity = idx == nullptr ? kInitialSlots : (idx->mask + 1) * 2;
+    auto fresh = std::make_unique<PatternIndex>(capacity);
+    if (idx != nullptr) {
+      for (size_t i = 0; i <= idx->mask; ++i) {
+        uint32_t v = idx->slots[i].load(std::memory_order_relaxed);
+        if (v == 0) {
+          continue;
+        }
+        size_t j = EntryFor(v - 1).hash & fresh->mask;
+        while (fresh->slots[j].load(std::memory_order_relaxed) != 0) {
+          j = (j + 1) & fresh->mask;
+        }
+        fresh->slots[j].store(v, std::memory_order_relaxed);
+      }
+    }
+    PatternIndex* raw = fresh.get();
+    owned_indexes.push_back(std::move(fresh));
+    index.store(raw, std::memory_order_release);
+    return raw;
+  }
+};
+
 struct PatternCacheImpl {
-  obs::ProfiledMutex mu{"regex.pattern_cache"};
-  std::unordered_map<std::string, Regex> entries;
+  obs::ProfiledMutex mu{"regex.pattern_cache"};  // Writers (Store/Clear) only.
+  std::atomic<PatternStore*> store;
   std::atomic<bool> enabled{true};
   std::atomic<uint64_t> hits{0};
   std::atomic<uint64_t> misses{0};
-  static constexpr size_t kMaxEntries = 8192;
+  // Every generation ever published, the live one last; guarded by mu. Old
+  // generations are retired, not freed: a reader may still be probing one.
+  std::vector<std::unique_ptr<PatternStore>> generations;
+
+  PatternCacheImpl() {
+    generations.push_back(std::make_unique<PatternStore>());
+    store.store(generations.back().get(), std::memory_order_release);
+  }
 };
 
 PatternCacheImpl& pattern_cache() {
@@ -33,19 +145,14 @@ std::optional<Regex> PatternCacheLookup(char domain, std::string_view pattern) {
   if (!c.enabled.load(std::memory_order_relaxed)) {
     return std::nullopt;
   }
-  std::string key;
-  key.reserve(pattern.size() + 2);
-  key += domain;
-  key += ':';
-  key += pattern;
-  std::lock_guard<obs::ProfiledMutex> lock(c.mu);
-  auto it = c.entries.find(key);
-  if (it == c.entries.end()) {
+  PatternStore& s = *c.store.load(std::memory_order_acquire);
+  uint32_t v = s.Probe(domain, pattern, PatternStore::KeyHash(domain, pattern));
+  if (v == 0) {
     c.misses.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
   }
   c.hits.fetch_add(1, std::memory_order_relaxed);
-  return it->second;
+  return *s.EntryFor(v - 1).regex;
 }
 
 void PatternCacheStore(char domain, std::string_view pattern, const Regex& regex) {
@@ -53,16 +160,40 @@ void PatternCacheStore(char domain, std::string_view pattern, const Regex& regex
   if (!c.enabled.load(std::memory_order_relaxed)) {
     return;
   }
-  std::string key;
-  key.reserve(pattern.size() + 2);
-  key += domain;
-  key += ':';
-  key += pattern;
+  uint64_t hash = PatternStore::KeyHash(domain, pattern);
   std::lock_guard<obs::ProfiledMutex> lock(c.mu);
-  if (c.entries.size() >= PatternCacheImpl::kMaxEntries) {
+  // The live generation only changes under mu, which we hold.
+  PatternStore& s = *c.store.load(std::memory_order_relaxed);
+  if (s.Probe(domain, pattern, hash) != 0) {
+    return;  // A racing compiler of the same pattern beat us; theirs wins.
+  }
+  uint32_t id = s.count.load(std::memory_order_relaxed);
+  if (id >= PatternStore::kMaxEntries) {
     return;  // Full: later patterns compile uncached rather than evicting.
   }
-  c.entries.emplace(std::move(key), regex);
+  PatternIndex* idx = s.EnsureRoom();
+  PatternEntry* slab = s.slabs[id / PatternStore::kSlabSize].load(std::memory_order_relaxed);
+  if (slab == nullptr) {
+    slab = new PatternEntry[PatternStore::kSlabSize];
+    s.owned_slabs.emplace_back(slab);
+    s.slabs[id / PatternStore::kSlabSize].store(slab, std::memory_order_release);
+  }
+  PatternEntry& e = slab[id % PatternStore::kSlabSize];
+  e.key.reserve(pattern.size() + 2);
+  e.key = domain;
+  e.key += ':';
+  e.key += pattern;
+  e.hash = hash;
+  e.regex = regex;
+  size_t i = hash & idx->mask;
+  while (idx->slots[i].load(std::memory_order_relaxed) != 0) {
+    i = (i + 1) & idx->mask;
+  }
+  // Publish: count first (so Size() never exceeds constructed entries seen
+  // through the index), then the slot's release store hands the entry to
+  // lock-free readers.
+  s.count.store(id + 1, std::memory_order_release);
+  idx->slots[i].store(id + 1, std::memory_order_release);
 }
 
 }  // namespace
@@ -81,13 +212,15 @@ uint64_t PatternCache::Misses() {
 }
 size_t PatternCache::Size() {
   PatternCacheImpl& c = pattern_cache();
-  std::lock_guard<obs::ProfiledMutex> lock(c.mu);
-  return c.entries.size();
+  return c.store.load(std::memory_order_acquire)->count.load(std::memory_order_acquire);
 }
 void PatternCache::Clear() {
   PatternCacheImpl& c = pattern_cache();
   std::lock_guard<obs::ProfiledMutex> lock(c.mu);
-  c.entries.clear();
+  // Swap in a fresh empty generation; the outgoing one is retired intact so
+  // readers that already acquired it finish their probes on valid memory.
+  c.generations.push_back(std::make_unique<PatternStore>());
+  c.store.store(c.generations.back().get(), std::memory_order_release);
 }
 
 // Cache hook for glob.cc (not part of the public header).

@@ -28,6 +28,15 @@ namespace sash::regex {
 // invalidation: the cache only grows, capped at a fixed entry count after
 // which new patterns compile uncached. Disable (benchmarks A/B the cold
 // path) with SetEnabled(false).
+//
+// Concurrency: lookups are lock-free. Entries live in append-only slabs and
+// are reached through an open-addressed index published via release stores
+// (the same idiom as the string interner), so parallel batch workers — whose
+// pattern working sets converge after the first few scripts — hit the cache
+// without ever touching a mutex. Only a genuine insertion takes the writer
+// lock (the "regex.pattern_cache" probe site), and insertion is rare by
+// construction: it happens once per distinct pattern per process, right
+// after an expensive parse.
 class PatternCache {
  public:
   static void SetEnabled(bool enabled);

@@ -13,8 +13,16 @@
 //     names are drawn from script text, so the population is bounded by the
 //     input. `Interner::size()` is exported as the `hotpath.intern.size`
 //     gauge so growth is observable.
-//   - `Symbol::str()` / `view()` / `hash()` are lock-free: entries live in
-//     immutable slabs whose pointers are published with release stores.
+//   - The table is sharded into lock-striped segments selected by content
+//     hash. Each segment publishes an open-addressed id index via release
+//     stores, so `Intern` of an already-seen string and all of `Find` /
+//     `str()` / `view()` / `hash()` take zero locks; only a genuine
+//     insertion takes its segment's lock ("intern.table" probe site). Under
+//     the batch pool this is the difference between every worker serializing
+//     on one mutex and workers only meeting when two of them coin a new
+//     string whose hash lands in the same stripe.
+//   - Entries live in immutable slabs whose pointers are published with
+//     release stores (ids stay dense and process-global across segments).
 //   - The empty string is pre-interned as id 0, so a default-constructed
 //     Symbol is valid and means "".
 #ifndef SASH_UTIL_INTERN_H_
@@ -36,9 +44,10 @@ class Symbol {
   // Interns `text`, returning its (process-wide) symbol.
   static Symbol Intern(std::string_view text);
 
-  // Non-inserting lookup: the symbol for `text` if it was interned before,
-  // std::nullopt otherwise. Lets probe-style callers (e.g. spec dispatch on
-  // arbitrary runtime command names) avoid growing the table with misses.
+  // Non-inserting, lock-free lookup: the symbol for `text` if it was
+  // interned before, std::nullopt otherwise. Lets probe-style callers (e.g.
+  // spec dispatch on arbitrary runtime command names) avoid growing the
+  // table with misses, and never contends with writers.
   static std::optional<Symbol> Find(std::string_view text);
 
   const std::string& str() const;

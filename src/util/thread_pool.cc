@@ -97,14 +97,8 @@ bool ThreadPool::TrySteal(int thief, std::function<void()>* task) {
         stolen = true;
       }
     }
-    // The victim's lock is released before taking the thief's own (never hold
-    // two worker locks at once — two opposite-direction steals would deadlock).
     if (stolen) {
-      Worker& me = *workers_[static_cast<size_t>(thief)];
-      {
-        std::lock_guard<obs::ProfiledMutex> my_lock(me.mu);
-        me.steals += 1;
-      }
+      workers_[static_cast<size_t>(thief)]->steals.fetch_add(1, std::memory_order_relaxed);
       if (hooks_.journal != nullptr) {
         hooks_.journal->Emit(obs::EventKind::kSteal, "pool.steal", thief,
                              static_cast<int64_t>(victim));
@@ -183,10 +177,11 @@ void ThreadPool::Wait() {
 int64_t ThreadPool::steals() const {
   int64_t total = 0;
   for (const auto& w : workers_) {
-    std::lock_guard<obs::ProfiledMutex> lock(w->mu);
-    total += w->steals;
+    total += w->steals.load(std::memory_order_relaxed);
   }
   return total;
 }
+
+int ThreadPool::CurrentWorkerIndex() { return tls_pool != nullptr ? tls_index : -1; }
 
 }  // namespace sash::util

@@ -20,7 +20,9 @@
 #ifndef SASH_UTIL_THREAD_POOL_H_
 #define SASH_UTIL_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -53,13 +55,26 @@ class ThreadPool {
   // and for the "batch.steals" counter).
   int64_t steals() const;
 
+  // The calling thread's worker slot in the pool it belongs to, or -1 when
+  // the caller is not a pool worker. Lets per-worker data structures (the
+  // batch cache commit queue's lanes) pick a contention-free lane without
+  // the pool having to thread an index through every task closure.
+  static int CurrentWorkerIndex();
+
  private:
-  struct Worker {
+  // alignas: each worker's mutex + deque head live on their own cache line.
+  // Workers are hammered from two sides (the owner popping, thieves
+  // stealing); when two workers' hot fields share a line, every steal probe
+  // bounces the line between cores and re-serializes what the per-worker
+  // deques exist to keep apart.
+  struct alignas(64) Worker {
     // All workers share one logical probe site; per-instance stats merge by
     // name in LockProbes::Snapshot().
     obs::ProfiledMutex mu{"pool.worker"};
     std::deque<std::function<void()>> deque;
-    int64_t steals = 0;  // Tasks this worker stole from others.
+    // Tasks this worker stole from others. Atomic so the thief records its
+    // steal without re-taking its own deque lock on the steal path.
+    std::atomic<int64_t> steals{0};
   };
 
   void WorkerLoop(int index);
