@@ -239,6 +239,44 @@ void PrintResult() {
   server.Stop();
   sash::serve::ServerStats stats = server.stats();
 
+  // S1c: isolation overhead. The same warm corpus through a server whose
+  // every request forks an rlimit-capped worker (--isolate). The delta vs
+  // the in-process warm p50 is the price of crash containment: one fork +
+  // one pipe round trip per request, cache hit included. The floor only
+  // demands the overhead stays in fork territory (single-digit
+  // milliseconds), not that it is free.
+  int64_t isolate_p50_us = 0;
+  int64_t isolate_failed = -1;
+  {
+    std::string iso_socket = (dir / "iso.sock").string();
+    sash::serve::ServerOptions iso;
+    iso.socket_path = iso_socket;
+    iso.jobs = 4;
+    iso.batch.use_cache = true;
+    iso.batch.cache_dir = cache_dir;
+    iso.batch.isolate = true;
+    iso.batch.max_rss_mb = 1024;
+    sash::serve::Server iso_server(std::move(iso));
+    if (iso_server.Start(&error)) {
+      SoakOutcome soak = RunSoak(iso_socket, corpus, /*clients=*/1, kPerClient);
+      isolate_p50_us = Percentile(soak.latencies_us, 0.50);
+      isolate_failed = soak.failed;
+      std::vector<std::vector<std::string>> iso_rows;
+      iso_rows.push_back({"mode", "p50 us", "p99 us", "failed"});
+      iso_rows.push_back({"in-process warm", std::to_string(warm_p50_us), "-", "0"});
+      iso_rows.push_back({"isolated worker (fork/request)", std::to_string(isolate_p50_us),
+                          std::to_string(Percentile(soak.latencies_us, 0.99)),
+                          std::to_string(soak.failed)});
+      sash::bench::PrintTable("S1c: crash-containment overhead (--isolate, warm cache)",
+                              iso_rows);
+      iso_server.Stop();
+    } else {
+      std::fprintf(stderr, "bench_serve: cannot start isolated server: %s\n", error.c_str());
+    }
+  }
+  const bool isolate_ok =
+      isolate_failed == 0 && isolate_p50_us > 0 && isolate_p50_us < 25000;
+
   std::vector<std::vector<std::string>> summary;
   summary.push_back({"check", "value", "expected"});
   summary.push_back({"warm responses byte-identical to local",
@@ -248,6 +286,8 @@ void PrintResult() {
   summary.push_back({"soak requests failed", std::to_string(soak_failed), "0"});
   summary.push_back({"server shed (answered + retried)", std::to_string(stats.shed), "-"});
   summary.push_back({"connections poisoned", std::to_string(stats.malformed), "0"});
+  summary.push_back({"isolated-worker warm p50", std::to_string(isolate_p50_us) + " us",
+                     "< 25000 us, 0 failed"});
   sash::bench::PrintTable("S1 summary: robustness invariants", summary);
 
   sash::bench::Metric("serve.warm_identical", warm_identical ? 1 : 0);
@@ -256,6 +296,8 @@ void PrintResult() {
   sash::bench::Metric("serve.soak_failed", soak_failed);
   sash::bench::Metric("serve.shed_total", stats.shed);
   sash::bench::Metric("serve.responses_total", stats.responses);
+  sash::bench::Metric("serve.isolate_p50_us", isolate_p50_us);
+  sash::bench::Metric("serve.isolate_overhead_ok", isolate_ok ? 1 : 0);
 
   fs::remove_all(dir);
 }

@@ -1,12 +1,17 @@
 #include "batch/batch.h"
 
+#include <signal.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <fstream>
 #include <sstream>
 
 #include "batch/commit_queue.h"
+#include "batch/isolate.h"
 #include "obs/procstat.h"
 #include "util/faultinject.h"
+#include "util/subproc.h"
 #include "util/thread_pool.h"
 
 namespace sash::batch {
@@ -37,6 +42,8 @@ std::string_view FileStatusName(FileStatus status) {
       return "failed";
     case FileStatus::kTimedOut:
       return "timed_out";
+    case FileStatus::kCrashed:
+      return "crashed";
   }
   return "?";
 }
@@ -58,7 +65,8 @@ size_t BatchResult::CountStatus(FileStatus status) const {
 std::vector<std::string> BatchResult::Quarantined() const {
   std::vector<std::string> out;
   for (const FileResult& f : files) {
-    if (f.status == FileStatus::kFailed || f.status == FileStatus::kTimedOut) {
+    if (f.status == FileStatus::kFailed || f.status == FileStatus::kTimedOut ||
+        f.status == FileStatus::kCrashed) {
       out.push_back(f.path);
     }
   }
@@ -66,7 +74,8 @@ std::vector<std::string> BatchResult::Quarantined() const {
 }
 
 int BatchResult::ExitCode() const {
-  if (AnyError() || CountStatus(FileStatus::kTimedOut) > 0) {
+  if (AnyError() || CountStatus(FileStatus::kTimedOut) > 0 ||
+      CountStatus(FileStatus::kCrashed) > 0) {
     return 2;
   }
   return AnyFindings() ? 1 : 0;
@@ -133,9 +142,23 @@ FileResult AnalyzeSourceCached(const BatchOptions& options, const std::string& p
     util::FaultDecision fault =
         util::FaultInjector::Check(util::FaultSite::kAnalyzeFile, path);
     util::FaultInjector::ApplyDelay(fault);
-    if (fault.action == util::FaultAction::kFail) {
+    if (fault.action == util::FaultAction::kCrash && util::InWorker()) {
+      // A real SIGSEGV, only ever inside a sacrificial isolated worker.
+      // Reset the disposition first so sanitizer runtimes (which trap
+      // SIGSEGV and exit instead of dying on it) cannot mask the signal the
+      // containment layer is being tested against.
+      ::signal(SIGSEGV, SIG_DFL);
+      ::raise(SIGSEGV);
+      ::_exit(139);  // Unreachable unless the raise was somehow swallowed.
+    }
+    if (fault.action == util::FaultAction::kFail ||
+        fault.action == util::FaultAction::kCrash) {
+      // An uncontained process never sacrifices itself: without --isolate a
+      // crash plan degrades to the plain injected-failure path.
       result.status = FileStatus::kFailed;
-      result.error = "injected fault: analyze.file";
+      result.error = fault.action == util::FaultAction::kCrash
+                         ? "injected fault: analyze.file (crash requested outside a worker)"
+                         : "injected fault: analyze.file";
       result.micros = watch.ElapsedMicros();
       return result;
     }
@@ -281,12 +304,20 @@ BatchResult BatchDriver::RunSourcesImpl(
       continue;
     }
     pool.Submit([this, &sources, &result, &cache, &commit, abort, i] {
+      // Isolated files fork a capped worker per analysis and skip the commit
+      // queue — the worker installs its own cache entry synchronously before
+      // exiting, since its memory (and any queued lane) dies with it.
       FileResult file =
-          AnalyzeSourceCached(options_, sources[i].first, sources[i].second,
-                              cache.has_value() ? &*cache : nullptr, abort, /*budget=*/nullptr,
-                              commit.has_value() ? &*commit : nullptr);
+          options_.isolate
+              ? AnalyzeSourceIsolated(options_, sources[i].first, sources[i].second,
+                                      cache.has_value() ? &*cache : nullptr, abort)
+              : AnalyzeSourceCached(options_, sources[i].first, sources[i].second,
+                                    cache.has_value() ? &*cache : nullptr, abort,
+                                    /*budget=*/nullptr,
+                                    commit.has_value() ? &*commit : nullptr);
       if (abort != nullptr &&
-          (file.status == FileStatus::kFailed || file.status == FileStatus::kTimedOut)) {
+          (file.status == FileStatus::kFailed || file.status == FileStatus::kTimedOut ||
+           file.status == FileStatus::kCrashed)) {
         abort->Cancel(util::CancelReason::kExternal);
       }
       result.files[i] = std::move(file);
@@ -312,6 +343,8 @@ BatchResult BatchDriver::RunSourcesImpl(
         ->Add(static_cast<int64_t>(result.CountStatus(FileStatus::kDegraded)));
     metrics->counter("resilience.failed")
         ->Add(static_cast<int64_t>(result.CountStatus(FileStatus::kFailed)));
+    metrics->counter("resilience.crashed")
+        ->Add(static_cast<int64_t>(result.CountStatus(FileStatus::kCrashed)));
     if (util::FaultInjector::enabled()) {
       metrics->gauge("faults.injected")->Set(util::FaultInjector::fires());
     }

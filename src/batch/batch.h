@@ -45,14 +45,25 @@ struct BatchOptions {
   bool fail_fast = false;   // First failed/timed-out file aborts the batch:
                             // files not yet started are classified kFailed
                             // ("skipped"), in-flight ones finish.
+
+  // Crash containment (`--isolate`): each file's analysis runs in a forked
+  // worker process under util::RunInWorker — an analyzer SIGSEGV or
+  // allocation bomb on one hostile script costs that file only (status
+  // kCrashed, repro banked under <cache>/quarantine/), never the driver.
+  bool isolate = false;
+  int64_t max_rss_mb = 0;      // Worker RLIMIT_AS cap in MiB; 0 = uncapped.
+  int64_t worker_cpu_s = 0;    // Worker RLIMIT_CPU cap in s; 0 = uncapped.
 };
 
 // Per-file outcome classification. kOk and kDegraded both carry a complete,
 // well-formed report (a degraded one may cover only part of the script);
 // kTimedOut additionally implies the deadline cut the analysis (its partial
 // report is still present); kFailed means no trustworthy report exists
-// (unreadable input, injected failure, fail-fast skip).
-enum class FileStatus { kOk, kDegraded, kFailed, kTimedOut };
+// (unreadable input, injected failure, fail-fast skip); kCrashed means the
+// isolated worker process died (signal, OOM under the rss cap, watchdog
+// kill) — degraded_reason carries the post-mortem ("crashed:SIGSEGV",
+// "rss-limit") and the script is banked under the quarantine directory.
+enum class FileStatus { kOk, kDegraded, kFailed, kTimedOut, kCrashed };
 
 std::string_view FileStatusName(FileStatus status);
 
@@ -79,8 +90,8 @@ struct BatchResult {
   bool AnyFindings() const;
   // Status census over `files` (the quarantine summary): Quarantined() lists
   // the paths that did not produce a complete trustworthy report on their
-  // own merits (kFailed + kTimedOut) — the files to re-run or investigate,
-  // isolated so they could not sink their neighbors.
+  // own merits (kFailed + kTimedOut + kCrashed) — the files to re-run or
+  // investigate, isolated so they could not sink their neighbors.
   size_t CountStatus(FileStatus status) const;
   std::vector<std::string> Quarantined() const;
   // Partial-batch exit policy (documented in the CLI usage): every input is

@@ -1,6 +1,8 @@
 #include "batch/cache.h"
 
 #include <errno.h>
+#include <fcntl.h>
+#include <stdio.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
@@ -12,6 +14,7 @@
 #include <thread>
 
 #include "core/version.h"
+#include "obs/journal.h"
 #include "mining/man_corpus.h"
 #include "util/faultinject.h"
 #include "util/sha256.h"
@@ -178,6 +181,7 @@ Cache::Cache(std::filesystem::path root, obs::Registry* metrics)
     misses_ = metrics_->counter("cache.misses");
     retries_ = metrics_->counter("cache.retries");
     write_failures_ = metrics_->counter("cache.write_failures");
+    readonly_gauge_ = metrics_->gauge("cache.readonly");
   }
 }
 
@@ -250,13 +254,26 @@ std::optional<std::string> Cache::Get(std::string_view kind, std::string_view ke
 }
 
 bool Cache::Put(std::string_view kind, std::string_view key, std::string_view payload) {
+  // Persistent-exhaustion short-circuit: once a full disk flipped the cache
+  // read-only, later writes fail immediately — no temp file, no backoff
+  // sleeps. The failure still counts (a dashboard watching
+  // cache.write_failures must see the true uninstalled-entry count).
+  if (read_only_.load(std::memory_order_acquire)) {
+    if (write_failures_ != nullptr) {
+      write_failures_->Add(1);
+    }
+    return false;
+  }
   obs::ScopedWaitProbe probe(CacheWriteSite());
   std::filesystem::path path = EntryPath(kind, key);
   EnsureDirectories(path.parent_path());
   // Cache write failures are overwhelmingly transient (EINTR, a briefly full
   // tmpfs, an injected fault); a short exponential backoff recovers them
-  // without bothering the caller. Permanent failure just means no caching.
+  // without bothering the caller. Permanent failure just means no caching —
+  // except disk exhaustion, which will not improve between backoff sleeps:
+  // ENOSPC/EDQUOT on the final attempt flips the whole cache read-only.
   int backoff_ms = 1;
+  bool disk_full = false;
   for (int attempt = 0; attempt < kPutAttempts; ++attempt) {
     if (attempt > 0) {
       if (retries_ != nullptr) {
@@ -265,14 +282,36 @@ bool Cache::Put(std::string_view kind, std::string_view key, std::string_view pa
       std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
       backoff_ms *= 4;
     }
-    if (PutOnce(path, payload, attempt)) {
+    disk_full = false;
+    if (PutOnce(path, payload, attempt, &disk_full)) {
       return true;
     }
+  }
+  if (disk_full) {
+    EnterReadOnly();
   }
   return false;
 }
 
-bool Cache::PutOnce(const std::filesystem::path& path, std::string_view payload, int attempt) {
+void Cache::EnterReadOnly() {
+  bool expected = false;
+  if (!read_only_.compare_exchange_strong(expected, true, std::memory_order_acq_rel)) {
+    return;  // Another writer already degraded the cache; warn once total.
+  }
+  std::fprintf(stderr,
+               "sash: cache device out of space (ENOSPC/EDQUOT) at %s; "
+               "cache is read-only for the rest of this run\n",
+               root_.c_str());
+  if (readonly_gauge_ != nullptr) {
+    readonly_gauge_->Set(1);
+  }
+  if (obs::EventJournal* journal = obs::EventJournal::Global(); journal != nullptr) {
+    journal->Emit(obs::EventKind::kMark, "cache.readonly", 1);
+  }
+}
+
+bool Cache::PutOnce(const std::filesystem::path& path, std::string_view payload, int attempt,
+                    bool* disk_full) {
   // The fault detail carries the attempt index so a rate-gated rule rolls
   // independently per attempt — injected write failures are transient, which
   // is what the retry loop exists to absorb. An "#nth" rule on the bare path
@@ -284,7 +323,14 @@ bool Cache::PutOnce(const std::filesystem::path& path, std::string_view payload,
     std::string detail = path.string() + "@" + std::to_string(attempt);
     write_fault = util::FaultInjector::Check(util::FaultSite::kCacheWrite, detail);
     util::FaultInjector::ApplyDelay(write_fault);
-    if (write_fault.action == util::FaultAction::kFail) {
+    if (write_fault.action == util::FaultAction::kFail ||
+        write_fault.action == util::FaultAction::kEnospc) {
+      // kFail simulates a transient error (the retry loop's food); kEnospc a
+      // full disk — persistent by nature, so it reports through *disk_full
+      // exactly like a real ENOSPC and drives the read-only degradation.
+      if (write_fault.action == util::FaultAction::kEnospc && disk_full != nullptr) {
+        *disk_full = true;
+      }
       if (write_failures_ != nullptr) {
         write_failures_->Add(1);
       }
@@ -309,23 +355,44 @@ bool Cache::PutOnce(const std::filesystem::path& path, std::string_view payload,
   tmp_name << path.filename().string() << ".tmp." << ::getpid() << "."
            << seq.fetch_add(1, std::memory_order_relaxed);
   std::filesystem::path tmp = path.parent_path() / tmp_name.str();
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      if (write_failures_ != nullptr) {
-        write_failures_->Add(1);
-      }
-      return false;
+  // Raw-fd I/O rather than ofstream: the failing syscall's errno is the
+  // signal that separates "retry this" (EINTR, EIO blips) from "the disk is
+  // full, stop paying backoff for every entry" (ENOSPC/EDQUOT), and iostream
+  // error states do not preserve it reliably.
+  auto note_disk_full = [disk_full](int err) {
+    if (disk_full != nullptr && (err == ENOSPC || err == EDQUOT)) {
+      *disk_full = true;
     }
-    out << payload;
-    out.flush();
-    if (!out) {
-      std::filesystem::remove(tmp, ec);
-      if (write_failures_ != nullptr) {
-        write_failures_->Add(1);
-      }
-      return false;
+  };
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0666);
+  if (fd < 0) {
+    note_disk_full(errno);
+    if (write_failures_ != nullptr) {
+      write_failures_->Add(1);
     }
+    return false;
+  }
+  size_t off = 0;
+  bool write_ok = true;
+  while (off < payload.size()) {
+    ssize_t n = ::write(fd, payload.data() + off, payload.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      note_disk_full(errno);
+      write_ok = false;
+      break;
+    }
+    off += static_cast<size_t>(n);
+  }
+  ::close(fd);
+  if (!write_ok) {
+    std::filesystem::remove(tmp, ec);
+    if (write_failures_ != nullptr) {
+      write_failures_->Add(1);
+    }
+    return false;
   }
   if (rename_fault.action == util::FaultAction::kFail) {
     std::filesystem::remove(tmp, ec);
@@ -336,6 +403,7 @@ bool Cache::PutOnce(const std::filesystem::path& path, std::string_view payload,
   }
   std::filesystem::rename(tmp, path, ec);
   if (ec) {
+    note_disk_full(ec.value());
     std::filesystem::remove(tmp, ec);
     if (write_failures_ != nullptr) {
       write_failures_->Add(1);

@@ -16,6 +16,7 @@
 #ifndef SASH_BATCH_CACHE_H_
 #define SASH_BATCH_CACHE_H_
 
+#include <atomic>
 #include <filesystem>
 #include <optional>
 #include <string>
@@ -97,16 +98,29 @@ class Cache {
   // with exponential backoff (kPutAttempts attempts; "cache.retries" counts
   // the extras). Returns false when every attempt failed (the cache is
   // best-effort: callers proceed without it).
+  //
+  // Resource-exhaustion degradation: when a write fails persistently with
+  // ENOSPC/EDQUOT (a full disk does not get less full between backoff
+  // sleeps), the cache flips to read-only for the rest of the run — one
+  // warning on stderr, "cache.readonly" gauge set to 1, and every later Put
+  // short-circuits without paying the retry backoff ("cache.write_failures"
+  // still counts each one). Gets are unaffected: warm entries keep serving.
   bool Put(std::string_view kind, std::string_view key, std::string_view payload);
+
+  // True once a persistent disk-full condition demoted writes to no-ops.
+  bool read_only() const { return read_only_.load(std::memory_order_acquire); }
 
   static constexpr int kPutAttempts = 3;
 
  private:
-  bool PutOnce(const std::filesystem::path& path, std::string_view payload, int attempt);
+  bool PutOnce(const std::filesystem::path& path, std::string_view payload, int attempt,
+               bool* disk_full);
+  void EnterReadOnly();
   std::filesystem::path EntryPath(std::string_view kind, std::string_view key) const;
 
   std::filesystem::path root_;
   obs::Registry* metrics_;
+  std::atomic<bool> read_only_{false};
   // Instrument handles, resolved once at construction: Get/Put run on every
   // batch task, and a per-call registry lookup would take the registry lock
   // (a probe site itself) once per counter bump on the hot path.
@@ -114,6 +128,7 @@ class Cache {
   obs::Counter* misses_ = nullptr;
   obs::Counter* retries_ = nullptr;
   obs::Counter* write_failures_ = nullptr;
+  obs::Gauge* readonly_gauge_ = nullptr;
 };
 
 }  // namespace sash::batch

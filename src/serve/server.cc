@@ -12,6 +12,7 @@
 #include <filesystem>
 
 #include "batch/cache.h"
+#include "batch/isolate.h"
 #include "batch/mine_cache.h"
 #include "core/analyzer.h"
 #include "core/version.h"
@@ -70,6 +71,10 @@ Server::Server(ServerOptions options) : options_(std::move(options)) {
 Server::~Server() { Stop(); }
 
 bool Server::Start(std::string* error) {
+  // A resident daemon must not die because a client tore down the read side
+  // of its socket mid-reply; sends use MSG_NOSIGNAL, this covers the rest.
+  IgnoreSigPipe();
+
   // The socket's parent directory may not exist yet (first run with a fresh
   // runtime dir); EnsureDirectories absorbs a concurrent-creation race the
   // same way the cache path does.
@@ -768,10 +773,39 @@ RpcResponse Server::Execute(const RpcRequest& request, util::CancelToken* budget
     batch::Cache* cache =
         (request.use_cache && cache_ != nullptr) ? cache_.get() : nullptr;
     std::string name = request.name.empty() ? std::string("<rpc>") : request.name;
-    batch::FileResult file = batch::AnalyzeSourceCached(opt, name, request.script, cache,
-                                                        /*abort=*/nullptr, budget);
+    batch::FileResult file;
+    if (opt.isolate) {
+      // Crash containment: the analysis runs in a forked, rlimit-capped
+      // worker. The shared budget token cannot cross the fork, so the
+      // request's effective budget is re-derived into opt.deadline_ms (the
+      // worker enforces it in-process) and the parent-side wall watchdog
+      // rides 5s above it.
+      int64_t budget_ms =
+          request.budget_ms > 0 ? request.budget_ms : options_.default_budget_ms;
+      if (options_.deadline_cap_ms > 0) {
+        budget_ms = budget_ms > 0 ? std::min(budget_ms, options_.deadline_cap_ms)
+                                  : options_.deadline_cap_ms;
+      }
+      if (budget_ms > 0) {
+        opt.deadline_ms = budget_ms;
+      }
+      file = batch::AnalyzeSourceIsolated(opt, name, request.script, cache,
+                                          /*abort=*/nullptr);
+    } else {
+      file = batch::AnalyzeSourceCached(opt, name, request.script, cache,
+                                        /*abort=*/nullptr, budget);
+    }
     response.status = kStatusOk;
     response.file_status = std::string(batch::FileStatusName(file.status));
+    if (file.status == batch::FileStatus::kCrashed) {
+      // On the wire a dead worker is a failed request — clients key off
+      // "failed"; the post-mortem ("crashed:SIGSEGV", "rss-limit") travels
+      // in degraded_reason. The event loop, warm caches, and every other
+      // in-flight request are untouched.
+      response.file_status = "failed";
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.worker_crashes;
+    }
     response.degraded_reason = file.degraded_reason;
     response.cached = file.cached;
     response.warnings_or_worse = file.warnings_or_worse;

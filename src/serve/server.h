@@ -103,6 +103,9 @@ struct ServerStats {
   int64_t idle_closed = 0;   // Connections reaped by the idle timeout.
   int64_t drain_cancelled = 0;  // In-flight requests cancelled at the
                                 // drain deadline (still answered).
+  int64_t worker_crashes = 0;   // Isolated analysis workers that died
+                                // (signal / rss cap / watchdog); each one
+                                // still produced a well-formed reply.
 };
 
 class Server {

@@ -1,0 +1,93 @@
+// The self-healing layer above the resident server: `sash serve --supervise`
+// runs the daemon in a child process and keeps a small, allocation-light
+// parent alive to watch it. The supervisor restarts the daemon on abnormal
+// death (crash signal, nonzero exit, missed heartbeats) under bounded
+// exponential backoff, and gets out of the way on a graceful drain.
+//
+// State machine (documented in DESIGN.md):
+//
+//   spawn ──> watch ──(child exit 0)──────────────> done (exit 0)
+//     ^         │
+//     │         ├─(child signal / nonzero exit)──> backoff ──> spawn
+//     │         └─(heartbeat misses >= limit)────> SIGKILL ──> backoff
+//     └───────────────────────────────────────────────┘
+//
+// Backoff starts at backoff_initial_ms, doubles to backoff_max_ms, and is
+// reset once a child survives stable_after_ms — a healthy daemon that
+// crashes once a day restarts instantly; a daemon that dies on boot cannot
+// spin the host. Heartbeats are rpc `ping`s over the daemon's own socket, so
+// they verify the event loop end to end, not just process existence.
+//
+// The supervisor forwards SIGTERM/SIGINT to the child (graceful drain) and
+// exits with the child's final status. It never analyses anything itself —
+// a worker crash is the server's problem (`--isolate`); the supervisor only
+// exists for the case where the daemon process itself is lost.
+#ifndef SASH_SERVE_SUPERVISOR_H_
+#define SASH_SERVE_SUPERVISOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "serve/server.h"
+
+namespace sash::serve {
+
+struct SupervisorOptions {
+  int64_t heartbeat_interval_ms = 1000;  // Ping cadence (0 disables pings).
+  int heartbeat_misses = 3;      // Consecutive failed pings before the child
+                                 // is declared wedged and SIGKILLed. Misses
+                                 // are only counted after the first success —
+                                 // startup is covered by the child's own
+                                 // bind-failure exit, not by the watchdog.
+  int64_t backoff_initial_ms = 200;
+  int64_t backoff_max_ms = 5000;
+  int64_t stable_after_ms = 10000;  // Child uptime that resets the backoff.
+  int max_restarts = 0;          // Abnormal restarts before giving up
+                                 // (0 = never give up).
+  std::string journal_path;      // When non-empty, each daemon incarnation
+                                 // keeps an event journal and writes it here
+                                 // on graceful drain. A SIGKILLed incarnation
+                                 // cannot flush by definition; the last
+                                 // healthy incarnation's journal wins.
+};
+
+class Supervisor {
+ public:
+  Supervisor(ServerOptions server, SupervisorOptions options);
+
+  // Blocks until the supervised daemon exits gracefully (returns its exit
+  // code, normally 0) or the restart budget is exhausted (returns 1 with
+  // *error). Call once, from a single-threaded process — each incarnation
+  // of the daemon is fork()ed from here.
+  int Run(std::string* error);
+
+  // Thread- and signal-safe stop: forwards SIGTERM to the current child and
+  // lets Run return when the drain completes. Idempotent.
+  void RequestStop();
+
+  int64_t restarts() const { return restarts_.load(std::memory_order_relaxed); }
+
+  // Routes SIGTERM/SIGINT to RequestStop() on `supervisor` (the handler only
+  // touches atomics and kill(2)). Pass nullptr to uninstall.
+  static void InstallSignalForward(Supervisor* supervisor);
+
+ private:
+  // Forks one daemon incarnation; the child never returns (it _exits with
+  // the server's status). Returns the child pid, or -1 on fork failure.
+  int64_t SpawnChild();
+
+  // Watches one child: waitpid polling + heartbeat pings. Returns the raw
+  // waitpid status; sets *killed_by_watchdog when the exit was forced.
+  int WatchChild(int64_t pid, bool* killed_by_watchdog);
+
+  ServerOptions server_;
+  SupervisorOptions options_;
+  std::atomic<bool> stop_{false};
+  std::atomic<int64_t> child_pid_{-1};
+  std::atomic<int64_t> restarts_{0};
+};
+
+}  // namespace sash::serve
+
+#endif  // SASH_SERVE_SUPERVISOR_H_

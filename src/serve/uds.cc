@@ -55,6 +55,23 @@ void SetCloseOnExec(int fd) {
   }
 }
 
+void IgnoreSigPipe() {
+  static const bool done = [] {
+    struct sigaction current;
+    memset(&current, 0, sizeof(current));
+    if (sigaction(SIGPIPE, nullptr, &current) == 0 && current.sa_handler != SIG_DFL) {
+      return true;  // Someone installed a real handler; respect it.
+    }
+    struct sigaction ignore;
+    memset(&ignore, 0, sizeof(ignore));
+    ignore.sa_handler = SIG_IGN;
+    sigemptyset(&ignore.sa_mask);
+    sigaction(SIGPIPE, &ignore, nullptr);
+    return true;
+  }();
+  (void)done;
+}
+
 int ListenUnix(const std::string& path, int backlog, std::string* error) {
   sockaddr_un addr;
   if (!FillSockaddr(path, &addr, error)) {

@@ -59,6 +59,13 @@ int64_t RecvSome(int fd, std::string* out, size_t max, int64_t timeout_ms, std::
 void SetNonBlocking(int fd);
 void SetCloseOnExec(int fd);
 
+// Process-wide SIGPIPE -> SIG_IGN, once (idempotent, thread-safe). Every
+// send here already passes MSG_NOSIGNAL, but a long-lived daemon must also
+// survive writes it does not own (stdio, third-party code) racing a peer
+// teardown — a vanished client is the client's problem, never a fatal
+// signal for the server. Never overrides a non-default handler.
+void IgnoreSigPipe();
+
 }  // namespace sash::serve
 
 #endif  // SASH_SERVE_UDS_H_

@@ -49,6 +49,10 @@ bool ParseAction(std::string_view text, FaultAction* action) {
     *action = FaultAction::kCorrupt;
   } else if (text == "delay") {
     *action = FaultAction::kDelay;
+  } else if (text == "crash") {
+    *action = FaultAction::kCrash;
+  } else if (text == "enospc") {
+    *action = FaultAction::kEnospc;
   } else {
     return false;
   }

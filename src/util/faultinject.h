@@ -23,7 +23,7 @@
 //            no %: fire on every matching occurrence
 //   %n:      fire with probability n/1000 per occurrence (deterministic roll)
 //   @ms:     delay milliseconds for the delay action (default 2)
-//   action:  fail | torn | corrupt | delay (default fail)
+//   action:  fail | torn | corrupt | delay | crash | enospc (default fail)
 //
 // Activation: tests call FaultInjector::Install(plan) / Uninstall(); outside
 // of that, the environment is consulted once — SASH_FAULT_PLAN holds a plan
@@ -70,6 +70,13 @@ enum class FaultAction : uint8_t {
   kTorn,     // The payload is truncated mid-entry.
   kCorrupt,  // One payload byte is flipped.
   kDelay,    // The operation is delayed by delay_ms.
+  kCrash,    // Inside a sandboxed worker (util::InWorker()): a real SIGSEGV,
+             // exercising process-level crash containment. Outside a worker
+             // the site degrades to kFail — an uncontained test process must
+             // never be sacrificed by its own harness.
+  kEnospc,   // cache.write only: the write fails as if the disk were full
+             // (persistent, not transient), driving the cache's read-only
+             // degradation instead of the retry loop.
 };
 
 struct FaultRule {

@@ -1,0 +1,295 @@
+#include "util/subproc.h"
+
+#include <errno.h>
+#include <poll.h>
+#include <signal.h>
+#include <string.h>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <new>
+
+namespace sash::util {
+
+namespace {
+
+// Pipe payload framing: one tag byte, a u64 LE length, then the bytes. A
+// child that dies mid-write leaves a short read, which the parent ignores —
+// waitpid's status is the authoritative verdict for a dead child.
+constexpr char kTagResult = 'R';
+constexpr char kTagOom = 'O';
+
+// A worker payload larger than this is a protocol violation (a runaway
+// child spamming its pipe), not a result; the parent kills and classifies.
+constexpr uint64_t kMaxPayloadBytes = 256ULL << 20;
+
+bool g_in_worker = false;
+
+int64_t NowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// write(2) loop, EINTR-tolerant. The child has SIGPIPE ignored, so a parent
+// that died mid-read yields EPIPE (abandon quietly) rather than a signal
+// that would be misread as a worker crash.
+bool WriteAll(int fd, const char* data, size_t size) {
+  size_t off = 0;
+  while (off < size) {
+    ssize_t n = ::write(fd, data + off, size - off);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+void WriteFramed(int fd, char tag, const std::string& payload) {
+  char header[9];
+  header[0] = tag;
+  uint64_t len = payload.size();
+  for (int i = 0; i < 8; ++i) {
+    header[1 + i] = static_cast<char>((len >> (8 * i)) & 0xFF);
+  }
+  if (WriteAll(fd, header, sizeof(header))) {
+    WriteAll(fd, payload.data(), payload.size());
+  }
+}
+
+// The child body. Never returns; everything ends in _exit (no atexit
+// handlers, no stream flushing — those belong to the parent image).
+[[noreturn]] void RunChild(int write_fd, const std::function<std::string()>& fn,
+                           const WorkerLimits& limits) {
+  g_in_worker = true;
+  ::signal(SIGPIPE, SIG_IGN);
+  // Crashing workers are routine here (that is the point); core dumps for
+  // each would bury CI artifacts.
+  struct rlimit no_core = {0, 0};
+  ::setrlimit(RLIMIT_CORE, &no_core);
+  if (limits.max_rss_mb > 0) {
+    rlim_t cap = static_cast<rlim_t>(limits.max_rss_mb) << 20;
+    struct rlimit rl = {cap, cap};
+    ::setrlimit(RLIMIT_AS, &rl);
+  }
+  if (limits.cpu_seconds > 0) {
+    rlim_t cap = static_cast<rlim_t>(limits.cpu_seconds);
+    struct rlimit rl = {cap, cap};
+    ::setrlimit(RLIMIT_CPU, &rl);
+  }
+  try {
+    std::string payload = fn();
+    WriteFramed(write_fd, kTagResult, payload);
+    ::close(write_fd);
+    ::_exit(0);
+  } catch (const std::bad_alloc&) {
+    // The rss cap bit. The static message needs no allocation, so this path
+    // works even when the heap is exhausted.
+    static const std::string kOomMsg;  // Empty body; the tag is the message.
+    WriteFramed(write_fd, kTagOom, kOomMsg);
+    ::close(write_fd);
+    ::_exit(0);
+  } catch (...) {
+    ::close(write_fd);
+    ::_exit(3);
+  }
+}
+
+// Reads the child's pipe to EOF (bounded by the wall watchdog), then reaps
+// it. Returns the raw bytes; classification happens in RunInWorker.
+struct ChildRead {
+  std::string bytes;
+  bool timed_out = false;
+  bool overflow = false;
+};
+
+ChildRead ReadChild(int read_fd, pid_t pid, int64_t wall_timeout_ms, int64_t start_us) {
+  ChildRead out;
+  char buf[64 * 1024];
+  for (;;) {
+    int poll_ms = -1;
+    if (wall_timeout_ms > 0) {
+      int64_t left_ms = wall_timeout_ms - (NowUs() - start_us) / 1000;
+      if (left_ms <= 0) {
+        out.timed_out = true;
+        break;
+      }
+      poll_ms = static_cast<int>(left_ms > 1000 ? 1000 : left_ms);
+    }
+    struct pollfd pfd = {read_fd, POLLIN, 0};
+    int rc = ::poll(&pfd, 1, poll_ms);
+    if (rc < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      break;
+    }
+    if (rc == 0) {
+      continue;  // Re-check the wall deadline.
+    }
+    ssize_t n = ::read(read_fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      break;
+    }
+    if (n == 0) {
+      break;  // EOF: the child closed (exit or crash).
+    }
+    out.bytes.append(buf, static_cast<size_t>(n));
+    if (out.bytes.size() > kMaxPayloadBytes + 9) {
+      out.overflow = true;
+      break;
+    }
+  }
+  if (out.timed_out || out.overflow) {
+    ::kill(pid, SIGKILL);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string_view WorkerOutcomeName(WorkerOutcome outcome) {
+  switch (outcome) {
+    case WorkerOutcome::kOk:
+      return "ok";
+    case WorkerOutcome::kOom:
+      return "oom";
+    case WorkerOutcome::kCrashed:
+      return "crashed";
+    case WorkerOutcome::kExit:
+      return "exit";
+    case WorkerOutcome::kTimeout:
+      return "timeout";
+    case WorkerOutcome::kSpawnError:
+      return "spawn_error";
+  }
+  return "?";
+}
+
+std::string SignalNameOf(int sig) {
+  switch (sig) {
+    case SIGSEGV:
+      return "SIGSEGV";
+    case SIGABRT:
+      return "SIGABRT";
+    case SIGBUS:
+      return "SIGBUS";
+    case SIGFPE:
+      return "SIGFPE";
+    case SIGILL:
+      return "SIGILL";
+    case SIGKILL:
+      return "SIGKILL";
+    case SIGXCPU:
+      return "SIGXCPU";
+    case SIGTERM:
+      return "SIGTERM";
+    case SIGPIPE:
+      return "SIGPIPE";
+    default:
+      return "SIG" + std::to_string(sig);
+  }
+}
+
+std::string WorkerResult::SignalName() const { return SignalNameOf(term_signal); }
+
+bool InWorker() { return g_in_worker; }
+
+WorkerResult RunInWorker(const std::function<std::string()>& fn, const WorkerLimits& limits) {
+  WorkerResult result;
+  const int64_t start_us = NowUs();
+
+  int fds[2];
+  if (::pipe(fds) != 0) {
+    result.outcome = WorkerOutcome::kSpawnError;
+    result.error = std::string("pipe: ") + strerror(errno);
+    return result;
+  }
+
+  pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(fds[0]);
+    ::close(fds[1]);
+    result.outcome = WorkerOutcome::kSpawnError;
+    result.error = std::string("fork: ") + strerror(errno);
+    return result;
+  }
+  if (pid == 0) {
+    ::close(fds[0]);
+    RunChild(fds[1], fn, limits);  // noreturn
+  }
+
+  ::close(fds[1]);
+  ChildRead read = ReadChild(fds[0], pid, limits.wall_timeout_ms, start_us);
+  ::close(fds[0]);
+
+  int status = 0;
+  pid_t reaped;
+  do {
+    reaped = ::waitpid(pid, &status, 0);
+  } while (reaped < 0 && errno == EINTR);
+  result.micros = NowUs() - start_us;
+
+  if (read.timed_out) {
+    result.outcome = WorkerOutcome::kTimeout;
+    result.term_signal = SIGKILL;
+    result.error = "worker exceeded the wall-clock watchdog (" +
+                   std::to_string(limits.wall_timeout_ms) + "ms); killed";
+    return result;
+  }
+  if (read.overflow) {
+    result.outcome = WorkerOutcome::kExit;
+    result.exit_code = -1;
+    result.error = "worker result exceeded the payload cap; killed";
+    return result;
+  }
+  if (reaped < 0) {
+    result.outcome = WorkerOutcome::kSpawnError;
+    result.error = std::string("waitpid: ") + strerror(errno);
+    return result;
+  }
+  if (WIFSIGNALED(status)) {
+    result.outcome = WorkerOutcome::kCrashed;
+    result.term_signal = WTERMSIG(status);
+    result.error = "worker crashed: " + SignalNameOf(result.term_signal);
+    return result;
+  }
+  const int code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  // Exit 0 promises a complete framed payload; decode it. Anything else —
+  // nonzero exit, truncated frame, garbage tag — means no trustworthy
+  // result came back.
+  if (code == 0 && read.bytes.size() >= 9 &&
+      (read.bytes[0] == kTagResult || read.bytes[0] == kTagOom)) {
+    uint64_t len = 0;
+    for (int i = 0; i < 8; ++i) {
+      len |= static_cast<uint64_t>(static_cast<unsigned char>(read.bytes[1 + i])) << (8 * i);
+    }
+    if (read.bytes.size() == 9 + len) {
+      if (read.bytes[0] == kTagOom) {
+        result.outcome = WorkerOutcome::kOom;
+        result.error = "worker ran out of memory under --max-rss-mb " +
+                       std::to_string(limits.max_rss_mb);
+        return result;
+      }
+      result.outcome = WorkerOutcome::kOk;
+      result.payload = read.bytes.substr(9);
+      return result;
+    }
+  }
+  result.outcome = WorkerOutcome::kExit;
+  result.exit_code = code;
+  result.error = code == 0 ? "worker exited 0 with a truncated result"
+                           : "worker exited " + std::to_string(code) + " without a result";
+  return result;
+}
+
+}  // namespace sash::util

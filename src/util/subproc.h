@@ -1,0 +1,90 @@
+// Process-level crash containment: run a piece of work in a forked child
+// under setrlimit caps and get its result back over a pipe — or a decoded
+// post-mortem (signal, OOM, runaway CPU) when the work did not survive. This
+// is the layer that turns an analyzer SIGSEGV on one hostile script into a
+// well-formed per-request failure instead of a dead `sash serve` daemon or a
+// half-finished batch.
+//
+// The contract is deliberately tiny: the child runs `fn`, writes the
+// returned string through a pipe, and _exit(2)s; the parent reads to EOF,
+// waitpid(2)s, and classifies. Everything the worker computes must travel
+// through the returned string — the child's memory is discarded.
+//
+//   util::WorkerLimits limits;
+//   limits.max_rss_mb = 512;              // RLIMIT_AS: allocation bombs die here.
+//   limits.cpu_seconds = 30;              // RLIMIT_CPU: infinite loops die here.
+//   limits.wall_timeout_ms = 15000;       // Parent-side SIGKILL watchdog.
+//   util::WorkerResult r = util::RunInWorker([&] { return Analyze(script); }, limits);
+//   switch (r.outcome) { ... }            // kOk | kCrashed | kOom | ...
+//
+// fork(2) from a multithreaded process is safe here because the child calls
+// no code that depends on another thread's locks being free except malloc,
+// which glibc re-initializes via its pthread_atfork handlers; the analysis
+// layers are otherwise self-contained. The caps bound the blast radius of
+// anything that slips through: a wedged child is SIGKILLed by the wall
+// watchdog and reported as a crash, never hung on.
+#ifndef SASH_UTIL_SUBPROC_H_
+#define SASH_UTIL_SUBPROC_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace sash::util {
+
+struct WorkerLimits {
+  // Address-space cap in MiB (RLIMIT_AS — Linux does not enforce RLIMIT_RSS,
+  // so the address space is the practical resident-set proxy). 0 = no cap.
+  // Allocation beyond the cap fails with bad_alloc, which the worker shim
+  // catches and reports as kOom; allocators that abort instead surface as
+  // kCrashed/kExit — either way the parent survives.
+  int64_t max_rss_mb = 0;
+  // CPU-time cap in seconds (RLIMIT_CPU). A worker that spins past it is
+  // killed by SIGXCPU and classified kCrashed ("crashed:SIGXCPU"). 0 = none.
+  int64_t cpu_seconds = 0;
+  // Parent-side wall-clock watchdog: after this many milliseconds without
+  // the child finishing, the parent SIGKILLs it (kTimeout). Catches workers
+  // blocked on something that burns no CPU. 0 = wait forever.
+  int64_t wall_timeout_ms = 0;
+};
+
+enum class WorkerOutcome : uint8_t {
+  kOk = 0,      // fn ran to completion; `payload` is its return value.
+  kOom,         // fn threw bad_alloc under max_rss_mb; the shim reported it.
+  kCrashed,     // The child died on a signal (SIGSEGV, SIGABRT, SIGXCPU, ...).
+  kExit,        // The child exited nonzero without a complete payload.
+  kTimeout,     // The wall watchdog SIGKILLed a wedged child.
+  kSpawnError,  // fork/pipe failed; `error` has errno text. No child ran —
+                // callers may fall back to running fn in-process.
+};
+
+std::string_view WorkerOutcomeName(WorkerOutcome outcome);
+
+struct WorkerResult {
+  WorkerOutcome outcome = WorkerOutcome::kSpawnError;
+  std::string payload;      // Complete fn() return value; only for kOk.
+  int term_signal = 0;      // For kCrashed (and kTimeout: SIGKILL).
+  int exit_code = 0;        // For kExit.
+  std::string error;        // Human-readable detail for non-kOk outcomes.
+  int64_t micros = 0;       // Wall time from fork to reaped.
+
+  // "SIGSEGV", "SIGKILL", ... for term_signal; "SIG<n>" for exotic ones.
+  std::string SignalName() const;
+};
+
+// "SIGSEGV" for SIGSEGV etc.; numeric fallback for signals without a name.
+std::string SignalNameOf(int sig);
+
+// Runs fn() in a forked child under `limits` and returns the classified
+// outcome. Never throws; never blocks past wall_timeout_ms (+ reap time).
+WorkerResult RunInWorker(const std::function<std::string()>& fn, const WorkerLimits& limits);
+
+// True between fork and _exit inside a RunInWorker child. Lets deterministic
+// fault hooks (`=crash`) confine real signals to sacrificial processes: the
+// same plan in a non-isolated run degrades to a plain failure instead of
+// killing the caller.
+bool InWorker();
+
+}  // namespace sash::util
+
+#endif  // SASH_UTIL_SUBPROC_H_

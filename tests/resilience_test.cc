@@ -503,5 +503,170 @@ TEST_F(ResilienceTest, ChaosSoakKeepsResultsByteIdentical) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Crash containment (--isolate) and resource-exhaustion degradation.
+
+// The batch acceptance scenario for process isolation: one file of the batch
+// takes a real SIGSEGV inside its forked worker. The victim is classified
+// "crashed" with its repro banked under <cache>/quarantine/, the driver and
+// every neighbor are untouched, and neighbor reports are byte-identical to a
+// fault-free run.
+TEST_F(ResilienceTest, IsolatedWorkerCrashIsQuarantinedNeighborsByteIdentical) {
+  Sources sources = GeneratedCorpus(8, /*seed_base=*/41000);
+  BatchOptions clean_options;
+  clean_options.jobs = 2;
+  clean_options.use_cache = false;
+  BatchDriver clean_driver(clean_options);
+  BatchResult clean = clean_driver.RunSources(sources);
+  ASSERT_EQ(clean.files.size(), sources.size());
+
+  obs::Registry registry;
+  BatchOptions options;
+  options.jobs = 2;
+  options.use_cache = true;
+  options.cache_dir = dir_ / "cache";
+  options.isolate = true;
+  options.obs.metrics = &registry;
+  BatchResult crashed;
+  {
+    ScopedFaults faults(MustParse("analyze.file~s03.sh=crash"));
+    BatchDriver driver(options);
+    crashed = driver.RunSources(sources);
+  }
+
+  ASSERT_EQ(crashed.files.size(), sources.size());
+  std::string victim_source;
+  for (size_t i = 0; i < crashed.files.size(); ++i) {
+    const FileResult& f = crashed.files[i];
+    if (f.path == "s03.sh") {
+      victim_source = sources[i].second;
+      EXPECT_FALSE(f.ok);
+      EXPECT_EQ(f.status, FileStatus::kCrashed);
+      EXPECT_EQ(FileStatusName(f.status), "crashed");
+      EXPECT_EQ(f.degraded_reason, "crashed:SIGSEGV");
+      EXPECT_NE(f.error.find("repro banked"), std::string::npos) << f.error;
+      EXPECT_TRUE(f.report_json.empty());
+      continue;
+    }
+    EXPECT_TRUE(f.ok) << f.path;
+    EXPECT_EQ(f.status, clean.files[i].status) << f.path;
+    // The crash next door — a whole worker process dying — must be
+    // invisible in every other report, byte for byte.
+    EXPECT_EQ(sash::testing::NormalizeJson(f.report_json),
+              sash::testing::NormalizeJson(clean.files[i].report_json))
+        << f.path;
+    EXPECT_EQ(f.report_text, clean.files[i].report_text) << f.path;
+  }
+  EXPECT_EQ(crashed.CountStatus(FileStatus::kCrashed), 1u);
+  EXPECT_EQ(crashed.Quarantined(), std::vector<std::string>{"s03.sh"});
+  EXPECT_EQ(crashed.ExitCode(), 2);
+  EXPECT_EQ(registry.counter("crash.workers")->value(), 1);
+  EXPECT_EQ(registry.counter("crash.quarantined")->value(), 1);
+  EXPECT_EQ(registry.counter("resilience.crashed")->value(), 1);
+
+  // The banked repro: script bytes verbatim, with a post-mortem sidecar.
+  fs::path quarantine = dir_ / "cache" / "quarantine";
+  ASSERT_TRUE(fs::exists(quarantine));
+  std::vector<fs::path> repros;
+  std::vector<fs::path> sidecars;
+  for (const auto& entry : fs::directory_iterator(quarantine)) {
+    if (entry.path().extension() == ".sh") {
+      repros.push_back(entry.path());
+    } else if (entry.path().extension() == ".json") {
+      sidecars.push_back(entry.path());
+    }
+  }
+  ASSERT_EQ(repros.size(), 1u);
+  ASSERT_EQ(sidecars.size(), 1u);
+  EXPECT_NE(repros[0].filename().string().find("s03.sh"), std::string::npos);
+  std::ifstream in(repros[0], std::ios::binary);
+  std::ostringstream banked;
+  banked << in.rdbuf();
+  EXPECT_EQ(banked.str(), victim_source);
+  std::ifstream meta_in(sidecars[0]);
+  std::ostringstream meta;
+  meta << meta_in.rdbuf();
+  EXPECT_NE(meta.str().find("crashed:SIGSEGV"), std::string::npos);
+  EXPECT_NE(meta.str().find("sash-quarantine-v1"), std::string::npos);
+}
+
+// Without --isolate the same =crash plan degrades to an ordinary injected
+// failure: a process with no sacrificial worker never kills itself.
+TEST_F(ResilienceTest, CrashFaultOutsideAWorkerDegradesToFailure) {
+  Sources sources = GeneratedCorpus(4, /*seed_base=*/42000);
+  BatchOptions options;
+  options.jobs = 2;
+  options.use_cache = false;  // isolate stays false.
+  ScopedFaults faults(MustParse("analyze.file~s01.sh=crash"));
+  BatchDriver driver(options);
+  BatchResult result = driver.RunSources(sources);
+  ASSERT_EQ(result.files.size(), 4u);
+  for (const FileResult& f : result.files) {
+    if (f.path == "s01.sh") {
+      EXPECT_EQ(f.status, FileStatus::kFailed);
+      EXPECT_NE(f.error.find("crash requested outside a worker"), std::string::npos);
+    } else {
+      EXPECT_TRUE(f.ok) << f.path;
+    }
+  }
+  EXPECT_EQ(result.CountStatus(FileStatus::kCrashed), 0u);
+}
+
+// Disk exhaustion on cache writes: the first exhausted retry schedule flips
+// the cache read-only for the rest of the run. Analysis never fails, every
+// uninstalled entry still counts in cache.write_failures, but the retry
+// backoff is paid once — not once per file.
+TEST_F(ResilienceTest, EnospcFlipsCacheReadOnlyAndStopsPayingRetries) {
+  Sources sources = GeneratedCorpus(20, /*seed_base=*/43000);
+  obs::Registry registry;
+  BatchOptions options;
+  options.jobs = 2;
+  options.use_cache = true;
+  options.cache_dir = dir_ / "cache";
+  options.obs.metrics = &registry;
+
+  ScopedFaults faults(MustParse("cache.write=enospc"));
+  BatchDriver driver(options);
+  BatchResult result = driver.RunSources(sources);
+
+  // The run itself is healthy: a full cache device costs caching, nothing
+  // else.
+  ASSERT_EQ(result.files.size(), sources.size());
+  for (const FileResult& f : result.files) {
+    EXPECT_TRUE(f.ok) << f.path << ": " << f.error;
+  }
+  EXPECT_EQ(result.cache_hits, 0);
+
+  // Every failed install is still counted...
+  EXPECT_GE(registry.counter("cache.write_failures")->value(),
+            static_cast<int64_t>(sources.size()));
+  // ...but the exponential backoff was only paid while the first write(s)
+  // exhausted their attempts. Without the read-only degradation this would
+  // be 2 retries for every one of the 20 files.
+  EXPECT_LE(registry.counter("cache.retries")->value(), 8);
+  EXPECT_EQ(registry.gauge("cache.readonly")->value(), 1);
+
+  // The degradation is per-run: a fresh driver (fresh Cache) with a healthy
+  // disk writes again.
+  util::FaultInjector::Uninstall();
+  obs::Registry registry2;
+  options.obs.metrics = &registry2;
+  BatchDriver healthy(options);
+  BatchResult second = healthy.RunSources(sources);
+  for (const FileResult& f : second.files) {
+    EXPECT_TRUE(f.ok) << f.path;
+  }
+  EXPECT_EQ(registry2.gauge("cache.readonly")->value(), 0);
+  EXPECT_EQ(registry2.counter("cache.write_failures")->value(), 0);
+
+  // And a third run replays those entries warm, byte-identically.
+  BatchDriver warm(options);
+  BatchResult replay = warm.RunSources(sources);
+  EXPECT_EQ(replay.cache_hits, static_cast<int64_t>(sources.size()));
+  for (size_t i = 0; i < replay.files.size(); ++i) {
+    EXPECT_EQ(replay.files[i].report_json, second.files[i].report_json);
+  }
+}
+
 }  // namespace
 }  // namespace sash::batch

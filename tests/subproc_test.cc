@@ -1,0 +1,146 @@
+// The crash-containment primitive itself: util::RunInWorker must turn every
+// way a worker can die — clean result, SIGSEGV, allocation bomb under the
+// rss cap, silent bad exit, wall-clock wedge — into a classified
+// WorkerResult in the parent, and the parent must always survive to make
+// that classification. Sanitizer builds intercept some death modes (ASan
+// turns signal-death into exit(1), its allocator may abort instead of
+// throwing bad_alloc), so the resource-limit assertions check containment
+// (outcome != kOk, parent alive) rather than one exact outcome.
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <string>
+
+#include "util/subproc.h"
+
+namespace sash::util {
+namespace {
+
+TEST(Subproc, ResultRoundTripsVerbatim) {
+  WorkerLimits limits;
+  WorkerResult r = RunInWorker([] { return std::string("hello from the worker"); }, limits);
+  ASSERT_EQ(r.outcome, WorkerOutcome::kOk) << r.error;
+  EXPECT_EQ(r.payload, "hello from the worker");
+  EXPECT_EQ(r.term_signal, 0);
+  EXPECT_GE(r.micros, 0);
+}
+
+TEST(Subproc, LargePayloadCrossesThePipeIntact) {
+  // Well past PIPE_BUF and the 64 KiB default pipe capacity: the child
+  // blocks mid-write until the parent drains, so this also proves the
+  // parent reads concurrently instead of waitpid-ing first (that ordering
+  // would deadlock).
+  std::string big(8 << 20, 'x');
+  for (size_t i = 0; i < big.size(); i += 4096) {
+    big[i] = static_cast<char>('a' + (i / 4096) % 26);
+  }
+  WorkerLimits limits;
+  WorkerResult r = RunInWorker([&big] { return big; }, limits);
+  ASSERT_EQ(r.outcome, WorkerOutcome::kOk) << r.error;
+  EXPECT_EQ(r.payload, big);
+}
+
+TEST(Subproc, InWorkerFlagIsVisibleOnlyInsideTheChild) {
+  EXPECT_FALSE(InWorker());
+  WorkerLimits limits;
+  WorkerResult r =
+      RunInWorker([] { return std::string(InWorker() ? "inside" : "outside"); }, limits);
+  ASSERT_EQ(r.outcome, WorkerOutcome::kOk) << r.error;
+  EXPECT_EQ(r.payload, "inside");
+  EXPECT_FALSE(InWorker());
+}
+
+TEST(Subproc, SigsegvIsClassifiedAsCrash) {
+  WorkerLimits limits;
+  WorkerResult r = RunInWorker(
+      []() -> std::string {
+        // SIG_DFL first: sanitizer builds install their own SIGSEGV handler
+        // that would convert the death into a plain exit.
+        ::signal(SIGSEGV, SIG_DFL);
+        ::raise(SIGSEGV);
+        return "unreachable";
+      },
+      limits);
+  ASSERT_EQ(r.outcome, WorkerOutcome::kCrashed) << r.error;
+  EXPECT_EQ(r.term_signal, SIGSEGV);
+  EXPECT_EQ(r.SignalName(), "SIGSEGV");
+  EXPECT_NE(r.error.find("SIGSEGV"), std::string::npos);
+}
+
+TEST(Subproc, SilentExitIsNotMistakenForAResult) {
+  WorkerLimits limits;
+  WorkerResult r = RunInWorker(
+      []() -> std::string {
+        ::_exit(7);
+        return "unreachable";
+      },
+      limits);
+  ASSERT_EQ(r.outcome, WorkerOutcome::kExit);
+  EXPECT_EQ(r.exit_code, 7);
+  EXPECT_NE(r.error.find("7"), std::string::npos);
+}
+
+TEST(Subproc, AllocationBombIsContainedByTheRssCap) {
+  // The worker tries to allocate ~512 MiB under a 64 MiB cap. Whatever the
+  // allocator does about that — throw bad_alloc (reported as kOom), abort
+  // (kCrashed), or die some other way (kExit nonzero) — the allocation must
+  // stay in the child: this process observes a classified failure, not an
+  // OOM kill.
+  WorkerLimits limits;
+  limits.max_rss_mb = 64;
+  WorkerResult r = RunInWorker(
+      []() -> std::string {
+        std::string hog;
+        hog.reserve(512u << 20);
+        hog.assign(512u << 20, 'm');
+        return std::string("allocated ") + std::to_string(hog.size());
+      },
+      limits);
+  EXPECT_NE(r.outcome, WorkerOutcome::kOk) << "512MiB fit under a 64MiB cap?";
+  EXPECT_NE(r.outcome, WorkerOutcome::kSpawnError) << r.error;
+  if (r.outcome == WorkerOutcome::kOom) {
+    EXPECT_NE(r.error.find("--max-rss-mb"), std::string::npos);
+  }
+  // And the parent is fine: a follow-up worker still runs.
+  WorkerLimits clean;
+  WorkerResult again = RunInWorker([] { return std::string("alive"); }, clean);
+  ASSERT_EQ(again.outcome, WorkerOutcome::kOk) << again.error;
+  EXPECT_EQ(again.payload, "alive");
+}
+
+TEST(Subproc, WallWatchdogKillsAWedgedWorker) {
+  WorkerLimits limits;
+  limits.wall_timeout_ms = 300;
+  const auto start = std::chrono::steady_clock::now();
+  WorkerResult r = RunInWorker(
+      []() -> std::string {
+        for (;;) {
+          ::usleep(50000);
+        }
+        return "unreachable";
+      },
+      limits);
+  const auto elapsed =
+      std::chrono::duration_cast<std::chrono::milliseconds>(std::chrono::steady_clock::now() - start);
+  EXPECT_EQ(r.outcome, WorkerOutcome::kTimeout) << r.error;
+  // Bounded: the watchdog fired near the deadline, not after some multiple.
+  EXPECT_LT(elapsed.count(), 10000);
+}
+
+TEST(Subproc, OutcomeNamesAreStable) {
+  EXPECT_EQ(WorkerOutcomeName(WorkerOutcome::kOk), "ok");
+  EXPECT_EQ(WorkerOutcomeName(WorkerOutcome::kOom), "oom");
+  EXPECT_EQ(WorkerOutcomeName(WorkerOutcome::kCrashed), "crashed");
+  EXPECT_EQ(WorkerOutcomeName(WorkerOutcome::kExit), "exit");
+  EXPECT_EQ(WorkerOutcomeName(WorkerOutcome::kTimeout), "timeout");
+  EXPECT_EQ(WorkerOutcomeName(WorkerOutcome::kSpawnError), "spawn_error");
+  EXPECT_EQ(SignalNameOf(SIGSEGV), "SIGSEGV");
+  EXPECT_EQ(SignalNameOf(SIGKILL), "SIGKILL");
+  EXPECT_EQ(SignalNameOf(250), "SIG250");
+}
+
+}  // namespace
+}  // namespace sash::util

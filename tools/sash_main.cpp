@@ -43,6 +43,7 @@
 #include "obs/profile.h"
 #include "serve/client.h"
 #include "serve/server.h"
+#include "serve/supervisor.h"
 #include "stream/pipeline.h"
 #include "util/strings.h"
 
@@ -55,6 +56,7 @@ int Usage() {
                "          [--lint] [--no-symex] [--no-stream] [--idempotence] [--coach]\n"
                "          [--annotations file.sasht] [--stats] [--format=text|json]\n"
                "          [--deadline-ms N] [--fail-fast] [--max-input-bytes N]\n"
+               "          [--isolate] [--max-rss-mb N] [--worker-cpu-s N]\n"
                "          [--trace-out trace.json] [--journal events.jsonl]\n"
                "          [--via SOCKET [--fallback local|fail]]\n"
                "          <script.sh|dir>...\n"
@@ -63,6 +65,8 @@ int Usage() {
                "          [--deadline-cap-ms N] [--default-budget-ms N]\n"
                "          [--idle-timeout-ms N] [--io-timeout-ms N]\n"
                "          [--drain-deadline-ms N] [--max-frame-bytes N]\n"
+               "          [--isolate] [--max-rss-mb N] [--worker-cpu-s N]\n"
+               "          [--supervise [--max-restarts N] [--heartbeat-ms N]]\n"
                "          [--annotations file.sasht] [--no-warmup] [--stats]\n"
                "          [--journal events.jsonl]\n"
                "  profile [-jN|--jobs N] [--cache-dir DIR] [--no-cache]\n"
@@ -80,9 +84,15 @@ int Usage() {
                "unreadable, failed, or timed out (partial batch), else 1 if any file\n"
                "had findings, else 0. --deadline-ms bounds each file's analysis (an\n"
                "expired file keeps its partial report, status \"timed_out\");\n"
-               "--fail-fast stops scheduling new files after the first failure\n"
+               "--fail-fast stops scheduling new files after the first failure.\n"
+               "--isolate runs each file's analysis in a forked, rlimit-capped worker\n"
+               "(--max-rss-mb / --worker-cpu-s imply it): a crashing or OOMing file\n"
+               "gets status \"crashed\" (exit 2) with a repro banked under\n"
+               "<cache-dir>/quarantine/, and its neighbors are untouched\n"
                "serve: exit 0 after a graceful drain (SIGTERM/SIGINT), 2 on startup\n"
-               "failure. analyze --via uses a resident server (bounded retry with\n"
+               "failure. --supervise restarts the daemon on abnormal death (bounded\n"
+               "backoff, heartbeat watchdog); exit 1 when --max-restarts is exhausted.\n"
+               "analyze --via uses a resident server (bounded retry with\n"
                "backoff); --fallback local degrades to in-process analysis when the\n"
                "server is unreachable, --fallback fail (default) exits 2\n");
   return 2;
@@ -207,6 +217,7 @@ std::string BatchJson(const sash::batch::BatchResult& result, int jobs, bool cac
   w.KV("degraded", static_cast<int64_t>(result.CountStatus(sash::batch::FileStatus::kDegraded)));
   w.KV("timed_out", static_cast<int64_t>(result.CountStatus(sash::batch::FileStatus::kTimedOut)));
   w.KV("failed", static_cast<int64_t>(result.CountStatus(sash::batch::FileStatus::kFailed)));
+  w.KV("crashed", static_cast<int64_t>(result.CountStatus(sash::batch::FileStatus::kCrashed)));
   w.Key("quarantined").BeginArray();
   for (const std::string& path : result.Quarantined()) {
     w.String(path);
@@ -228,6 +239,9 @@ sash::batch::FileStatus FileStatusFromName(const std::string& name) {
   }
   if (name == "timed_out") {
     return sash::batch::FileStatus::kTimedOut;
+  }
+  if (name == "crashed") {
+    return sash::batch::FileStatus::kCrashed;
   }
   return sash::batch::FileStatus::kFailed;
 }
@@ -388,6 +402,28 @@ int CmdAnalyze(const std::vector<std::string>& args) {
       fallback = a.substr(std::strlen("--fallback="));
     } else if (a == "--fail-fast") {
       batch.fail_fast = true;
+    } else if (a == "--isolate") {
+      batch.isolate = true;
+    } else if (a == "--max-rss-mb" && i + 1 < args.size()) {
+      if (!NumericFlag("analyze", "--max-rss-mb", args[++i], 0, kMaxBytes >> 20,
+                       &batch.max_rss_mb)) {
+        return 2;
+      }
+    } else if (a.rfind("--max-rss-mb=", 0) == 0) {
+      if (!NumericFlag("analyze", "--max-rss-mb", a.substr(std::strlen("--max-rss-mb=")), 0,
+                       kMaxBytes >> 20, &batch.max_rss_mb)) {
+        return 2;
+      }
+    } else if (a == "--worker-cpu-s" && i + 1 < args.size()) {
+      if (!NumericFlag("analyze", "--worker-cpu-s", args[++i], 0, kMaxMs / 1000,
+                       &batch.worker_cpu_s)) {
+        return 2;
+      }
+    } else if (a.rfind("--worker-cpu-s=", 0) == 0) {
+      if (!NumericFlag("analyze", "--worker-cpu-s", a.substr(std::strlen("--worker-cpu-s=")), 0,
+                       kMaxMs / 1000, &batch.worker_cpu_s)) {
+        return 2;
+      }
     } else if (a == "--idempotence") {
       batch.analyzer.enable_idempotence_check = true;
     } else if (a == "--coach") {
@@ -412,6 +448,10 @@ int CmdAnalyze(const std::vector<std::string>& args) {
     std::fprintf(stderr, "sash analyze: --fallback expects 'local' or 'fail', got '%s'\n",
                  fallback.c_str());
     return 2;
+  }
+  // Resource caps only apply inside a worker process, so they imply one.
+  if (batch.max_rss_mb > 0 || batch.worker_cpu_s > 0) {
+    batch.isolate = true;
   }
 
   if (!annotations_file.empty() && !ReadSource(annotations_file, &batch.annotations_text)) {
@@ -815,7 +855,8 @@ int CmdReport(const std::vector<std::string>& args) {
       if (const sash::obs::JsonValue* summary = doc->Find("summary");
           summary != nullptr && summary->is_object()) {
         for (const char* key :
-             {"files", "errors", "files_with_findings", "degraded", "timed_out", "failed"}) {
+             {"files", "errors", "files_with_findings", "degraded", "timed_out", "failed",
+              "crashed"}) {
           if (const sash::obs::JsonValue* v = summary->Find(key); v != nullptr && v->is_number()) {
             std::printf("  %-20s %lld\n", key, static_cast<long long>(v->number));
           }
@@ -858,9 +899,11 @@ int CmdReport(const std::vector<std::string>& args) {
 // unwritable pidfile) exit 2.
 int CmdServe(const std::vector<std::string>& args) {
   sash::serve::ServerOptions options;
+  sash::serve::SupervisorOptions sup_options;
   std::string annotations_file;
   std::string journal_out;
   bool stats = false;
+  bool supervise = false;
   for (size_t i = 0; i < args.size(); ++i) {
     const std::string& a = args[i];
     auto value_of = [&](const char* prefix) { return a.substr(std::strlen(prefix)); };
@@ -979,6 +1022,46 @@ int CmdServe(const std::vector<std::string>& args) {
       annotations_file = args[++i];
     } else if (a == "--no-warmup") {
       options.warmup = false;
+    } else if (a == "--isolate") {
+      options.batch.isolate = true;
+    } else if (a == "--max-rss-mb" && i + 1 < args.size()) {
+      if (!int64_flag("--max-rss-mb", args[++i], kMaxBytes >> 20, &options.batch.max_rss_mb)) {
+        return 2;
+      }
+    } else if (a.rfind("--max-rss-mb=", 0) == 0) {
+      if (!int64_flag("--max-rss-mb", value_of("--max-rss-mb="), kMaxBytes >> 20,
+                      &options.batch.max_rss_mb)) {
+        return 2;
+      }
+    } else if (a == "--worker-cpu-s" && i + 1 < args.size()) {
+      if (!int64_flag("--worker-cpu-s", args[++i], kMaxMs / 1000, &options.batch.worker_cpu_s)) {
+        return 2;
+      }
+    } else if (a.rfind("--worker-cpu-s=", 0) == 0) {
+      if (!int64_flag("--worker-cpu-s", value_of("--worker-cpu-s="), kMaxMs / 1000,
+                      &options.batch.worker_cpu_s)) {
+        return 2;
+      }
+    } else if (a == "--supervise") {
+      supervise = true;
+    } else if (a == "--max-restarts" && i + 1 < args.size()) {
+      if (!int_flag("--max-restarts", args[++i], 1 << 20, &sup_options.max_restarts)) {
+        return 2;
+      }
+    } else if (a.rfind("--max-restarts=", 0) == 0) {
+      if (!int_flag("--max-restarts", value_of("--max-restarts="), 1 << 20,
+                    &sup_options.max_restarts)) {
+        return 2;
+      }
+    } else if (a == "--heartbeat-ms" && i + 1 < args.size()) {
+      if (!int64_flag("--heartbeat-ms", args[++i], kMaxMs, &sup_options.heartbeat_interval_ms)) {
+        return 2;
+      }
+    } else if (a.rfind("--heartbeat-ms=", 0) == 0) {
+      if (!int64_flag("--heartbeat-ms", value_of("--heartbeat-ms="), kMaxMs,
+                      &sup_options.heartbeat_interval_ms)) {
+        return 2;
+      }
     } else if (a == "--stats") {
       stats = true;
     } else if (a == "--journal" && i + 1 < args.size()) {
@@ -997,6 +1080,32 @@ int CmdServe(const std::vector<std::string>& args) {
   if (!annotations_file.empty() &&
       !ReadSource(annotations_file, &options.batch.annotations_text)) {
     return 2;
+  }
+  if (options.batch.max_rss_mb > 0 || options.batch.worker_cpu_s > 0) {
+    options.batch.isolate = true;  // Caps only apply inside a worker.
+  }
+
+  if (supervise) {
+    // Self-healing mode: the daemon runs in a child; this process only
+    // watches, restarts, and forwards signals. The pidfile (written by the
+    // child) names the daemon, not the supervisor. Exit 0 after the daemon's
+    // graceful drain, 2/3 on startup failure, 1 when the restart budget is
+    // exhausted. --journal is honored per incarnation: each child keeps its
+    // own journal and flushes it on graceful drain (a SIGKILLed incarnation
+    // cannot flush; the last healthy one wins).
+    sup_options.journal_path = journal_out;
+    sash::serve::Supervisor supervisor(std::move(options), sup_options);
+    sash::serve::Supervisor::InstallSignalForward(&supervisor);
+    std::fprintf(stderr, "sash serve: supervising (pid %d)\n", static_cast<int>(getpid()));
+    std::string error;
+    int rc = supervisor.Run(&error);
+    sash::serve::Supervisor::InstallSignalForward(nullptr);
+    if (!error.empty()) {
+      std::fprintf(stderr, "sash serve: %s\n", error.c_str());
+    }
+    std::fprintf(stderr, "sash serve: supervisor exiting (%lld restarts)\n",
+                 static_cast<long long>(supervisor.restarts()));
+    return rc;
   }
 
   sash::obs::Registry registry;
